@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick --no-micro
+
+bench-csv:
+	dune exec bench/main.exe -- --csv results
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/isp_routing.exe
+	dune exec examples/spectrum_auction.exe
+	dune exec examples/truthfulness_demo.exe
+	dune exec examples/online_admission.exe
+	dune exec examples/abilene_pipeline.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,225 @@
+(* Benchmark harness: regenerates every table/figure of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md) and runs bechamel
+   micro-benchmarks of the computational kernels.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments + micro
+     dune exec bench/main.exe -- --quick      # reduced sweeps
+     dune exec bench/main.exe -- --only EXP-FIG2-LB
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --no-micro   # skip bechamel section
+     dune exec bench/main.exe -- --csv DIR    # also save tables as CSV
+     dune exec bench/main.exe -- --markdown F # also save a markdown report *)
+
+module Registry = Ufp_experiments.Registry
+module Harness = Ufp_experiments.Harness
+module Gen = Ufp_graph.Generators
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Instance = Ufp_instance.Instance
+module Workloads = Ufp_instance.Workloads
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Reasonable = Ufp_core.Reasonable
+module Rng = Ufp_prelude.Rng
+
+(* --- bechamel micro-benchmarks: one per computational kernel --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Dijkstra on a 12x12 grid with random weights. *)
+  let grid = Gen.grid ~rows:12 ~cols:12 ~capacity:10.0 in
+  let rng = Rng.create 1 in
+  let weights =
+    Array.init (Graph.n_edges grid) (fun _ -> Rng.float_in rng 0.1 2.0)
+  in
+  let dijkstra =
+    Test.make ~name:"dijkstra-grid-12x12"
+      (Staged.stage (fun () ->
+           ignore (Dijkstra.shortest_tree grid ~weight:(fun e -> weights.(e)) ~src:0)))
+  in
+  (* Full Bounded-UFP solve (Theorem 3.1 instance). *)
+  let eps = 0.3 in
+  let capacity = Harness.capacity_for ~m:24 ~eps in
+  let ufp_inst = Harness.grid_instance ~seed:2 ~rows:4 ~cols:4 ~capacity ~count:60 in
+  let bounded_ufp =
+    Test.make ~name:"bounded-ufp-4x4-60req"
+      (Staged.stage (fun () -> ignore (Bounded_ufp.solve ~eps ufp_inst)))
+  in
+  (* Bounded-MUCA solve. *)
+  let auction =
+    Harness.random_auction ~seed:3 ~items:10
+      ~multiplicity:(int_of_float (Harness.capacity_for ~m:10 ~eps))
+      ~bids:80 ~bundle:3
+  in
+  let bounded_muca =
+    Test.make ~name:"bounded-muca-10items-80bids"
+      (Staged.stage (fun () -> ignore (Bounded_muca.solve ~eps auction)))
+  in
+  (* Reasonable-minimizer run on the Figure 2 staircase. *)
+  let sc = Gen.staircase ~levels:16 ~capacity:4.0 in
+  let stair_inst =
+    Instance.create sc.Gen.graph (Workloads.staircase_requests sc ~per_source:4)
+  in
+  let staircase =
+    Test.make ~name:"reasonable-staircase-16x4"
+      (Staged.stage (fun () ->
+           ignore
+             (Reasonable.run
+                ~priority:(Reasonable.h ~eps:0.1 ~b:4.0)
+                ~tie_break:Reasonable.prefer_max_second_vertex stair_inst)))
+  in
+  (* Fractional LP solve. *)
+  let lp_inst = Harness.grid_instance ~seed:4 ~rows:4 ~cols:4 ~capacity:10.0 ~count:30 in
+  let mcf =
+    Test.make ~name:"garg-konemann-lp-4x4-30req"
+      (Staged.stage (fun () -> ignore (Ufp_lp.Mcf.solve ~eps:0.3 lp_inst)))
+  in
+  (* Exact LP by column generation on the same instance. *)
+  let colgen =
+    Test.make ~name:"path-lp-colgen-4x4-30req"
+      (Staged.stage (fun () -> ignore (Ufp_lp.Path_lp.solve_colgen lp_inst)))
+  in
+  (* Dinic max flow corner to corner on the 12x12 grid. *)
+  let maxflow =
+    Test.make ~name:"dinic-grid-12x12"
+      (Staged.stage (fun () ->
+           ignore (Ufp_graph.Maxflow.max_flow grid ~src:0 ~dst:143)))
+  in
+  (* One critical-value payment (a full bisection of solver runs). *)
+  let pay_inst = Harness.grid_instance ~seed:6 ~rows:3 ~cols:3 ~capacity:12.0 ~count:8 in
+  let pay_model = Ufp_mech.Ufp_mechanism.model (Bounded_ufp.solve ~eps:0.3) in
+  let payment =
+    Test.make ~name:"critical-value-bisection-3x3-8req"
+      (Staged.stage (fun () ->
+           ignore
+             (Ufp_mech.Single_param.critical_value ~rel_tol:1e-4 pay_model
+                pay_inst ~agent:0)))
+  in
+  [ dijkstra; bounded_ufp; bounded_muca; staircase; mcf; colgen; maxflow; payment ]
+
+let run_micro () =
+  let open Bechamel in
+  print_string "\n### MICRO: bechamel kernel benchmarks\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Ufp_prelude.Table.create ~title:"MICRO: ns per run (OLS on monotonic clock)"
+      ~columns:[ "kernel"; "ns/run"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, est, r2) -> Ufp_prelude.Table.add_row table [ name; est; r2 ])
+    (List.sort compare !rows);
+  Ufp_prelude.Table.print table
+
+(* --- driver --- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let micro = not (List.mem "--no-micro" args) in
+  let flag_value name =
+    let rec find = function
+      | key :: value :: _ when key = name -> Some value
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let only = flag_value "--only" in
+  let csv_dir = flag_value "--csv" in
+  let markdown_path = flag_value "--markdown" in
+  let markdown_buf = Buffer.create 4096 in
+  (* Run each experiment once; print and optionally persist as CSV. *)
+  let emit (entry : Registry.entry) =
+    Printf.printf "\n### %s — %s\n### %s\n" entry.Registry.id
+      entry.Registry.paper_artifact entry.Registry.description;
+    let tables = entry.Registry.run ~quick () in
+    List.iter Ufp_prelude.Table.print tables;
+    if markdown_path <> None then begin
+      Buffer.add_string markdown_buf
+        (Printf.sprintf "## %s — %s\n\n%s\n\n" entry.Registry.id
+           entry.Registry.paper_artifact entry.Registry.description);
+      List.iter
+        (fun t ->
+          Buffer.add_string markdown_buf (Ufp_prelude.Table.to_markdown t);
+          Buffer.add_char markdown_buf '\n')
+        tables
+    end;
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iteri
+        (fun k table ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s-%d.csv"
+                 (String.lowercase_ascii entry.Registry.id)
+                 k)
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Ufp_prelude.Table.to_csv table));
+          Printf.printf "wrote %s\n" path)
+        tables
+  in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "%-18s %-28s %s\n" e.Registry.id e.Registry.paper_artifact
+          e.Registry.description)
+      Registry.all;
+    exit 0
+  end;
+  (match only with
+  | Some id -> (
+    match Registry.find id with
+    | Some entry -> emit entry
+    | None ->
+      Printf.eprintf "unknown experiment %S; try --list\n" id;
+      exit 1)
+  | None ->
+    print_string
+      "Reproduction harness for \"Truthful Unsplittable Flow for Large \
+       Capacity Networks\" (Azar, Gamzu, Gutner — SPAA'07).\n\
+       One experiment per paper artifact; see DESIGN.md section 4 and \
+       EXPERIMENTS.md.\n";
+    List.iter emit Registry.all;
+    if micro then run_micro ());
+  (match markdown_path with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          "# Regenerated experiment tables\n\n(mechanical output of `dune exec \
+           bench/main.exe -- --markdown <file>`; see EXPERIMENTS.md for the \
+           paper-vs-measured discussion)\n\n";
+        Buffer.output_buffer oc markdown_buf);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  print_newline ()

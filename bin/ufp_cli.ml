@@ -1,0 +1,390 @@
+(* ufp — command line interface to the truthful unsplittable flow
+   library.
+
+   Subcommands:
+     generate    build an instance file (random or paper lower-bound)
+     solve       run an allocation algorithm on an instance file
+     payments    run the truthful mechanism and print critical payments
+     lp          certified fractional bounds for an instance file
+     experiment  run the paper-reproduction experiments *)
+
+module Graph = Ufp_graph.Graph
+module Gen = Ufp_graph.Generators
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+module Workloads = Ufp_instance.Workloads
+module Io = Ufp_instance.Io
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Repeat = Ufp_core.Bounded_ufp_repeat
+module Baselines = Ufp_core.Baselines
+module Exact = Ufp_lp.Exact
+module Mcf = Ufp_lp.Mcf
+module Ufp_mechanism = Ufp_mech.Ufp_mechanism
+module Registry = Ufp_experiments.Registry
+module Rng = Ufp_prelude.Rng
+
+open Cmdliner
+
+let load_instance path =
+  match Io.load path with
+  | Ok inst -> inst
+  | Error msg ->
+    Printf.eprintf "error: cannot load %s: %s\n" path msg;
+    exit 1
+
+(* --- generate --- *)
+
+let generate topology seed rows cols capacity requests levels b out =
+  let inst =
+    match topology with
+    | "grid" ->
+      let g = Gen.grid ~rows ~cols ~capacity in
+      let rng = Rng.create seed in
+      Instance.create g (Workloads.random_requests rng g ~count:requests ())
+    | "er" ->
+      let rng = Rng.create seed in
+      let g =
+        Gen.erdos_renyi rng ~n:(rows * cols) ~edge_prob:0.3 ~directed:false
+          ~capacity_lo:capacity ~capacity_hi:(capacity *. 1.5)
+      in
+      Instance.create g (Workloads.random_requests rng g ~count:requests ())
+    | "staircase" ->
+      let sc = Gen.staircase ~levels ~capacity:(float_of_int b) in
+      Instance.create sc.Gen.graph (Workloads.staircase_requests sc ~per_source:b)
+    | "gadget" ->
+      Instance.create
+        (Gen.gadget7 ~capacity:(float_of_int b))
+        (Workloads.gadget7_requests ~per_pair:b)
+    | other ->
+      Printf.eprintf "error: unknown topology %S (grid|er|staircase|gadget)\n" other;
+      exit 1
+  in
+  (match out with
+  | Some path ->
+    Io.save path inst;
+    Printf.printf "wrote %s: %d vertices, %d edges, %d requests\n" path
+      (Graph.n_vertices (Instance.graph inst))
+      (Graph.n_edges (Instance.graph inst))
+      (Instance.n_requests inst)
+  | None -> print_string (Io.to_string inst));
+  0
+
+let topology_arg =
+  Arg.(value & opt string "grid" & info [ "topology"; "t" ] ~docv:"KIND"
+         ~doc:"Instance family: grid, er, staircase (Figure 2), gadget (Figure 3).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let rows_arg = Arg.(value & opt int 5 & info [ "rows" ] ~doc:"Grid rows.")
+
+let cols_arg = Arg.(value & opt int 5 & info [ "cols" ] ~doc:"Grid columns.")
+
+let capacity_arg =
+  Arg.(value & opt float 20.0 & info [ "capacity"; "c" ] ~doc:"Edge capacity (B).")
+
+let requests_arg =
+  Arg.(value & opt int 50 & info [ "requests"; "r" ] ~doc:"Number of requests.")
+
+let levels_arg =
+  Arg.(value & opt int 16 & info [ "levels"; "l" ] ~doc:"Staircase levels.")
+
+let b_arg =
+  Arg.(value & opt int 8 & info [ "b" ] ~doc:"Capacity parameter B for the lower-bound families.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Output file (stdout when omitted).")
+
+let generate_cmd =
+  let doc = "generate a UFP instance file" in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(
+      const generate $ topology_arg $ seed_arg $ rows_arg $ cols_arg
+      $ capacity_arg $ requests_arg $ levels_arg $ b_arg $ out_arg)
+
+(* --- solve --- *)
+
+let pick_algo name eps seed =
+  match name with
+  | "bounded-ufp" -> Bounded_ufp.solve ~eps
+  | "repeat" -> Repeat.solve ~eps
+  | "greedy-density" -> Baselines.greedy_by_density
+  | "greedy-value" -> Baselines.greedy_by_value
+  | "threshold-pd" -> Baselines.threshold_pd ~eps
+  | "rounding" -> Baselines.randomized_rounding ~eps:(Float.min eps 0.5) ~seed
+  | "exact" -> (fun inst -> Exact.solve inst)
+  | other ->
+    Printf.eprintf
+      "error: unknown algorithm %S (bounded-ufp|repeat|greedy-density|\
+       greedy-value|threshold-pd|rounding|exact)\n"
+      other;
+    exit 1
+
+let warn_premise inst ~eps =
+  if not (Instance.meets_bound inst ~eps) then
+    Printf.printf
+      "note: B = %.1f is below ln m / eps^2 = %.1f — the Theorem 3.1 premise \
+       fails, so the primal-dual algorithms may stop early (try a larger \
+       capacity or eps).\n"
+      (Instance.bound inst)
+      (log (float_of_int (Graph.n_edges (Instance.graph inst))) /. (eps *. eps))
+
+let solve path algo_name eps seed verbose audit out =
+  let inst = Instance.normalize (load_instance path) in
+  warn_premise inst ~eps;
+  let algo = pick_algo algo_name eps seed in
+  let sol, elapsed =
+    try Ufp_experiments.Harness.time_it (fun () -> algo inst)
+    with Exact.Too_large msg ->
+      Printf.eprintf "error: instance too large for the exact solver: %s\n" msg;
+      exit 1
+  in
+  let repetitions = algo_name = "repeat" in
+  let value = Solution.value inst sol in
+  Printf.printf "algorithm : %s\n" algo_name;
+  Printf.printf "allocated : %d / %d requests\n" (List.length sol)
+    (Instance.n_requests inst);
+  Printf.printf "value     : %.6g\n" value;
+  Printf.printf "feasible  : %b\n" (Solution.is_feasible ~repetitions inst sol);
+  Printf.printf "time      : %.3fs\n" elapsed;
+  if algo_name = "bounded-ufp" then begin
+    let run = Bounded_ufp.run ~eps inst in
+    Printf.printf "certified OPT upper bound: %.6g (ratio <= %.4f)\n"
+      run.Bounded_ufp.certified_upper_bound
+      (if value > 0.0 then run.Bounded_ufp.certified_upper_bound /. value
+       else infinity)
+  end;
+  if audit then begin
+    if algo_name <> "bounded-ufp" then
+      Printf.printf "note: --audit applies to bounded-ufp only\n"
+    else begin
+      let run = Bounded_ufp.run ~eps inst in
+      Format.printf "%a" Ufp_core.Audit.pp (Ufp_core.Audit.bounded_ufp_run inst run)
+    end
+  end;
+  (match out with
+  | Some out_path ->
+    Io.save_solution out_path sol;
+    Printf.printf "solution written to %s\n" out_path
+  | None -> ());
+  if verbose then Format.printf "%a@." Solution.pp sol;
+  0
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Instance file (see $(b,ufp generate)).")
+
+let algo_arg =
+  Arg.(value & opt string "bounded-ufp" & info [ "algo"; "a" ] ~docv:"ALGO"
+         ~doc:"Allocation algorithm.")
+
+let eps_arg =
+  Arg.(value & opt float 0.3 & info [ "eps"; "e" ] ~doc:"Accuracy parameter.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the allocation paths.")
+
+let audit_arg =
+  Arg.(value & flag & info [ "audit" ]
+         ~doc:"Audit the run: feasibility, trace consistency, weak duality, \
+               scaled-dual feasibility (bounded-ufp only).")
+
+let solve_cmd =
+  let doc = "solve a UFP instance" in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(
+      const solve $ file_arg $ algo_arg $ eps_arg $ seed_arg $ verbose_arg
+      $ audit_arg $ out_arg)
+
+(* --- payments --- *)
+
+let payments path eps =
+  let inst = Instance.normalize (load_instance path) in
+  warn_premise inst ~eps;
+  let algo = Bounded_ufp.solve ~eps in
+  let won = Ufp_mechanism.winners algo inst in
+  let pay = Ufp_mechanism.payments ~rel_tol:1e-6 algo inst in
+  Printf.printf "truthful mechanism: Bounded-UFP(%.2f) + critical-value payments\n"
+    eps;
+  Printf.printf "%-8s %-10s %-10s %-6s %-12s\n" "request" "demand" "value" "wins"
+    "payment";
+  Array.iteri
+    (fun i p ->
+      let r = Instance.request inst i in
+      Printf.printf "%-8d %-10.4f %-10.4f %-6s %-12.6f\n" i r.Request.demand
+        r.Request.value
+        (if won.(i) then "yes" else "no")
+        p)
+    pay;
+  let revenue = Array.fold_left ( +. ) 0.0 pay in
+  Printf.printf "total revenue: %.6f\n" revenue;
+  0
+
+let payments_cmd =
+  let doc = "run the truthful mechanism and print critical-value payments" in
+  Cmd.v (Cmd.info "payments" ~doc) Term.(const payments $ file_arg $ eps_arg)
+
+(* --- lp --- *)
+
+let lp path eps =
+  let inst = Instance.normalize (load_instance path) in
+  let r = Mcf.solve ~eps inst in
+  Printf.printf "fractional (Figure 1 relaxation) certified interval:\n";
+  Printf.printf "  feasible flow value : %.6g   (lower bound on OPT_LP)\n"
+    r.Mcf.feasible_value;
+  Printf.printf "  scaled dual bound   : %.6g   (upper bound on OPT_LP >= OPT)\n"
+    r.Mcf.upper_bound;
+  Printf.printf "  oracle iterations   : %d\n" r.Mcf.iterations;
+  0
+
+let lp_cmd =
+  let doc = "certified fractional LP bounds (Garg-Konemann)" in
+  Cmd.v (Cmd.info "lp" ~doc) Term.(const lp $ file_arg $ eps_arg)
+
+(* --- verify-solution --- *)
+
+let verify_solution inst_path sol_path repetitions =
+  let inst = Instance.normalize (load_instance inst_path) in
+  match Io.load_solution sol_path with
+  | Error msg ->
+    Printf.eprintf "error: cannot load %s: %s\n" sol_path msg;
+    1
+  | Ok sol -> (
+    Printf.printf "allocations : %d\n" (List.length sol);
+    Printf.printf "value       : %.6g\n" (Solution.value inst sol);
+    match Solution.check ~repetitions inst sol with
+    | Ok () ->
+      Printf.printf "feasible    : yes\n";
+      0
+    | Error msg ->
+      Printf.printf "feasible    : NO — %s\n" msg;
+      1)
+
+let sol_file_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"SOLUTION"
+         ~doc:"Solution file (see $(b,ufp solve -o)).")
+
+let repetitions_arg =
+  Arg.(value & flag & info [ "repetitions" ]
+         ~doc:"Allow a request to appear multiple times (Section 5 semantics).")
+
+let verify_solution_cmd =
+  let doc = "check a saved solution against its instance" in
+  Cmd.v (Cmd.info "verify-solution" ~doc)
+    Term.(const verify_solution $ file_arg $ sol_file_arg $ repetitions_arg)
+
+(* --- export-dot --- *)
+
+let export_dot path algo_name eps seed out =
+  let inst = Instance.normalize (load_instance path) in
+  let dot =
+    match algo_name with
+    | None -> Ufp_instance.Dot.instance inst
+    | Some name ->
+      let sol = pick_algo name eps seed inst in
+      Ufp_instance.Dot.solution inst sol
+  in
+  (match out with
+  | Some out_path ->
+    Ufp_instance.Dot.save out_path dot;
+    Printf.printf "wrote %s (render with: dot -Tsvg %s > out.svg)\n" out_path
+      out_path
+  | None -> print_string dot);
+  0
+
+let dot_algo_arg =
+  Arg.(value & opt (some string) None & info [ "algo"; "a" ] ~docv:"ALGO"
+         ~doc:"Also solve with this algorithm and highlight the allocation.")
+
+let export_dot_cmd =
+  let doc = "export an instance (optionally with an allocation) as Graphviz DOT" in
+  Cmd.v (Cmd.info "export-dot" ~doc)
+    Term.(const export_dot $ file_arg $ dot_algo_arg $ eps_arg $ seed_arg $ out_arg)
+
+(* --- inspect --- *)
+
+let inspect path eps =
+  let inst = load_instance path in
+  let report = Ufp_instance.Diagnostics.analyze inst in
+  Format.printf "%a@." Ufp_instance.Diagnostics.pp report;
+  let needed = Ufp_instance.Diagnostics.premise_capacity inst ~eps in
+  Format.printf
+    "Theorem 3.1 premise at eps = %.2f: needs min capacity >= %.1f — %s@." eps
+    needed
+    (if report.Ufp_instance.Diagnostics.min_capacity >= needed then "satisfied"
+     else "NOT satisfied (primal-dual algorithms may stop early)");
+  0
+
+let inspect_cmd =
+  let doc = "report instance statistics and regime diagnostics" in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ file_arg $ eps_arg)
+
+(* --- experiment --- *)
+
+let experiment id_opt list quick =
+  if list then begin
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "%-18s %-28s %s\n" e.Registry.id e.Registry.paper_artifact
+          e.Registry.description)
+      Registry.all;
+    0
+  end
+  else
+    match id_opt with
+    | None ->
+      List.iter (Registry.run_and_print ~quick) Registry.all;
+      0
+    | Some id -> (
+      match Registry.find id with
+      | Some entry ->
+        Registry.run_and_print ~quick entry;
+        0
+      | None ->
+        Printf.eprintf "error: unknown experiment %S; try --list\n" id;
+        1)
+
+let exp_id_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"EXP-ID"
+         ~doc:"Experiment id from DESIGN.md (all when omitted).")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List experiments.")
+
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps.")
+
+let experiment_cmd =
+  let doc = "run the paper-reproduction experiments" in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const experiment $ exp_id_arg $ list_arg $ quick_arg)
+
+(* --- main --- *)
+
+(* Solver tracing: UFP_LOG=info or UFP_LOG=debug enables the Logs
+   sources (ufp.bounded-ufp, ufp.bounded-ufp-repeat, ufp.mcf). *)
+let setup_logs () =
+  match Sys.getenv_opt "UFP_LOG" with
+  | Some level ->
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level
+      (match String.lowercase_ascii level with
+      | "debug" -> Some Logs.Debug
+      | "info" -> Some Logs.Info
+      | "warning" -> Some Logs.Warning
+      | _ -> None)
+  | None -> ()
+
+let () =
+  setup_logs ();
+  let doc =
+    "truthful unsplittable flow for large capacity networks (Azar, Gamzu, \
+     Gutner — SPAA'07)"
+  in
+  let info = Cmd.info "ufp" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ generate_cmd; solve_cmd; payments_cmd; lp_cmd; inspect_cmd;
+        verify_solution_cmd; export_dot_cmd; experiment_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,119 @@
+type bid = { bundle : int list; value : float }
+
+type t = { multiplicities : int array; bids : bid array }
+
+let make_bid ~bundle ~value =
+  if bundle = [] then invalid_arg "Auction.make_bid: empty bundle";
+  if List.exists (fun u -> u < 0) bundle then
+    invalid_arg "Auction.make_bid: negative item id";
+  if not (Float.is_finite value && value > 0.0) then
+    invalid_arg "Auction.make_bid: value must be positive and finite";
+  { bundle = List.sort_uniq compare bundle; value }
+
+let create ~multiplicities bids =
+  let m = Array.length multiplicities in
+  Array.iter
+    (fun c -> if c <= 0 then invalid_arg "Auction.create: multiplicity <= 0")
+    multiplicities;
+  Array.iter
+    (fun b ->
+      if List.exists (fun u -> u >= m) b.bundle then
+        invalid_arg "Auction.create: bundle references unknown item")
+    bids;
+  { multiplicities = Array.copy multiplicities; bids = Array.copy bids }
+
+let n_items t = Array.length t.multiplicities
+
+let n_bids t = Array.length t.bids
+
+let bid t i =
+  if i < 0 || i >= Array.length t.bids then
+    invalid_arg "Auction.bid: index out of range";
+  t.bids.(i)
+
+let bids t = Array.copy t.bids
+
+let multiplicity t u =
+  if u < 0 || u >= Array.length t.multiplicities then
+    invalid_arg "Auction.multiplicity: item out of range";
+  t.multiplicities.(u)
+
+let bound t =
+  if Array.length t.multiplicities = 0 then
+    invalid_arg "Auction.bound: no items";
+  Array.fold_left min t.multiplicities.(0) t.multiplicities
+
+let with_bid t i b =
+  ignore (bid t i);
+  if List.exists (fun u -> u >= n_items t) b.bundle then
+    invalid_arg "Auction.with_bid: bundle references unknown item";
+  let bids = Array.copy t.bids in
+  bids.(i) <- b;
+  { t with bids }
+
+let total_value t =
+  Array.fold_left (fun acc b -> acc +. b.value) 0.0 t.bids
+
+let meets_bound t ~eps =
+  float_of_int (bound t) >= log (float_of_int (n_items t)) /. (eps *. eps)
+
+module Allocation = struct
+  type auction = t
+
+  type t = int list
+
+  let value (a : auction) sel =
+    List.fold_left (fun acc i -> acc +. (bid a i).value) 0.0 sel
+
+  let item_loads (a : auction) sel =
+    let loads = Array.make (n_items a) 0 in
+    List.iter
+      (fun i ->
+        List.iter (fun u -> loads.(u) <- loads.(u) + 1) (bid a i).bundle)
+      sel;
+    loads
+
+  let check (a : auction) sel =
+    let n = n_bids a in
+    let seen = Array.make (max n 1) false in
+    let rec check_indices = function
+      | [] -> Ok ()
+      | i :: rest ->
+        if i < 0 || i >= n then Error (Printf.sprintf "unknown bid %d" i)
+        else if seen.(i) then Error (Printf.sprintf "bid %d selected twice" i)
+        else begin
+          seen.(i) <- true;
+          check_indices rest
+        end
+    in
+    match check_indices sel with
+    | Error _ as e -> e
+    | Ok () ->
+      let loads = item_loads a sel in
+      let bad = ref None in
+      Array.iteri
+        (fun u load ->
+          if !bad = None && load > a.multiplicities.(u) then
+            bad := Some (u, load))
+        loads;
+      (match !bad with
+      | None -> Ok ()
+      | Some (u, load) ->
+        Error
+          (Printf.sprintf "item %d over-allocated: %d > %d" u load
+             a.multiplicities.(u)))
+
+  let is_feasible a sel = match check a sel with Ok () -> true | Error _ -> false
+end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>auction: %d items, %d bids@," (n_items t) (n_bids t);
+  Array.iteri
+    (fun i (b : bid) ->
+      Format.fprintf ppf "  bid %d: v=%g bundle=[%a]@," i b.value
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Format.pp_print_int)
+        b.bundle)
+    t.bids;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Single-minded multi-unit combinatorial auctions (Section 4).
+
+    An instance has [m] non-identical items, item [u] available in
+    [c_u] identical copies (its {e multiplicity}), and bids [(U_r, v_r)]
+    each asking for one copy of every item in the bundle [U_r]. A
+    feasible allocation selects bids so that no item is over-allocated;
+    the goal is maximum total value.
+
+    The problem is the special case of the Figure 1 integer program
+    where the "path set" of a request is the singleton [{U_r}] and all
+    demands are 1 — which is why Algorithm 2 is Algorithm 1 minus the
+    shortest-path search. *)
+
+type bid = private {
+  bundle : int list;  (** sorted, duplicate-free item ids *)
+  value : float;  (** positive value [v_r] *)
+}
+
+type t
+
+val make_bid : bundle:int list -> value:float -> bid
+(** Sorts and deduplicates the bundle. Raises [Invalid_argument] on an
+    empty bundle, an item id below 0, or a non-positive value. *)
+
+val create : multiplicities:int array -> bid array -> t
+(** [create ~multiplicities bids]: item [u] has [multiplicities.(u)]
+    copies (all must be positive); bundles must reference valid items.
+    The arrays are copied. *)
+
+val n_items : t -> int
+
+val n_bids : t -> int
+
+val bid : t -> int -> bid
+
+val bids : t -> bid array
+
+val multiplicity : t -> int -> int
+
+val bound : t -> int
+(** [B = min_u c_u], the paper's capacity parameter. *)
+
+val with_bid : t -> int -> bid -> t
+(** Replace bid [i] — the misreport operation. In the {e unknown}
+    single-minded setting (Corollary 4.2) both the bundle and the
+    value may be misreported, so no restriction is placed on the
+    replacement. *)
+
+val total_value : t -> float
+
+val meets_bound : t -> eps:float -> bool
+(** Whether [B >= ln m / eps^2], the premise of Theorem 4.1. *)
+
+(** Allocations: sets of selected bid indices. *)
+module Allocation : sig
+  type auction := t
+
+  type t = int list
+  (** Selected bid indices, duplicate-free. *)
+
+  val value : auction -> t -> float
+
+  val item_loads : auction -> t -> int array
+  (** Copies of each item consumed. *)
+
+  val check : auction -> t -> (unit, string) result
+  (** Valid bid indices, no duplicates, no item over-allocation. *)
+
+  val is_feasible : auction -> t -> bool
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+let route_in_order auction order =
+  let residual =
+    Array.init (Auction.n_items auction) (fun u -> Auction.multiplicity auction u)
+  in
+  let take acc i =
+    let bid = Auction.bid auction i in
+    if List.for_all (fun u -> residual.(u) >= 1) bid.Auction.bundle then begin
+      List.iter (fun u -> residual.(u) <- residual.(u) - 1) bid.Auction.bundle;
+      i :: acc
+    end
+    else acc
+  in
+  List.rev (Array.fold_left take [] order)
+
+let sorted_indices auction score =
+  let order = Array.init (Auction.n_bids auction) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (score (Auction.bid auction b)) (score (Auction.bid auction a)) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let greedy_by_value auction =
+  route_in_order auction (sorted_indices auction (fun b -> b.Auction.value))
+
+let greedy_value_per_item auction =
+  let score (b : Auction.bid) =
+    b.Auction.value /. float_of_int (List.length b.Auction.bundle)
+  in
+  route_in_order auction (sorted_indices auction score)
+
+let greedy_lehmann auction =
+  let score (b : Auction.bid) =
+    b.Auction.value /. sqrt (float_of_int (List.length b.Auction.bundle))
+  in
+  route_in_order auction (sorted_indices auction score)
+
+exception Too_large of string
+
+(* Identical bids collapse into groups: (bundle, value, indices). *)
+let grouped auction =
+  let tbl = Hashtbl.create 16 in
+  for i = Auction.n_bids auction - 1 downto 0 do
+    let b = Auction.bid auction i in
+    let key = (b.Auction.bundle, b.Auction.value) in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (i :: cur)
+  done;
+  Hashtbl.fold (fun (bundle, value) idxs acc -> (bundle, value, idxs) :: acc) tbl []
+  |> List.sort (fun (_, va, ia) (_, vb, ib) ->
+         match compare vb va with 0 -> compare ia ib | c -> c)
+
+let exact ?(max_bids = 64) auction =
+  let groups = Array.of_list (grouped auction) in
+  if Array.length groups > max_bids then
+    raise
+      (Too_large
+         (Printf.sprintf "%d distinct bids exceed the budget of %d"
+            (Array.length groups) max_bids));
+  let n_groups = Array.length groups in
+  let suffix = Array.make (n_groups + 1) 0.0 in
+  for k = n_groups - 1 downto 0 do
+    let _, v, idxs = groups.(k) in
+    suffix.(k) <- suffix.(k + 1) +. (v *. float_of_int (List.length idxs))
+  done;
+  let residual =
+    Array.init (Auction.n_items auction) (fun u -> Auction.multiplicity auction u)
+  in
+  let best_value = ref (-1.0) in
+  let best_counts = ref (Array.make n_groups 0) in
+  let counts = Array.make n_groups 0 in
+  let rec branch k acc =
+    if acc +. suffix.(k) <= !best_value +. 1e-12 then ()
+    else if k = n_groups then begin
+      if acc > !best_value then begin
+        best_value := acc;
+        best_counts := Array.copy counts
+      end
+    end
+    else begin
+      let bundle, v, idxs = groups.(k) in
+      let copies = List.length idxs in
+      let fit_limit =
+        List.fold_left (fun acc u -> min acc residual.(u)) copies bundle
+      in
+      (* Try the largest count first so good incumbents appear early. *)
+      let rec try_count q =
+        if q >= 0 then begin
+          counts.(k) <- q;
+          List.iter (fun u -> residual.(u) <- residual.(u) - q) bundle;
+          branch (k + 1) (acc +. (v *. float_of_int q));
+          List.iter (fun u -> residual.(u) <- residual.(u) + q) bundle;
+          try_count (q - 1)
+        end
+      in
+      try_count fit_limit;
+      counts.(k) <- 0
+    end
+  in
+  branch 0 0.0;
+  let allocation = ref [] in
+  Array.iteri
+    (fun k q ->
+      let _, _, idxs = groups.(k) in
+      List.iteri (fun pos i -> if pos < q then allocation := i :: !allocation) idxs)
+    !best_counts;
+  List.sort compare !allocation
+
+let opt_value ?max_bids auction =
+  Auction.Allocation.value auction (exact ?max_bids auction)

@@ -1,0 +1,27 @@
+(** Baseline allocation rules for multi-unit combinatorial auctions,
+    plus an exact solver for small instances. *)
+
+val greedy_by_value : Auction.t -> Auction.Allocation.t
+(** Bids in decreasing value order (ties to the lower index), accepted
+    whenever the bundle still fits the residual multiplicities. *)
+
+val greedy_value_per_item : Auction.t -> Auction.Allocation.t
+(** Bids in decreasing [v_r / |U_r|] order — value per requested
+    copy. *)
+
+val greedy_lehmann : Auction.t -> Auction.Allocation.t
+(** Bids in decreasing [v_r / sqrt(|U_r|)] order — the
+    Lehmann–O'Callaghan–Shoham rule [13], the classic monotone greedy
+    for single-minded CAs. *)
+
+exception Too_large of string
+
+val exact : ?max_bids:int -> Auction.t -> Auction.Allocation.t
+(** Optimal allocation by branch and bound over bids in decreasing
+    value order with the remaining-value pruning bound. Exponential;
+    raises {!Too_large} when the auction has more than [max_bids]
+    (default [64]) {e distinct} bids — identical bids are collapsed
+    into counted groups, so the Figure 4 instances (few bid types,
+    many copies) stay tractable. *)
+
+val opt_value : ?max_bids:int -> Auction.t -> float

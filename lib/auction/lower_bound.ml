@@ -1,0 +1,68 @@
+type t = {
+  auction : Auction.t;
+  p : int;
+  b : int;
+  block_size : int;
+  type1_count : int;
+  opt_value : float;
+  adversarial_bound : float;
+}
+
+let make ?(items_multiplier = 1) ~p ~b () =
+  if p < 3 || p mod 2 = 0 then
+    invalid_arg "Lower_bound.make: p must be an odd integer >= 3";
+  if b < 2 || b mod 2 = 1 then
+    invalid_arg "Lower_bound.make: b must be an even integer >= 2";
+  if items_multiplier < 1 then
+    invalid_arg "Lower_bound.make: items_multiplier must be >= 1";
+  let s = items_multiplier in
+  let m = s * p * (p + 1) in
+  (* Block (i, j), 1-based, holds items [base, base + s). *)
+  let block i j =
+    let base = (((i - 1) * (p + 1)) + (j - 1)) * s in
+    List.init s (fun k -> base + k)
+  in
+  let row i = List.concat_map (fun j -> block i j) (List.init (p + 1) (fun j -> j + 1)) in
+  let type2_bundle l sub =
+    (* sub = 0 uses odd column 2l-1 for rows >= 2, sub = 1 uses 2l. *)
+    let col = if sub = 0 then (2 * l) - 1 else 2 * l in
+    block 1 ((2 * l) - 1)
+    @ block 1 (2 * l)
+    @ List.concat_map (fun i -> block (i + 2) col) (List.init (p - 1) Fun.id)
+  in
+  let half = b / 2 in
+  let type1 =
+    List.concat_map
+      (fun l ->
+        let bundle = row (l + 1) in
+        List.init half (fun _ -> Auction.make_bid ~bundle ~value:1.0))
+      (List.init p Fun.id)
+  in
+  let type2 =
+    List.concat_map
+      (fun l ->
+        let l = l + 1 in
+        List.concat_map
+          (fun sub ->
+            let bundle = type2_bundle l sub in
+            List.init half (fun _ -> Auction.make_bid ~bundle ~value:1.0))
+          [ 0; 1 ])
+      (List.init ((p + 1) / 2) Fun.id)
+  in
+  let bids = Array.of_list (type1 @ type2) in
+  let auction = Auction.create ~multiplicities:(Array.make m b) bids in
+  {
+    auction;
+    p;
+    b;
+    block_size = s;
+    type1_count = List.length type1;
+    opt_value = float_of_int (p * b);
+    adversarial_bound = float_of_int (((3 * p) + 1) * b) /. 4.0;
+  }
+
+let optimal_allocation t =
+  (* All bids except the B/2 type 1 bids on row U_1, which occupy
+     indices [0 .. b/2 - 1]. *)
+  let half = t.b / 2 in
+  List.init (Auction.n_bids t.auction - half) (fun i -> i + half)

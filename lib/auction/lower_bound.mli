@@ -1,0 +1,38 @@
+(** The Figure 4 / Theorem 4.5 lower-bound instance for reasonable
+    iterative bundle minimizing algorithms.
+
+    For an odd [p >= 3] and an even [B >= 2], take [m] a multiple of
+    [p (p+1)] items of multiplicity [B], partitioned into disjoint
+    blocks [U_{i,j}] ([i = 1..p], [j = 1..p+1]) of [m / (p (p+1))]
+    items each. Unit-value bids come in two types:
+
+    - type 1: for every [l = 1..p], [B/2] bids on the whole row
+      [U_l = union_j U_{l,j}];
+    - type 2: for every [l = 1..(p+1)/2], [B/2] bids on
+      [U_{1,2l-1} + U_{1,2l} + union_{i>=2} U_{i,2l-1}] and [B/2] bids
+      on [U_{1,2l-1} + U_{1,2l} + union_{i>=2} U_{i,2l}].
+
+    Every bundle has exactly [m/p] items, so at zero load all bids tie;
+    a reasonable minimizer can be steered to exhaust the type 1 bids
+    first, after which counting on row 1 caps the total at
+    [(3p + 1) B / 4] while OPT is [p B] — ratio [4p / (3p+1) -> 4/3]. *)
+
+type t = {
+  auction : Auction.t;
+  p : int;
+  b : int;
+  block_size : int;  (** [m / (p (p+1))] *)
+  type1_count : int;  (** number of type 1 bids; they occupy indices [0 .. type1_count - 1] *)
+  opt_value : float;  (** the optimum [p * B] *)
+  adversarial_bound : float;  (** the Theorem 4.5 cap [(3p + 1) B / 4] *)
+}
+
+val make : ?items_multiplier:int -> p:int -> b:int -> unit -> t
+(** [make ~p ~b ()] builds the instance with
+    [m = items_multiplier * p * (p+1)] items (default multiplier [1]).
+    Raises [Invalid_argument] unless [p >= 3] is odd and [b >= 2] is
+    even. *)
+
+val optimal_allocation : t -> Auction.Allocation.t
+(** The witness from the paper: all bids except the [B/2] type 1 bids
+    on row [U_1] — feasible with value [p B]. *)

@@ -1,0 +1,59 @@
+type event = { bid : int; accepted : bool; price : float }
+
+type run = { allocation : Auction.Allocation.t; log : event list }
+
+let route ?(eps = 0.1) ?order auction =
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Online_muca.route: eps must be in (0, 1]";
+  let n = Auction.n_bids auction in
+  let order =
+    match order with
+    | None -> Array.init n Fun.id
+    | Some o ->
+      if Array.length o <> n then
+        invalid_arg "Online_muca.route: order must be a permutation";
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then
+            invalid_arg "Online_muca.route: order must be a permutation";
+          seen.(i) <- true)
+        o;
+      o
+  in
+  let b = float_of_int (Auction.bound auction) in
+  let m = Auction.n_items auction in
+  let sold = Array.make m 0 in
+  let price_of u =
+    let c = float_of_int (Auction.multiplicity auction u) in
+    exp (eps *. b *. float_of_int sold.(u) /. c) /. c
+  in
+  let allocation = ref [] and log = ref [] in
+  let handle i =
+    let bid = Auction.bid auction i in
+    let fits =
+      List.for_all
+        (fun u -> sold.(u) < Auction.multiplicity auction u)
+        bid.Auction.bundle
+    in
+    let outcome =
+      if not fits then { bid = i; accepted = false; price = infinity }
+      else begin
+        let price =
+          List.fold_left (fun acc u -> acc +. price_of u) 0.0 bid.Auction.bundle
+          /. bid.Auction.value
+        in
+        if price <= 1.0 then begin
+          List.iter (fun u -> sold.(u) <- sold.(u) + 1) bid.Auction.bundle;
+          allocation := i :: !allocation;
+          { bid = i; accepted = true; price }
+        end
+        else { bid = i; accepted = false; price }
+      end
+    in
+    log := outcome :: !log
+  in
+  Array.iter handle order;
+  { allocation = List.rev !allocation; log = List.rev !log }
+
+let solve ?eps ?order auction = (route ?eps ?order auction).allocation

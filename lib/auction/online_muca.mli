@@ -1,0 +1,25 @@
+(** Online multi-unit auction admission — the arrival-order counterpart
+    of {!Bounded_muca}, mirroring {!Ufp_core.Online} for the flow
+    problem.
+
+    Bids arrive one by one; each item is priced at
+    [(1/c_u) exp(eps B f_u / c_u)] where [f_u] counts copies already
+    sold, and a bid is accepted iff its bundle still has residual
+    copies and its normalised bundle price
+    [(1/v) sum_{u in U} price_u] is at most 1. Monotone in the value
+    (and in bundle shrinking) for any fixed arrival order, so truthful
+    online. *)
+
+type event = {
+  bid : int;
+  accepted : bool;
+  price : float;  (** normalised bundle price at arrival; [infinity] when some item had no copies left *)
+}
+
+type run = { allocation : Auction.Allocation.t; log : event list }
+
+val route : ?eps:float -> ?order:int array -> Auction.t -> run
+(** Process bids in index order, or in [order] (a permutation; raises
+    [Invalid_argument] otherwise). [eps] defaults to [0.1], in (0, 1]. *)
+
+val solve : ?eps:float -> ?order:int array -> Auction.t -> Auction.Allocation.t

@@ -1,0 +1,95 @@
+module Rng = Ufp_prelude.Rng
+
+type state = { auction : Auction.t; loads : int array }
+
+type priority = state -> Auction.bid -> float
+
+let h_muca ~eps st (bid : Auction.bid) =
+  let b = float_of_int (Auction.bound st.auction) in
+  let term u =
+    let c = float_of_int (Auction.multiplicity st.auction u) in
+    exp (eps *. b *. float_of_int st.loads.(u) /. c) /. c
+  in
+  List.fold_left (fun acc u -> acc +. term u) 0.0 bid.Auction.bundle
+  /. bid.Auction.value
+
+let bundle_size _ (bid : Auction.bid) =
+  float_of_int (List.length bid.Auction.bundle) /. bid.Auction.value
+
+let max_load st (bid : Auction.bid) =
+  let worst =
+    List.fold_left (fun acc u -> max acc st.loads.(u)) 0 bid.Auction.bundle
+  in
+  float_of_int ((worst + 1) * List.length bid.Auction.bundle)
+  /. bid.Auction.value
+
+type tie_break = state -> int list -> int
+
+let first_bid _ = function
+  | [] -> invalid_arg "Reasonable_bundle.tie_break: no candidates"
+  | i :: _ -> i
+
+let random_bid ~seed =
+  let rng = Rng.create seed in
+  fun _ cands ->
+    match cands with
+    | [] -> invalid_arg "Reasonable_bundle.tie_break: no candidates"
+    | _ -> Rng.pick rng (Array.of_list cands)
+
+type result = { allocation : Auction.Allocation.t; iterations : int }
+
+let run ~priority ~tie_break auction =
+  let st = { auction; loads = Array.make (Auction.n_items auction) 0 } in
+  (* Group identical bids; pending lists kept increasing. *)
+  let groups : (int list * float, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  for i = Auction.n_bids auction - 1 downto 0 do
+    let b = Auction.bid auction i in
+    let key = (b.Auction.bundle, b.Auction.value) in
+    match Hashtbl.find_opt groups key with
+    | Some l -> l := i :: !l
+    | None -> Hashtbl.add groups key (ref [ i ])
+  done;
+  let fits (bid : Auction.bid) =
+    List.for_all
+      (fun u -> st.loads.(u) + 1 <= Auction.multiplicity auction u)
+      bid.Auction.bundle
+  in
+  let tie_rel = 1e-9 in
+  let allocation = ref [] in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let best_priority = ref infinity in
+    let raw = ref [] in
+    Hashtbl.iter
+      (fun _key pending ->
+        match !pending with
+        | [] -> ()
+        | rep :: _ ->
+          let bid = Auction.bid auction rep in
+          if fits bid then begin
+            let p = priority st bid in
+            if p < !best_priority then best_priority := p;
+            raw := (p, rep) :: !raw
+          end)
+      groups;
+    if !raw = [] then continue := false
+    else begin
+      let cutoff =
+        !best_priority +. (tie_rel *. Float.max 1.0 (Float.abs !best_priority))
+      in
+      let tied =
+        List.filter_map (fun (p, i) -> if p <= cutoff then Some i else None) !raw
+        |> List.sort compare
+      in
+      let chosen = tie_break st tied in
+      incr iterations;
+      let bid = Auction.bid auction chosen in
+      List.iter (fun u -> st.loads.(u) <- st.loads.(u) + 1) bid.Auction.bundle;
+      allocation := chosen :: !allocation;
+      let key = (bid.Auction.bundle, bid.Auction.value) in
+      let pending = Hashtbl.find groups key in
+      pending := List.filter (fun i -> i <> chosen) !pending
+    end
+  done;
+  { allocation = List.rev !allocation; iterations = !iterations }

@@ -1,0 +1,44 @@
+module Rng = Ufp_prelude.Rng
+
+let uniform rng ~items ~multiplicity ~bids ?(bundle_size = (2, 4))
+    ?(value = (0.5, 3.0)) () =
+  let size_lo, size_hi = bundle_size and v_lo, v_hi = value in
+  if size_hi > items then invalid_arg "Workloads.uniform: bundle larger than item set";
+  let bid _ =
+    let size = Rng.int_in rng size_lo size_hi in
+    Auction.make_bid
+      ~bundle:(Rng.sample_without_replacement rng size items)
+      ~value:(Rng.float_in rng v_lo v_hi)
+  in
+  Auction.create ~multiplicities:(Array.make items multiplicity)
+    (Array.init bids bid)
+
+let intervals rng ~items ~multiplicity ~bids ?(span = (1, 4))
+    ?(value_per_item = 1.0) () =
+  let span_lo, span_hi = span in
+  if span_hi > items then invalid_arg "Workloads.intervals: span larger than item set";
+  let bid _ =
+    let len = Rng.int_in rng span_lo span_hi in
+    let start = Rng.int rng (items - len + 1) in
+    let bundle = List.init len (fun k -> start + k) in
+    let value =
+      float_of_int len *. value_per_item *. Rng.float_in rng 0.75 1.5
+    in
+    Auction.make_bid ~bundle ~value
+  in
+  Auction.create ~multiplicities:(Array.make items multiplicity)
+    (Array.init bids bid)
+
+let weighted_items rng ~items ~multiplicity ~bids ?(bundle_size = (2, 4)) () =
+  let size_lo, size_hi = bundle_size in
+  if size_hi > items then
+    invalid_arg "Workloads.weighted_items: bundle larger than item set";
+  let quality = Array.init items (fun _ -> Rng.float_in rng 0.2 2.0) in
+  let bid _ =
+    let size = Rng.int_in rng size_lo size_hi in
+    let bundle = Rng.sample_without_replacement rng size items in
+    let base = List.fold_left (fun acc u -> acc +. quality.(u)) 0.0 bundle in
+    Auction.make_bid ~bundle ~value:(base *. Rng.float_in rng 0.8 1.25)
+  in
+  Auction.create ~multiplicities:(Array.make items multiplicity)
+    (Array.init bids bid)

@@ -1,0 +1,28 @@
+(** Bid-set generators for multi-unit combinatorial auctions.
+
+    All generators are deterministic given the {!Ufp_prelude.Rng.t}
+    seed, mirroring {!Ufp_instance.Workloads} for the flow problem. *)
+
+val uniform :
+  Ufp_prelude.Rng.t -> items:int -> multiplicity:int -> bids:int ->
+  ?bundle_size:int * int -> ?value:float * float -> unit -> Auction.t
+(** Bundles drawn uniformly without replacement, sizes uniform in
+    [bundle_size] (default [(2, 4)]), values uniform in [value]
+    (default [(0.5, 3.0)]), every item with the same [multiplicity]. *)
+
+val intervals :
+  Ufp_prelude.Rng.t -> items:int -> multiplicity:int -> bids:int ->
+  ?span:int * int -> ?value_per_item:float -> unit -> Auction.t
+(** Spectrum-style bids: every bundle is a contiguous interval of item
+    ids (adjacent frequency blocks), of length uniform in [span]
+    (default [(1, 4)]), valued at [length * value_per_item * u] with
+    [u] uniform in [0.75, 1.5] (default [value_per_item = 1.0]). The
+    interval structure concentrates contention on popular mid-band
+    items. *)
+
+val weighted_items :
+  Ufp_prelude.Rng.t -> items:int -> multiplicity:int -> bids:int ->
+  ?bundle_size:int * int -> unit -> Auction.t
+(** Value correlates with a hidden per-item quality drawn once per
+    auction: bundles of hot items are worth more, so greedy-by-value
+    and size-normalised rules genuinely disagree. *)

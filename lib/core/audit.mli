@@ -1,0 +1,28 @@
+(** End-to-end auditing of a {!Bounded_ufp} run.
+
+    A downstream user adopting the mechanism should not have to trust
+    this implementation: every guarantee the paper proves about a run
+    is checkable from the run's own outputs, and this module checks
+    them all — capacity feasibility (Lemma 3.3), trace/dual
+    bookkeeping, the monotone growth of the selection lengths
+    (Claim 3.5's premise), weak duality against the certified bound,
+    and feasibility of the Claim 3.6 scaled dual solution for the
+    Figure 1 dual program. The CLI exposes it as
+    [ufp solve --audit]. *)
+
+type finding = {
+  check : string;  (** short name of the property checked *)
+  passed : bool;
+  detail : string;  (** human-readable evidence *)
+}
+
+type report = { findings : finding list; all_passed : bool }
+
+val bounded_ufp_run :
+  Ufp_instance.Instance.t -> Bounded_ufp.run -> report
+(** Audit a run against the instance it was produced from. Never
+    raises; a check that cannot be evaluated is reported as failed
+    with an explanatory detail. *)
+
+val pp : Format.formatter -> report -> unit
+(** One line per finding, [PASS]/[FAIL] prefixed. *)

@@ -1,0 +1,195 @@
+let log_src = Logs.Src.create "ufp.bounded-ufp" ~doc:"Algorithm 1 (Bounded-UFP) tracing"
+
+module Log = (val Logs.src_log log_src)
+
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+
+type trace_entry = {
+  iteration : int;
+  selected : int;
+  path : int list;
+  alpha : float;
+  d1 : float;
+  dual_bound : float;
+}
+
+type run = {
+  solution : Solution.t;
+  trace : trace_entry list;
+  final_y : float array;
+  final_z : float array;
+  budget_exhausted : bool;
+  certified_upper_bound : float;
+  iterations : int;
+}
+
+let budget ~eps ~b = exp (eps *. (b -. 1.0))
+
+let theorem_ratio ~eps =
+  (1.0 +. (6.0 *. eps)) *. Float.exp 1.0 /. (Float.exp 1.0 -. 1.0)
+
+let validate inst ~eps =
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Bounded_ufp: eps must be in (0, 1]";
+  if Instance.n_requests inst = 0 then
+    invalid_arg "Bounded_ufp: no requests";
+  if Graph.n_edges (Instance.graph inst) = 0 then
+    invalid_arg "Bounded_ufp: graph has no edges";
+  if not (Instance.is_normalized inst) then
+    invalid_arg "Bounded_ufp: instance must be normalised (demands in (0,1])";
+  let b = Graph.min_capacity (Instance.graph inst) in
+  if b < 1.0 then invalid_arg "Bounded_ufp: requires B = min capacity >= 1";
+  b
+
+(* Pending requests grouped by source vertex so that each iteration runs
+   one Dijkstra per distinct source rather than one per request. *)
+module Pending = struct
+  type t = { mutable by_source : (int, int list) Hashtbl.t; mutable count : int }
+
+  let create inst =
+    let tbl = Hashtbl.create 16 in
+    let n = Instance.n_requests inst in
+    (* Build lists in decreasing index order so they end up increasing. *)
+    for i = n - 1 downto 0 do
+      let src = (Instance.request inst i).Request.src in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl src) in
+      Hashtbl.replace tbl src (i :: cur)
+    done;
+    { by_source = tbl; count = n }
+
+  let remove t ~src i =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt t.by_source src) in
+    let cur' = List.filter (fun j -> j <> i) cur in
+    if cur' = [] then Hashtbl.remove t.by_source src
+    else Hashtbl.replace t.by_source src cur';
+    t.count <- t.count - 1
+
+  let is_empty t = t.count = 0
+
+  (* Iterate over (source, request indices) groups. *)
+  let iter_groups t f = Hashtbl.iter f t.by_source
+end
+
+let run ?(eps = 0.1) inst =
+  let b = validate inst ~eps in
+  let g = Instance.graph inst in
+  let m = Graph.n_edges g in
+  let budget = budget ~eps ~b in
+  let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
+  let z = Array.make (Instance.n_requests inst) 0.0 in
+  let d1 = ref (float_of_int m) (* sum_e c_e / c_e *) in
+  let d2 = ref 0.0 in
+  let pending = Pending.create inst in
+  let weight e = y.(e) in
+  (* The request minimising (d_r / v_r) |p_r|; ties towards the lowest
+     request index. Returns (alpha, request, path). *)
+  let select () =
+    let best = ref None in
+    Pending.iter_groups pending (fun src group ->
+        let tree = Dijkstra.shortest_tree g ~weight ~src in
+        let consider i =
+          let r = Instance.request inst i in
+          let dist = tree.Dijkstra.dist.(r.Request.dst) in
+          if dist < infinity then begin
+            let alpha = Request.density r *. dist in
+            let better =
+              match !best with
+              | None -> true
+              | Some (a, j, _) -> alpha < a || (alpha = a && i < j)
+            in
+            if better then begin
+              let path =
+                Option.get (Dijkstra.path_of_tree g tree ~src ~dst:r.Request.dst)
+              in
+              best := Some (alpha, i, path)
+            end
+          end
+        in
+        List.iter consider group);
+    !best
+  in
+  let solution = ref [] in
+  let trace = ref [] in
+  let iterations = ref 0 in
+  let best_bound = ref infinity in
+  let budget_exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if Pending.is_empty pending then continue := false
+    else if !d1 > budget then begin
+      budget_exhausted := true;
+      continue := false
+    end
+    else begin
+      match select () with
+      | None ->
+        (* Remaining requests are unroutable in the graph (disconnected
+           source/target); they can never be allocated. *)
+        continue := false
+      | Some (alpha, i, path) ->
+        incr iterations;
+        Log.debug (fun m ->
+            m "iteration %d: select request %d (alpha %.6g, %d edges)"
+              !iterations i alpha (List.length path));
+        let r = Instance.request inst i in
+        (* Claim 3.6 certificate, using the duals before the update. *)
+        let bound =
+          if alpha > 0.0 then (!d1 /. alpha) +. !d2 else infinity
+        in
+        best_bound := Float.min !best_bound bound;
+        (* Dual update: y_e <- y_e * exp(eps B d_r / c_e). *)
+        List.iter
+          (fun e ->
+            let c = Graph.capacity g e in
+            let old = y.(e) in
+            y.(e) <- old *. exp (eps *. b *. r.Request.demand /. c);
+            d1 := !d1 +. (c *. (y.(e) -. old)))
+          path;
+        z.(i) <- r.Request.value;
+        d2 := !d2 +. r.Request.value;
+        Pending.remove pending ~src:r.Request.src i;
+        solution := { Solution.request = i; path } :: !solution;
+        trace :=
+          {
+            iteration = !iterations;
+            selected = i;
+            path;
+            alpha;
+            d1 = !d1;
+            dual_bound = bound;
+          }
+          :: !trace
+    end
+  done;
+  let solution = List.rev !solution in
+  let value = Solution.value inst solution in
+  Log.info (fun m ->
+      m "done: %d iterations, value %.6g, budget_exhausted %b" !iterations value
+        !budget_exhausted);
+  let certified_upper_bound =
+    if !budget_exhausted then
+      (* Claim 3.6 certificates were collected per iteration; with zero
+         iterations (budget below m: the Theorem 3.1 premise fails)
+         there is no certificate at all. *)
+      !best_bound
+    else
+      (* Every routable request was allocated: the solution value is
+         itself an upper bound on what any allocation can achieve among
+         routable requests, and unroutable ones contribute nothing. *)
+      Float.min !best_bound value
+  in
+  {
+    solution;
+    trace = List.rev !trace;
+    final_y = y;
+    final_z = z;
+    budget_exhausted = !budget_exhausted;
+    certified_upper_bound;
+    iterations = !iterations;
+  }
+
+let solve ?eps inst = (run ?eps inst).solution

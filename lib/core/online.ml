@@ -1,0 +1,69 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+
+type event = { request : int; accepted : bool; cost : float }
+
+type run = { solution : Solution.t; log : event list }
+
+let route ?(eps = 0.1) ?order inst =
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Online.route: eps must be in (0, 1]";
+  if not (Instance.is_normalized inst) then
+    invalid_arg "Online.route: instance must be normalised";
+  let g = Instance.graph inst in
+  if Graph.n_edges g = 0 then invalid_arg "Online.route: graph has no edges";
+  let b = Graph.min_capacity g in
+  if b < 1.0 then invalid_arg "Online.route: requires B >= 1";
+  let n = Instance.n_requests inst in
+  let order =
+    match order with
+    | None -> Array.init n Fun.id
+    | Some o ->
+      if Array.length o <> n then
+        invalid_arg "Online.route: order must be a permutation";
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then
+            invalid_arg "Online.route: order must be a permutation";
+          seen.(i) <- true)
+        o;
+      o
+  in
+  let m = Graph.n_edges g in
+  let flow = Array.make m 0.0 in
+  let price e =
+    let c = Graph.capacity g e in
+    exp (eps *. b *. flow.(e) /. c) /. c
+  in
+  let solution = ref [] in
+  let log = ref [] in
+  let handle i =
+    let r = Instance.request inst i in
+    let d = r.Request.demand in
+    let weight e =
+      if flow.(e) +. d <= Graph.capacity g e +. 1e-9 then price e else infinity
+    in
+    let outcome =
+      match
+        Dijkstra.shortest_path g ~weight ~src:r.Request.src ~dst:r.Request.dst
+      with
+      | Some (dist, path) when dist < infinity ->
+        let cost = Request.density r *. dist in
+        if cost <= 1.0 then begin
+          List.iter (fun e -> flow.(e) <- flow.(e) +. d) path;
+          solution := { Solution.request = i; path } :: !solution;
+          { request = i; accepted = true; cost }
+        end
+        else { request = i; accepted = false; cost }
+      | Some _ | None -> { request = i; accepted = false; cost = infinity }
+    in
+    log := outcome :: !log
+  in
+  Array.iter handle order;
+  { solution = List.rev !solution; log = List.rev !log }
+
+let solve ?eps ?order inst = (route ?eps ?order inst).solution

@@ -1,0 +1,40 @@
+(** Online UFP admission control — the exponential-cost threshold rule
+    in the Awerbuch–Azar–Plotkin lineage the paper builds on (its
+    references [4, 5]).
+
+    Requests arrive one by one in a fixed order and must be accepted
+    or rejected irrevocably. The admission rule prices edge [e] at
+    [y_e = (1/c_e) exp(eps B f_e / c_e)] — the same exponential
+    length function as Algorithm 1 — routes a request on its cheapest
+    residual-feasible path [p], and accepts iff the normalised cost
+    [(d_r / v_r) |p|_y] is at most 1.
+
+    Relationship to the paper: {!Bounded_ufp} can be read as the
+    offline optimisation of this rule (each iteration picks the
+    globally cheapest pending request instead of the next arrival),
+    and {!Baselines.threshold_pd} is the same rule with a globally
+    minimising order. The online rule remains monotone in each
+    agent's (demand, value) for any fixed arrival order, so it also
+    yields a truthful online mechanism.
+
+    Feasibility is unconditional (residual-capacity filtering). *)
+
+type event = {
+  request : int;
+  accepted : bool;
+  cost : float;  (** normalised path cost at arrival, [infinity] when no residual path existed *)
+}
+
+type run = {
+  solution : Ufp_instance.Solution.t;
+  log : event list;  (** in arrival order *)
+}
+
+val route : ?eps:float -> ?order:int array -> Ufp_instance.Instance.t -> run
+(** [route inst] processes requests in index order, or in [order] when
+    given (a permutation of the request indices; raises
+    [Invalid_argument] otherwise). [eps] defaults to [0.1] and must be
+    in (0, 1]; the instance must be normalised with [B >= 1]. *)
+
+val solve : ?eps:float -> ?order:int array -> Ufp_instance.Instance.t ->
+  Ufp_instance.Solution.t

@@ -1,0 +1,116 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+
+type stop_rule = Budget of float | Threshold of float
+
+type config = {
+  eps : float;
+  inflation : b:float -> demand:float -> capacity:float -> float;
+  stop : stop_rule;
+  remove_selected : bool;
+  respect_residual : bool;
+}
+
+let algorithm_1 ~eps ~b =
+  {
+    eps;
+    inflation = (fun ~b ~demand ~capacity -> exp (eps *. b *. demand /. capacity));
+    stop = Budget (exp (eps *. (b -. 1.0)));
+    remove_selected = true;
+    respect_residual = false;
+  }
+
+let algorithm_3 ~eps ~b =
+  { (algorithm_1 ~eps ~b) with remove_selected = false }
+
+let threshold_rule ~eps ~b =
+  { (algorithm_1 ~eps ~b) with stop = Threshold 1.0; respect_residual = true }
+
+type run = {
+  solution : Solution.t;
+  iterations : int;
+  final_y : float array;
+}
+
+let execute ?(max_iterations = 1_000_000) config inst =
+  if not (config.eps > 0.0 && config.eps <= 1.0) then
+    invalid_arg "Pd_engine: eps must be in (0, 1]";
+  if not (Instance.is_normalized inst) then
+    invalid_arg "Pd_engine: instance must be normalised";
+  let g = Instance.graph inst in
+  if Graph.n_edges g = 0 then invalid_arg "Pd_engine: graph has no edges";
+  let b = Graph.min_capacity g in
+  if b < 1.0 then invalid_arg "Pd_engine: requires B >= 1";
+  let m = Graph.n_edges g in
+  let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
+  let residual = Array.init m (fun e -> Graph.capacity g e) in
+  let d1 = ref (float_of_int m) in
+  let pending = ref (List.init (Instance.n_requests inst) Fun.id) in
+  let solution = ref [] in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !pending = [] then continue := false
+    else begin
+      (match config.stop with
+      | Budget bound -> if !d1 > bound then continue := false
+      | Threshold _ -> ());
+      if !continue then begin
+        (* Cheapest pending request under the current duals, lowest
+           index first. *)
+        let best = ref None in
+        List.iter
+          (fun i ->
+            let r = Instance.request inst i in
+            let d = r.Request.demand in
+            let weight e =
+              if config.respect_residual && residual.(e) +. 1e-9 < d then
+                infinity
+              else y.(e)
+            in
+            match
+              Dijkstra.shortest_path g ~weight ~src:r.Request.src
+                ~dst:r.Request.dst
+            with
+            | Some (dist, path) when dist < infinity -> (
+              let alpha = Request.density r *. dist in
+              match !best with
+              | Some (a, j, _) when a < alpha || (a = alpha && j < i) -> ()
+              | _ -> best := Some (alpha, i, path))
+            | Some _ | None -> ())
+          !pending;
+        match !best with
+        | None -> continue := false
+        | Some (alpha, i, path) ->
+          let accept =
+            match config.stop with
+            | Budget _ -> true
+            | Threshold bound -> alpha <= bound
+          in
+          if not accept then continue := false
+          else begin
+            incr iterations;
+            if !iterations > max_iterations then
+              failwith "Pd_engine: iteration budget exceeded";
+            let r = Instance.request inst i in
+            List.iter
+              (fun e ->
+                let c = Graph.capacity g e in
+                let old = y.(e) in
+                y.(e) <-
+                  old
+                  *. config.inflation ~b ~demand:r.Request.demand ~capacity:c;
+                d1 := !d1 +. (c *. (y.(e) -. old));
+                residual.(e) <- residual.(e) -. r.Request.demand)
+              path;
+            if config.remove_selected then
+              pending := List.filter (fun j -> j <> i) !pending;
+            solution := { Solution.request = i; path } :: !solution
+          end
+      end
+    end
+  done;
+  { solution = List.rev !solution; iterations = !iterations; final_y = y }

@@ -1,0 +1,198 @@
+module Graph = Ufp_graph.Graph
+module Path = Ufp_graph.Path
+module Enumerate = Ufp_graph.Enumerate
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+module Rng = Ufp_prelude.Rng
+
+type state = { graph : Graph.t; flow : float array }
+
+type priority = state -> Request.t -> int list -> float
+
+let h ~eps ~b st r path =
+  let weight e =
+    let c = Graph.capacity st.graph e in
+    exp (eps *. b *. st.flow.(e) /. c) /. c
+  in
+  Request.density r *. Path.length ~weight path
+
+let h1 ~eps ~b st r path =
+  log (1.0 +. float_of_int (List.length path)) *. h ~eps ~b st r path
+
+let h2 st r path =
+  let factor acc e = acc *. (st.flow.(e) /. Graph.capacity st.graph e) in
+  Request.density r *. List.fold_left factor 1.0 path
+
+let hops _ r path = Request.density r *. float_of_int (List.length path)
+
+type candidate = { cand_request : int; cand_path : int list }
+
+type tie_break = state -> candidate list -> candidate
+
+let first_candidate _ = function
+  | [] -> invalid_arg "Reasonable.tie_break: no candidates"
+  | c :: _ -> c
+
+let visits st vertex cand =
+  List.exists
+    (fun e ->
+      let edge = Graph.edge st.graph e in
+      edge.Graph.u = vertex || edge.Graph.v = vertex)
+    cand.cand_path
+
+let prefer_hub vertex st cands =
+  match List.find_opt (visits st vertex) cands with
+  | Some c -> c
+  | None -> first_candidate st cands
+
+let prefer_max_second_vertex st cands =
+  match cands with
+  | [] -> invalid_arg "Reasonable.tie_break: no candidates"
+  | first :: _ ->
+    (* Candidates arrive ordered by increasing request index; restrict
+       to the first (minimal) request, then maximise the second vertex
+       of the path. *)
+    let same_request =
+      List.filter (fun c -> c.cand_request = first.cand_request) cands
+    in
+    let second_vertex c =
+      match c.cand_path with
+      | [] -> -1
+      | e :: rest -> (
+        let edge = Graph.edge st.graph e in
+        match rest with
+        | [] -> max edge.Graph.u edge.Graph.v
+        | e2 :: _ ->
+          (* The second vertex is the endpoint shared with edge 2. *)
+          let f = Graph.edge st.graph e2 in
+          if edge.Graph.v = f.Graph.u || edge.Graph.v = f.Graph.v then
+            edge.Graph.v
+          else edge.Graph.u)
+    in
+    List.fold_left
+      (fun best c -> if second_vertex c > second_vertex best then c else best)
+      first same_request
+
+let random_tie ~seed =
+  let rng = Rng.create seed in
+  fun _ cands ->
+    match cands with
+    | [] -> invalid_arg "Reasonable.tie_break: no candidates"
+    | _ -> Rng.pick rng (Array.of_list cands)
+
+type result = { solution : Solution.t; iterations : int; saturated : bool }
+
+(* Requests with identical (src, dst, demand, value) are interchangeable:
+   group them and evaluate one representative per group. *)
+module Group_key = struct
+  type t = int * int * float * float
+end
+
+let run ?(max_paths = 20000) ~priority ~tie_break inst =
+  let g = Instance.graph inst in
+  let st = { graph = g; flow = Array.make (Graph.n_edges g) 0.0 } in
+  (* Cache simple-path sets per endpoint pair. *)
+  let path_cache : (int * int, int list array) Hashtbl.t = Hashtbl.create 16 in
+  let paths_for src dst =
+    match Hashtbl.find_opt path_cache (src, dst) with
+    | Some ps -> ps
+    | None ->
+      let ps =
+        Enumerate.simple_paths ~max_paths:(max_paths + 1) g ~src ~dst
+      in
+      if List.length ps > max_paths then
+        invalid_arg "Reasonable.run: simple-path budget exceeded";
+      let ps = Array.of_list ps in
+      Hashtbl.add path_cache (src, dst) ps;
+      ps
+  in
+  (* Pending request indices per group, each kept sorted increasing. *)
+  let groups : (Group_key.t, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let n_req = Instance.n_requests inst in
+  for i = n_req - 1 downto 0 do
+    let r = Instance.request inst i in
+    let key =
+      (r.Request.src, r.Request.dst, r.Request.demand, r.Request.value)
+    in
+    match Hashtbl.find_opt groups key with
+    | Some l -> l := i :: !l
+    | None -> Hashtbl.add groups key (ref [ i ])
+  done;
+  let tie_rel = 1e-9 in
+  let feasible d path =
+    List.for_all
+      (fun e -> st.flow.(e) +. d <= Graph.capacity g e +. 1e-9)
+      path
+  in
+  (* One iteration: gather the minimum-priority feasible candidates. *)
+  let select () =
+    let best_priority = ref infinity in
+    let raw = ref [] in
+    Hashtbl.iter
+      (fun (src, dst, d, _v) pending ->
+        match !pending with
+        | [] -> ()
+        | rep :: _ ->
+          let r = Instance.request inst rep in
+          ignore (src, dst);
+          Array.iter
+            (fun path ->
+              if feasible d path then begin
+                let p = priority st r path in
+                if p < !best_priority then best_priority := p;
+                raw := (p, rep, path) :: !raw
+              end)
+            (paths_for src dst))
+      groups;
+    if !raw = [] then None
+    else begin
+      let cutoff =
+        !best_priority +. (tie_rel *. Float.max 1.0 (Float.abs !best_priority))
+      in
+      let tied =
+        List.filter_map
+          (fun (p, rep, path) ->
+            if p <= cutoff then Some { cand_request = rep; cand_path = path }
+            else None)
+          !raw
+      in
+      (* Deterministic order: request index, then path enumeration order
+         is lost by the fold above, so sort by (request, path). *)
+      let tied =
+        List.sort
+          (fun a b ->
+            match compare a.cand_request b.cand_request with
+            | 0 -> compare a.cand_path b.cand_path
+            | c -> c)
+          tied
+      in
+      Some (tie_break st tied)
+    end
+  in
+  let solution = ref [] in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match select () with
+    | None -> continue := false
+    | Some cand ->
+      incr iterations;
+      let r = Instance.request inst cand.cand_request in
+      List.iter
+        (fun e -> st.flow.(e) <- st.flow.(e) +. r.Request.demand)
+        cand.cand_path;
+      solution :=
+        { Solution.request = cand.cand_request; path = cand.cand_path }
+        :: !solution;
+      let key =
+        (r.Request.src, r.Request.dst, r.Request.demand, r.Request.value)
+      in
+      let pending = Hashtbl.find groups key in
+      pending := List.filter (fun i -> i <> cand.cand_request) !pending
+  done;
+  {
+    solution = List.rev !solution;
+    iterations = !iterations;
+    saturated = true;
+  }

@@ -1,0 +1,51 @@
+(** Randomized rounding as a first-class object of study.
+
+    Section 1 of the paper: "when B is sufficiently large ... the
+    integrality gap of the integer linear program of the problem
+    becomes 1 + eps, which can be matched by an algorithm that
+    utilizes the randomized rounding technique [17, 16, 18].
+    Unfortunately, this standard technique violates certain
+    monotonicity properties ... and thus, cannot be directly used in
+    the presence of selfish agents."
+
+    This module exposes the Raghavan–Thompson pipeline with enough
+    instrumentation to reproduce both halves of that sentence:
+    {!trial} reports whether the pure rounding (before any repair) was
+    already capacity-feasible — the probability of which tends to 1 as
+    [B] grows, by Chernoff bounds — and the achieved value fraction;
+    the monotonicity violations are hunted by
+    {!Ufp_mech.Monotonicity}. *)
+
+type trial = {
+  tentative_value : float;
+      (** value of the raw rounded set, before feasibility repair *)
+  tentative_feasible : bool;
+      (** whether the raw rounded set already met all capacities *)
+  value : float;  (** value after the greedy alteration pass (always feasible) *)
+  solution : Ufp_instance.Solution.t;  (** the repaired, feasible allocation *)
+}
+
+val round_flow :
+  flow:(int * int list * float) list -> ?eps:float -> seed:int ->
+  Ufp_instance.Instance.t -> trial
+(** One rounding trial over an explicit fractional decomposition
+    [(request, path, amount)]: select request [r] with probability
+    [(1 - eps) x_r] (where [x_r] is its total fractional mass) on a
+    path drawn proportionally to the amounts, then drop violating
+    allocations in a seeded random order. [eps] defaults to [0.1] and
+    must be in [0, 1). *)
+
+val round :
+  ?lp:Ufp_lp.Mcf.result -> ?eps:float -> seed:int -> Ufp_instance.Instance.t ->
+  trial
+(** {!round_flow} over the Garg–Könemann fractional solution (solved
+    on demand, or reuse a precomputed [lp] for repeated trials). *)
+
+val success_probability :
+  ?eps:float -> trials:int -> seed:int -> Ufp_instance.Instance.t ->
+  float * float
+(** [(p_feasible, mean_value_fraction)] over [trials] independent
+    roundings of one instance: the empirical probability that the raw
+    rounding was feasible, and the mean repaired value as a fraction
+    of the LP's certified upper bound. The fractional program is
+    solved once and shared. *)

@@ -1,0 +1,20 @@
+(** EXP-ABLATION — the design choices behind Algorithm 1.
+
+    Three ablations of decisions DESIGN.md calls out:
+
+    - {b dual update rule}: the paper's exponential inflation
+      [y_e *= exp(eps B d/c_e)] against first- and second-order
+      truncations. The proof of Claim 3.7 needs
+      [e^a <= 1 + a + a^2]; the ablation shows what the weaker rules
+      cost (slower dual growth -> later stopping -> possible capacity
+      pressure) and that the exponential rule keeps the certificate.
+    - {b stopping budget}: scaling the [exp(eps (B-1))] budget down or
+      up. Too small stops early and wastes value; too large breaks the
+      Lemma 3.3 feasibility argument — the run reports exactly when
+      infeasibility appears.
+    - {b reasonable function}: h (the paper's), h1 (edge-count biased),
+      h2 (the paper's deliberately odd product rule) and plain
+      hop-greedy on the two lower-bound instances — all members of the
+      family hit the same barriers, the point of Section 3.3. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,42 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Exact = Ufp_lp.Exact
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:"EXP-ALG1-SMALL: Bounded-UFP vs exact optimum (small instances)"
+      ~columns:[ "eps"; "instances"; "mean OPT/ALG"; "max OPT/ALG"; "optimal %"; "guarantee" ]
+  in
+  let n_seeds = if quick then 5 else 20 in
+  List.iter
+    (fun eps ->
+      let ratios = ref [] and optimal = ref 0 in
+      for seed = 1 to n_seeds do
+        let inst =
+          Harness.grid_instance ~seed ~rows:3 ~cols:3
+            ~capacity:(Harness.capacity_for ~m:12 ~eps)
+            ~count:8
+        in
+        let opt = Exact.opt_value inst in
+        let v = Solution.value inst (Bounded_ufp.solve ~eps inst) in
+        if v > 0.0 then begin
+          ratios := (opt /. v) :: !ratios;
+          if opt /. v <= 1.0 +. 1e-9 then incr optimal
+        end
+      done;
+      let arr = Array.of_list !ratios in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" eps;
+          Table.cell_i (List.length !ratios);
+          Table.cell_f (Stats.mean arr);
+          Table.cell_f (Array.fold_left Float.max 0.0 arr);
+          Harness.pct (float_of_int !optimal /. float_of_int (List.length !ratios));
+          Table.cell_f (Bounded_ufp.theorem_ratio ~eps);
+        ])
+    (if quick then [ 0.3 ] else [ 0.5; 0.3 ]);
+  [ table ]

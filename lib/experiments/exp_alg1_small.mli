@@ -1,0 +1,8 @@
+(** EXP-ALG1-SMALL — Theorem 3.1 against the true optimum.
+
+    On instances small enough for the exact branch-and-bound solver,
+    measures [OPT / ALG] directly (no LP slack in the denominator).
+    Shows the algorithm is usually optimal or near-optimal at small
+    scale, always within the theorem guarantee. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

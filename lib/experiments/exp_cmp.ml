@@ -1,0 +1,65 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Graph = Ufp_graph.Graph
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Baselines = Ufp_core.Baselines
+module Mcf = Ufp_lp.Mcf
+
+(* Contention = total demand / (B * a rough cut size); swept via the
+   request count. *)
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-CMP-BASELINES: Bounded-UFP vs BKV-style threshold-PD vs greedy vs \
+         randomized rounding (fraction of LP upper bound)"
+      ~columns:
+        [
+          "load"; "|R|"; "bounded-ufp"; "threshold-pd"; "greedy-density";
+          "greedy-value"; "rand-rounding";
+        ]
+  in
+  let eps = 0.3 in
+  let capacity = Harness.capacity_for ~m:40 ~eps in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3; 4; 5 ] in
+  let loads =
+    if quick then [ ("medium", 6) ] else [ ("light", 3); ("medium", 6); ("heavy", 12) ]
+  in
+  List.iter
+    (fun (label, factor) ->
+      let count = int_of_float capacity * factor in
+      let acc = Hashtbl.create 8 in
+      let record name v =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt acc name) in
+        Hashtbl.replace acc name (v :: cur)
+      in
+      List.iter
+        (fun seed ->
+          let inst =
+            Harness.grid_instance ~seed ~rows:5 ~cols:5 ~capacity ~count
+          in
+          let _, lp_upper = Mcf.fractional_opt_interval ~eps:0.3 inst in
+          let frac sol = Solution.value inst sol /. lp_upper in
+          record "bufp" (frac (Bounded_ufp.solve ~eps inst));
+          record "thr" (frac (Baselines.threshold_pd ~eps inst));
+          record "gd" (frac (Baselines.greedy_by_density inst));
+          record "gv" (frac (Baselines.greedy_by_value inst));
+          record "rr" (frac (Baselines.randomized_rounding ~eps:0.2 ~seed inst)))
+        seeds;
+      let mean name =
+        Stats.mean (Array.of_list (Hashtbl.find acc name))
+      in
+      Table.add_row table
+        [
+          label;
+          Table.cell_i count;
+          Harness.pct (mean "bufp");
+          Harness.pct (mean "thr");
+          Harness.pct (mean "gd");
+          Harness.pct (mean "gv");
+          Harness.pct (mean "rr");
+        ])
+    loads;
+  [ table ]

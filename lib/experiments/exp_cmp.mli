@@ -1,0 +1,12 @@
+(** EXP-CMP-BASELINES — the Section 1.1 comparison.
+
+    Runs Bounded-UFP, the BKV-style threshold primal-dual (the previous
+    best truthful algorithm, guarantee approaching [e]), the two greedy
+    orders, and non-truthful randomized rounding on identical random
+    workloads, reporting each value as a fraction of the certified LP
+    upper bound. The paper's claim reproduced here: the primal-dual
+    algorithms dominate the greedy strawmen under contention, and
+    Bounded-UFP's budgeted rule is at least as good as the threshold
+    rule — consistent with improving [e] to [e/(e-1)]. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,72 @@
+module Table = Ufp_prelude.Table
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Duality = Ufp_lp.Duality
+module Mcf = Ufp_lp.Mcf
+module Exact = Ufp_lp.Exact
+module Path_lp = Ufp_lp.Path_lp
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-DUALITY: Figure 1 / Figure 5 LP checks (scaled-dual feasibility, \
+         weak duality, certified interval)"
+      ~columns:
+        [
+          "seed"; "P (alg value)"; "cert D bound"; "P <= D"; "scaled dual feasible";
+          "exact OPT_LP"; "lp interval"; "OPT_LP in interval"; "strong duality";
+        ]
+  in
+  let eps = 0.3 in
+  let capacity = Harness.capacity_for ~m:12 ~eps in
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun seed ->
+      let inst =
+        Harness.grid_instance ~seed ~rows:3 ~cols:3 ~capacity ~count:8
+      in
+      let run = Bounded_ufp.run ~eps inst in
+      let p = Solution.value inst run.Bounded_ufp.solution in
+      let d = run.Bounded_ufp.certified_upper_bound in
+      (* Scaled-dual feasibility at the last recorded alpha. *)
+      let scaled_ok =
+        match List.rev run.Bounded_ufp.trace with
+        | [] -> true
+        | last :: _ ->
+          let alpha = last.Bounded_ufp.alpha in
+          alpha > 0.0
+          && Duality.dual_feasible ~eps:1e-6 inst
+               ~y:(Array.map (fun v -> v /. alpha) run.Bounded_ufp.final_y)
+               ~z:run.Bounded_ufp.final_z
+      in
+      let lo, hi = Mcf.fractional_opt_interval ~eps:0.25 inst in
+      let opt = Exact.opt_value inst in
+      (* The exact simplex value of the Figure 1 relaxation, with its
+         optimal duals: the ground truth everything must agree with. *)
+      let lp = Path_lp.solve inst in
+      let strong =
+        Float.abs
+          (Duality.dual_objective inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z
+          -. lp.Path_lp.opt)
+        < 1e-6
+        && Duality.dual_feasible ~eps:1e-6 inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z
+      in
+      Table.add_row table
+        [
+          Table.cell_i seed;
+          Table.cell_f p;
+          Table.cell_f d;
+          (if p <= d +. 1e-6 then "yes" else "NO");
+          (if scaled_ok then "yes" else "NO");
+          Table.cell_f lp.Path_lp.opt;
+          Printf.sprintf "[%.2f, %.2f]" lo hi;
+          (if lo <= lp.Path_lp.opt +. 1e-6 && lp.Path_lp.opt <= hi +. 1e-6
+             && opt <= lp.Path_lp.opt +. 1e-6
+           then "yes"
+           else "NO");
+          (if strong then "yes" else "NO");
+        ])
+    seeds;
+  [ table ]

@@ -1,0 +1,9 @@
+(** EXP-DUALITY — Figures 1 and 5 made executable.
+
+    For each workload: checks that the Claim 3.6 scaled dual is
+    feasible for the Figure 1 dual program, that weak duality
+    [P <= D] holds for every certificate we can construct, and that
+    the Garg–Könemann interval brackets the exact optimum on small
+    instances. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,11 @@
+(** EXP-FIG2-LB — Theorem 3.11 / Figure 2.
+
+    Runs the reasonable iterative path minimizer (with the paper's
+    adversarial tie-break: minimal source level, maximal middle vertex)
+    on the directed staircase, sweeping the number of levels [l] and
+    the capacity [B]. Reports the satisfied fraction next to the
+    closed-form prediction [1 - (B/(B+1))^B] and its [B -> inf] limit
+    [1 - 1/e], plus the implied inapproximability ratio, which tends to
+    [e/(e-1)]. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

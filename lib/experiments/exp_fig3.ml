@@ -1,0 +1,42 @@
+module Table = Ufp_prelude.Table
+module Gen = Ufp_graph.Generators
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Workloads = Ufp_instance.Workloads
+module Reasonable = Ufp_core.Reasonable
+
+let value ~b ~tie_break =
+  let g = Gen.gadget7 ~capacity:(float_of_int b) in
+  let inst = Instance.create g (Workloads.gadget7_requests ~per_pair:b) in
+  let res =
+    Reasonable.run
+      ~priority:(Reasonable.h ~eps:0.1 ~b:(float_of_int b))
+      ~tie_break inst
+  in
+  assert (Solution.is_feasible inst res.Reasonable.solution);
+  Solution.value inst res.Reasonable.solution
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-FIG3-LB: Theorem 3.12 — 4/3 gadget for any B (undirected)"
+      ~columns:
+        [ "B"; "adversarial value"; "neutral value"; "OPT 4B"; "ratio"; "bound 4/3" ]
+  in
+  let bs = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun b ->
+      let adv = value ~b ~tie_break:(Reasonable.prefer_hub Gen.Gadget7.v7) in
+      let neutral = value ~b ~tie_break:Reasonable.first_candidate in
+      Table.add_row table
+        [
+          Table.cell_i b;
+          Table.cell_f adv;
+          Table.cell_f neutral;
+          Table.cell_f (float_of_int (4 * b));
+          Harness.ratio_cell (float_of_int (4 * b)) adv;
+          Table.cell_f (4.0 /. 3.0);
+        ])
+    bs;
+  [ table ]

@@ -1,0 +1,11 @@
+(** EXP-FIG3-LB — Theorem 3.12 / Figure 3.
+
+    Runs the reasonable iterative path minimizer with the hub-preferring
+    adversarial tie-break on the undirected 7-vertex gadget for growing
+    [B]. The satisfied value is exactly [3B] against an optimum of
+    [4B] for {e every} B — the [4/3] barrier survives arbitrarily large
+    capacities, so no reasonable iterative path minimizer is a PTAS
+    even in the easiest regime. Also reports the neutral
+    (non-adversarial) tie-break for contrast. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,51 @@
+module Table = Ufp_prelude.Table
+module Auction = Ufp_auction.Auction
+module Lower_bound = Ufp_auction.Lower_bound
+module Reasonable_bundle = Ufp_auction.Reasonable_bundle
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-FIG4-LB: Theorem 4.5 — partition instance for reasonable \
+         iterative bundle minimizers"
+      ~columns:
+        [
+          "p"; "B"; "items"; "alg value"; "predicted (3p+1)B/4"; "OPT pB";
+          "ratio 4p/(3p+1)"; "limit 4/3";
+        ]
+  in
+  let configs =
+    if quick then [ (3, 4); (5, 4) ]
+    else [ (3, 4); (5, 4); (5, 8); (7, 4); (9, 4); (11, 4) ]
+  in
+  List.iter
+    (fun (p, b) ->
+      let lb = Lower_bound.make ~p ~b () in
+      let a = lb.Lower_bound.auction in
+      let res =
+        Reasonable_bundle.run
+          ~priority:(Reasonable_bundle.h_muca ~eps:0.1)
+          ~tie_break:Reasonable_bundle.first_bid a
+      in
+      let v = Auction.Allocation.value a res.Reasonable_bundle.allocation in
+      assert (Auction.Allocation.is_feasible a res.Reasonable_bundle.allocation);
+      (* The paper's optimum witness must be feasible and worth pB. *)
+      let witness = Lower_bound.optimal_allocation lb in
+      assert (Auction.Allocation.is_feasible a witness);
+      assert (
+        Float.abs (Auction.Allocation.value a witness -. lb.Lower_bound.opt_value)
+        < 1e-9);
+      Table.add_row table
+        [
+          Table.cell_i p;
+          Table.cell_i b;
+          Table.cell_i (Auction.n_items a);
+          Table.cell_f v;
+          Table.cell_f lb.Lower_bound.adversarial_bound;
+          Table.cell_f lb.Lower_bound.opt_value;
+          Harness.ratio_cell lb.Lower_bound.opt_value v;
+          Table.cell_f (4.0 /. 3.0);
+        ])
+    configs;
+  [ table ]

@@ -1,0 +1,10 @@
+(** EXP-FIG4-LB — Theorem 4.5 / Figure 4.
+
+    Runs the reasonable iterative bundle minimizer on the partition
+    instance for growing [p]; the achieved value is exactly
+    [(3p + 1) B / 4] against the optimum [p B], so the ratio
+    [4p / (3p + 1)] climbs towards [4/3]. Also cross-checks the
+    optimum witness and — for the smallest instance — the exact
+    solver. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

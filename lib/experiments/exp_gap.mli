@@ -1,0 +1,16 @@
+(** EXP-GAP — the motivating claim of Section 1 ("The motivation").
+
+    "It is well known that the integrality gap of the integer linear
+    program of the unsplittable flow problem becomes 1 + eps when the
+    ratio between the minimal capacity of an edge and the maximal
+    demand among the requests is sufficiently large."
+
+    This experiment measures the gap directly: on small graphs where
+    both the exact ILP optimum (branch and bound) and the exact LP
+    optimum (path LP via simplex) are computable, it sweeps the
+    capacity bound [B] and reports [OPT_LP / OPT_ILP] — which starts
+    noticeably above 1 at [B = 1] and collapses towards 1 as [B]
+    grows, the entire reason the large-capacity regime is the
+    tractable one. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

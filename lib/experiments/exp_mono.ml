@@ -1,0 +1,88 @@
+module Table = Ufp_prelude.Table
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Baselines = Ufp_core.Baselines
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Monotonicity = Ufp_mech.Monotonicity
+
+let run ?(quick = false) () =
+  let eps = 0.3 in
+  let capacity = Harness.capacity_for ~m:24 ~eps in
+  let searches = if quick then 3 else 10 in
+  let trials = if quick then 30 else 80 in
+  let ufp_table =
+    Table.create
+      ~title:
+        "EXP-MONO (UFP): monotonicity violations under random unilateral \
+         improvements (Lemma 3.4)"
+      ~columns:[ "algorithm"; "searches x trials"; "violations"; "monotone?" ]
+  in
+  (* Each rounding trial re-solves the fractional LP, so it gets a
+     smaller (but highly contended — violations need fractional LP
+     mass) instance and fewer trials than the fast algorithms. *)
+  let rr_trials = if quick then 10 else 30 in
+  let ufp_algos =
+    [
+      ("bounded-ufp", Bounded_ufp.solve ~eps, trials, false);
+      ("threshold-pd", Baselines.threshold_pd ~eps, trials, false);
+      ("greedy-density", Baselines.greedy_by_density, trials, false);
+      ("greedy-value", Baselines.greedy_by_value, trials, false);
+      ( "rand-rounding (non-truthful)",
+        (fun inst -> Baselines.randomized_rounding ~eps:0.3 ~seed:1234 inst),
+        rr_trials,
+        true );
+    ]
+  in
+  List.iter
+    (fun (name, algo, trials, small) ->
+      let violations = ref 0 in
+      for search = 1 to searches do
+        let inst =
+          if small then
+            Harness.grid_instance ~seed:search ~rows:3 ~cols:3
+              ~capacity:(Harness.capacity_for ~m:12 ~eps)
+              ~count:(4 * int_of_float (Harness.capacity_for ~m:12 ~eps))
+          else
+            Harness.grid_instance ~seed:search ~rows:4 ~cols:4 ~capacity
+              ~count:(int_of_float capacity * 4)
+        in
+        match Monotonicity.check_ufp ~trials ~seed:(search * 31) algo inst with
+        | Some _ -> incr violations
+        | None -> ()
+      done;
+      Table.add_row ufp_table
+        [
+          name;
+          Printf.sprintf "%d x %d" searches trials;
+          Table.cell_i !violations;
+          (if !violations = 0 then "yes" else "NO");
+        ])
+    ufp_algos;
+  let muca_table =
+    Table.create
+      ~title:
+        "EXP-MONO (MUCA): monotonicity under value raises and bundle shrinks \
+         (unknown single-minded, Corollary 4.2)"
+      ~columns:[ "algorithm"; "searches x trials"; "violations"; "monotone?" ]
+  in
+  let violations = ref 0 in
+  for search = 1 to searches do
+    let a =
+      Harness.random_auction ~seed:search ~items:10
+        ~multiplicity:(int_of_float (Harness.capacity_for ~m:10 ~eps))
+        ~bids:40 ~bundle:3
+    in
+    match
+      Monotonicity.check_muca ~trials ~seed:(search * 17)
+        (Bounded_muca.solve ~eps) a
+    with
+    | Some _ -> incr violations
+    | None -> ()
+  done;
+  Table.add_row muca_table
+    [
+      "bounded-muca";
+      Printf.sprintf "%d x %d" searches trials;
+      Table.cell_i !violations;
+      (if !violations = 0 then "yes" else "NO");
+    ];
+  [ ufp_table; muca_table ]

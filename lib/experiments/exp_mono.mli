@@ -1,0 +1,11 @@
+(** EXP-MONO — Lemma 3.4 / Theorem 2.3 and the randomized-rounding
+    motivation.
+
+    Samples unilateral type improvements for winning agents under each
+    allocation rule and counts monotonicity violations. The paper's
+    claim reproduced here: the primal-dual algorithms (and greedy) are
+    monotone — zero violations — while randomized rounding, the
+    technique the paper explains cannot be used truthfully, exhibits
+    violations. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,65 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Rng = Ufp_prelude.Rng
+module Auction = Ufp_auction.Auction
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Baselines = Ufp_auction.Baselines
+module Workloads = Ufp_auction.Workloads
+module Lp = Ufp_auction.Lp
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-MUCA-CMP (extension): auction rules across workload families \
+         (fraction of LP upper bound)"
+      ~columns:
+        [
+          "workload"; "bids"; "bounded-muca"; "greedy-value"; "greedy-per-item";
+          "greedy-lehmann";
+        ]
+  in
+  let eps = 0.3 in
+  let items = 12 in
+  let multiplicity = int_of_float (Harness.capacity_for ~m:items ~eps) in
+  let bids = multiplicity * 5 in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3; 4 ] in
+  let families =
+    [
+      ( "uniform bundles",
+        fun rng -> Workloads.uniform rng ~items ~multiplicity ~bids () );
+      ( "spectrum intervals",
+        fun rng -> Workloads.intervals rng ~items ~multiplicity ~bids () );
+      ( "weighted items",
+        fun rng -> Workloads.weighted_items rng ~items ~multiplicity ~bids () );
+    ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let acc = Hashtbl.create 4 in
+      let record key v =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt acc key) in
+        Hashtbl.replace acc key (v :: cur)
+      in
+      List.iter
+        (fun seed ->
+          let a = make (Rng.create seed) in
+          let lp_upper = Lp.upper_bound ~eps:0.25 a in
+          let frac alloc = Auction.Allocation.value a alloc /. lp_upper in
+          record "muca" (frac (Bounded_muca.solve ~eps a));
+          record "gv" (frac (Baselines.greedy_by_value a));
+          record "gpi" (frac (Baselines.greedy_value_per_item a));
+          record "gl" (frac (Baselines.greedy_lehmann a)))
+        seeds;
+      let mean key = Stats.mean (Array.of_list (Hashtbl.find acc key)) in
+      Table.add_row table
+        [
+          name;
+          Table.cell_i bids;
+          Harness.pct (mean "muca");
+          Harness.pct (mean "gv");
+          Harness.pct (mean "gpi");
+          Harness.pct (mean "gl");
+        ])
+    families;
+  [ table ]

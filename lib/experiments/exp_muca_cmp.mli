@@ -1,0 +1,12 @@
+(** EXP-MUCA-CMP — extension: auction algorithms across workload
+    families.
+
+    Compares Bounded-MUCA against the three greedy rules and the exact
+    optimum (where tractable) on the three bid-set families of
+    {!Ufp_auction.Workloads} — uniform bundles, spectrum-style
+    contiguous intervals, and quality-weighted items — reporting each
+    as a fraction of the certified LP upper bound. Shows where the
+    worst-case-safe primal-dual rule pays for its conservatism and
+    where it is competitive. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,51 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Auction = Ufp_auction.Auction
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Muca_lp = Ufp_auction.Lp
+module Muca_baselines = Ufp_auction.Baselines
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:"EXP-MUCA-RATIO: Theorem 4.1 — Bounded-MUCA approximation"
+      ~columns:
+        [ "eps"; "B"; "bids"; "value"; "cert-ratio"; "lp-ratio"; "guarantee" ]
+  in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3; 4 ] in
+  let eps_list = if quick then [ 0.3 ] else [ 0.5; 0.3; 0.2 ] in
+  let items = 10 in
+  List.iter
+    (fun eps ->
+      let multiplicity =
+        int_of_float (Harness.capacity_for ~m:items ~eps)
+      in
+      let bids = multiplicity * 4 in
+      let values = ref [] and cert = ref [] and lp = ref [] in
+      List.iter
+        (fun seed ->
+          let a =
+            Harness.random_auction ~seed ~items ~multiplicity ~bids ~bundle:3
+          in
+          let run = Bounded_muca.run ~eps a in
+          let v = Auction.Allocation.value a run.Bounded_muca.allocation in
+          assert (Auction.Allocation.is_feasible a run.Bounded_muca.allocation);
+          values := v :: !values;
+          if v > 0.0 then begin
+            cert := (run.Bounded_muca.certified_upper_bound /. v) :: !cert;
+            lp := (Muca_lp.upper_bound ~eps:0.3 a /. v) :: !lp
+          end)
+        seeds;
+      let mean xs = Stats.mean (Array.of_list xs) in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" eps;
+          Table.cell_i multiplicity;
+          Table.cell_i bids;
+          Table.cell_f (mean !values);
+          Table.cell_f (mean !cert);
+          Table.cell_f (mean !lp);
+          Table.cell_f (Bounded_muca.theorem_ratio ~eps);
+        ])
+    eps_list;
+  [ table ]

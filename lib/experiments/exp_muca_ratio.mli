@@ -1,0 +1,9 @@
+(** EXP-MUCA-RATIO — Theorem 4.1.
+
+    Runs [Bounded-MUCA(eps)] on random single-minded auctions meeting
+    the [B >= ln m / eps^2] premise and reports the measured ratio
+    against the Claim 3.6 certificate, the independent packing-LP
+    bound, and — where tractable — the exact optimum, next to the
+    theorem's [(1 + 6 eps) e/(e-1)] guarantee. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,62 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Rng = Ufp_prelude.Rng
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Online = Ufp_core.Online
+module Mcf = Ufp_lp.Mcf
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-ONLINE (extension): online exponential-cost admission vs offline \
+         Bounded-UFP (fraction of LP bound)"
+      ~columns:
+        [
+          "load"; "|R|"; "online mean"; "online worst"; "ascending-value order";
+          "offline bounded-ufp";
+        ]
+  in
+  let eps = 0.3 in
+  let capacity = Harness.capacity_for ~m:40 ~eps in
+  let n_orders = if quick then 3 else 8 in
+  let loads =
+    if quick then [ ("medium", 6) ] else [ ("light", 3); ("medium", 6); ("heavy", 12) ]
+  in
+  List.iter
+    (fun (label, factor) ->
+      let count = int_of_float capacity * factor in
+      let inst = Harness.grid_instance ~seed:1 ~rows:5 ~cols:5 ~capacity ~count in
+      let _, lp_upper = Mcf.fractional_opt_interval ~eps:0.3 inst in
+      let frac sol = Solution.value inst sol /. lp_upper in
+      let n = Instance.n_requests inst in
+      let order_rng = Rng.create 77 in
+      let randoms =
+        Array.init n_orders (fun _ ->
+            let order = Array.init n Fun.id in
+            Rng.shuffle order_rng order;
+            frac (Online.solve ~eps ~order inst))
+      in
+      (* Adversarial: cheap requests arrive first and squat capacity. *)
+      let ascending = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          compare (Instance.request inst a).Request.value
+            (Instance.request inst b).Request.value)
+        ascending;
+      let asc = frac (Online.solve ~eps ~order:ascending inst) in
+      let offline = frac (Bounded_ufp.solve ~eps inst) in
+      Table.add_row table
+        [
+          label;
+          Table.cell_i count;
+          Harness.pct (Stats.mean randoms);
+          Harness.pct (Array.fold_left Float.min randoms.(0) randoms);
+          Harness.pct asc;
+          Harness.pct offline;
+        ])
+    loads;
+  [ table ]

@@ -1,0 +1,11 @@
+(** EXP-ONLINE — extension: the online ancestor of Algorithm 1.
+
+    The paper's truthful-UFP lineage starts from online
+    exponential-cost admission control (its references [4, 5]); this
+    experiment runs {!Ufp_core.Online} on the same workloads as the
+    offline algorithm and reports the price of making decisions in
+    arrival order: value under random arrival orders (mean and worst)
+    and under an adversarial ascending-value order, next to offline
+    Bounded-UFP and the certified LP bound. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

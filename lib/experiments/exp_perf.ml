@@ -1,0 +1,41 @@
+module Table = Ufp_prelude.Table
+module Graph = Ufp_graph.Graph
+module Instance = Ufp_instance.Instance
+module Bounded_ufp = Ufp_core.Bounded_ufp
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-PERF: Bounded-UFP scaling (iterations <= |R|; ~|R| shortest paths \
+         per iteration)"
+      ~columns:
+        [
+          "grid"; "m"; "|R|"; "iterations"; "iters <= |R|"; "time (s)";
+          "ms / iteration";
+        ]
+  in
+  let eps = 0.3 in
+  let configs =
+    if quick then [ (4, 4, 100) ]
+    else [ (4, 4, 100); (6, 6, 200); (8, 8, 400); (10, 10, 800); (14, 14, 1600) ]
+  in
+  List.iter
+    (fun (rows, cols, count) ->
+      let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+      let capacity = Harness.capacity_for ~m ~eps in
+      let inst = Harness.grid_instance ~seed:1 ~rows ~cols ~capacity ~count in
+      let run, elapsed = Harness.time_it (fun () -> Bounded_ufp.run ~eps inst) in
+      let iters = run.Bounded_ufp.iterations in
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" rows cols;
+          Table.cell_i (Graph.n_edges (Instance.graph inst));
+          Table.cell_i count;
+          Table.cell_i iters;
+          (if iters <= count then "yes" else "NO");
+          Table.cell_f elapsed;
+          Table.cell_f (1000.0 *. elapsed /. float_of_int (max iters 1));
+        ])
+    configs;
+  [ table ]

@@ -1,0 +1,9 @@
+(** EXP-PERF — the Section 3.2 running-time remark.
+
+    Theorem 3.1's proof notes that the iteration count is bounded by
+    [|R|] and each iteration costs about [|R|] shortest-path
+    computations. This experiment scales the request count and the
+    graph and reports iterations, wall time, and time per iteration,
+    verifying the linear iteration bound empirically. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

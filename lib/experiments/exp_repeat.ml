@@ -1,0 +1,51 @@
+module Table = Ufp_prelude.Table
+module Stats = Ufp_prelude.Stats
+module Graph = Ufp_graph.Graph
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Repeat = Ufp_core.Bounded_ufp_repeat
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:"EXP-REPEAT: Theorem 5.1 — UFP with repetitions, (1+eps)-approximation"
+      ~columns:
+        [
+          "eps"; "B"; "allocations"; "value"; "cert-ratio"; "guarantee 1+6eps";
+          "e/(e-1) barrier";
+        ]
+  in
+  let eps_list = if quick then [ 0.2 ] else [ 0.3; 0.2; 0.1; 0.05 ] in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  List.iter
+    (fun eps ->
+      let ratios = ref [] and values = ref [] and allocs = ref [] in
+      let b = ref 0.0 in
+      List.iter
+        (fun seed ->
+          (* Grid 4x4: m = 24. *)
+          let capacity = Harness.capacity_for ~m:24 ~eps in
+          b := capacity;
+          let inst =
+            Harness.grid_instance ~seed ~rows:4 ~cols:4 ~capacity ~count:10
+          in
+          let run = Repeat.run ~eps inst in
+          let v = Solution.value inst run.Repeat.solution in
+          assert (Solution.is_feasible ~repetitions:true inst run.Repeat.solution);
+          values := v :: !values;
+          allocs := float_of_int (List.length run.Repeat.solution) :: !allocs;
+          if v > 0.0 then ratios := (run.Repeat.certified_upper_bound /. v) :: !ratios)
+        seeds;
+      let mean xs = Stats.mean (Array.of_list xs) in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" eps;
+          Printf.sprintf "%.0f" !b;
+          Printf.sprintf "%.0f" (mean !allocs);
+          Table.cell_f (mean !values);
+          Table.cell_f (mean !ratios);
+          Table.cell_f (Repeat.theorem_ratio ~eps);
+          Table.cell_f Harness.e_ratio;
+        ])
+    eps_list;
+  [ table ]

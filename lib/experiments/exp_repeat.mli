@@ -1,0 +1,9 @@
+(** EXP-REPEAT — Theorem 5.1.
+
+    Runs [Bounded-UFP-Repeat(eps)] on premise-satisfying workloads and
+    reports the certified approximation ratio against the theorem's
+    [(1 + 6 eps)] guarantee — for small [eps] this falls below the
+    [e/(e-1)] barrier of the no-repetition problem, the "sharp
+    contrast" of Section 5. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,0 +1,14 @@
+(** EXP-ROUNDING — the other half of the Section 1 motivation.
+
+    "The integrality gap becomes 1 + eps, which can be matched by an
+    algorithm that utilizes the randomized rounding technique" — this
+    experiment sweeps the capacity bound [B] at fixed relative load
+    and measures (a) the empirical probability that pure randomized
+    rounding is already capacity-feasible before any repair (tending
+    to 1 as [B] grows, by Chernoff concentration), and (b) the
+    achieved value as a fraction of the certified LP bound. Together
+    with [EXP-MONO] (rounding violates monotonicity) this reproduces
+    why the paper needs a different, monotone route to a comparable
+    guarantee. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

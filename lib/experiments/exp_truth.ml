@@ -1,0 +1,96 @@
+module Table = Ufp_prelude.Table
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Ufp_mechanism = Ufp_mech.Ufp_mechanism
+module Single_param = Ufp_mech.Single_param
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Auction = Ufp_auction.Auction
+module Muca_mechanism = Ufp_mech.Muca_mechanism
+
+let run ?(quick = false) () =
+  let eps = 0.3 in
+  let algo = Bounded_ufp.solve ~eps in
+  let capacity = Harness.capacity_for ~m:12 ~eps in
+  let inst =
+    Harness.grid_instance ~seed:7 ~rows:3 ~cols:3 ~capacity
+      ~count:(if quick then 6 else 10)
+  in
+  let won = Ufp_mechanism.winners algo inst in
+  let agent = ref 0 in
+  Array.iteri (fun i w -> if w && !agent = 0 then agent := i) won;
+  let agent = !agent in
+  let r = Instance.request inst agent in
+  let d = r.Request.demand and v = r.Request.value in
+  let misreports =
+    [
+      (d, v); (d, v /. 4.0); (d, v /. 2.0); (d, v *. 2.0); (d, v *. 8.0);
+      (d /. 2.0, v); (d /. 4.0, v *. 2.0); (Float.min 1.0 (d *. 1.5), v);
+      (Float.min 1.0 (d *. 2.0), v *. 2.0);
+    ]
+  in
+  let outcomes, truthful =
+    Ufp_mechanism.truthfulness_table ~rel_tol:1e-6 algo inst ~agent ~misreports
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "EXP-TRUTH (UFP): misreport utilities for agent %d (true type d=%.3f \
+            v=%.3f; truthful utility %.4f)"
+           agent d v truthful)
+      ~columns:
+        [ "declared d"; "declared v"; "wins?"; "utility"; "beats truth?" ]
+  in
+  List.iter
+    (fun (o : Ufp_mechanism.misreport_outcome) ->
+      let dd, dv = o.Ufp_mechanism.declared in
+      Table.add_row table
+        [
+          Table.cell_f dd;
+          Table.cell_f dv;
+          (if o.Ufp_mechanism.won then "yes" else "no");
+          Table.cell_f o.Ufp_mechanism.outcome_utility;
+          (if o.Ufp_mechanism.outcome_utility > truthful +. 1e-3 then "VIOLATION"
+           else "no");
+        ])
+    outcomes;
+  (* MUCA: a payments summary. *)
+  (* Scarcity makes the prices meaningful: four times more requested
+     copies than the items supply. *)
+  let multiplicity = int_of_float (Harness.capacity_for ~m:10 ~eps) in
+  let a =
+    Harness.random_auction ~seed:5 ~items:10 ~multiplicity
+      ~bids:(if quick then multiplicity * 2 else multiplicity * 4)
+      ~bundle:3
+  in
+  let muca_algo = Bounded_muca.solve ~eps in
+  let won = Muca_mechanism.winners muca_algo a in
+  let model = Muca_mechanism.model muca_algo in
+  let muca_table =
+    Table.create
+      ~title:"EXP-TRUTH (MUCA): critical-value payments under scarcity \
+              (Corollary 4.2), first winners"
+      ~columns:[ "bid"; "declared value"; "payment"; "payment <= value?" ]
+  in
+  let shown = ref 0 in
+  Array.iteri
+    (fun i w ->
+      if w && !shown < 12 then begin
+        incr shown;
+        let v = (Auction.bid a i).Auction.value in
+        let p =
+          match Single_param.critical_value ~rel_tol:1e-6 model a ~agent:i with
+          | Some c -> Float.min c v
+          | None -> v
+        in
+        Table.add_row muca_table
+          [
+            Table.cell_i i;
+            Table.cell_f v;
+            Table.cell_f p;
+            (if p <= v +. 1e-4 then "yes" else "NO");
+          ]
+      end)
+    won;
+  [ table; muca_table ]

@@ -1,0 +1,79 @@
+type tree = { dist : float array; parent_edge : int array }
+
+let shortest_tree g ~weight ~src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.shortest_tree: bad source";
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Ufp_prelude.Heap.create ~capacity:(max 16 n) () in
+  dist.(src) <- 0.0;
+  Ufp_prelude.Heap.push heap 0.0 src;
+  let rec loop () =
+    match Ufp_prelude.Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        let relax (eid, v) =
+          if not settled.(v) then begin
+            let w = weight eid in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let d' = d +. w in
+            if d' < dist.(v) then begin
+              dist.(v) <- d';
+              parent_edge.(v) <- eid;
+              Ufp_prelude.Heap.push heap d' v
+            end
+          end
+        in
+        List.iter relax (Graph.out_edges g u)
+      end;
+      loop ()
+  in
+  loop ();
+  { dist; parent_edge }
+
+let path_of_tree g tree ~src ~dst =
+  if tree.dist.(dst) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = src then acc
+      else begin
+        let eid = tree.parent_edge.(v) in
+        (* [v] is reachable and not the source, so it has a parent. *)
+        assert (eid >= 0);
+        walk (Graph.other_endpoint g eid v) (eid :: acc)
+      end
+    in
+    Some (walk dst [])
+  end
+
+let shortest_path g ~weight ~src ~dst =
+  let tree = shortest_tree g ~weight ~src in
+  match path_of_tree g tree ~src ~dst with
+  | None -> None
+  | Some edges -> Some (tree.dist.(dst), edges)
+
+let reachable g ~src ~dst =
+  if src = dst then true
+  else begin
+    let n = Graph.n_vertices g in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let visit (_, v) =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          if v = dst then found := true;
+          Queue.add v queue
+        end
+      in
+      List.iter visit (Graph.out_edges g u)
+    done;
+    !found
+  end

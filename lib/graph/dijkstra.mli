@@ -1,0 +1,33 @@
+(** Single-source shortest paths with nonnegative edge weights.
+
+    The primal-dual solvers of the paper repeatedly need, for every
+    pending request [(s_r, t_r)], the path minimising
+    [sum_{e in p} y_e] under the current dual weights [y] (Algorithm 1
+    line 7, Algorithm 3 line 5). Weights are supplied as a function of
+    edge id so the solver can pass its dual array directly.
+
+    With strictly positive weights the returned paths are automatically
+    simple, as required by the path set [S_r] of the LP in Figure 1. *)
+
+type tree = {
+  dist : float array;  (** [dist.(v)] = distance from the source, [infinity] if unreachable *)
+  parent_edge : int array;  (** edge id used to enter [v] on a shortest path, [-1] at the source / unreachable vertices *)
+}
+
+val shortest_tree : Graph.t -> weight:(int -> float) -> src:int -> tree
+(** Full Dijkstra tree from [src]. Raises [Invalid_argument] if any
+    traversed edge has a negative weight. *)
+
+val path_of_tree : Graph.t -> tree -> src:int -> dst:int -> int list option
+(** Reconstruct the edge-id path [src -> dst] from a tree, or [None]
+    when [dst] is unreachable. *)
+
+val shortest_path :
+  Graph.t -> weight:(int -> float) -> src:int -> dst:int ->
+  (float * int list) option
+(** [shortest_path g ~weight ~src ~dst] is [Some (length, edges)] for a
+    minimum-weight path, [None] if [dst] is unreachable. Ties are
+    broken deterministically by heap order. *)
+
+val reachable : Graph.t -> src:int -> dst:int -> bool
+(** Unweighted reachability (BFS). *)

@@ -1,0 +1,29 @@
+let simple_paths ?(max_paths = max_int) g ~src ~dst =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Enumerate.simple_paths: vertex out of range";
+  let visited = Array.make n false in
+  let acc = ref [] and count = ref 0 in
+  let rec dfs v path_rev =
+    if !count < max_paths then begin
+      if v = dst then begin
+        acc := List.rev path_rev :: !acc;
+        incr count
+      end
+      else begin
+        visited.(v) <- true;
+        let try_edge (eid, w) =
+          if not visited.(w) then dfs w (eid :: path_rev)
+        in
+        (* Reverse the adjacency list so DFS explores in insertion order. *)
+        List.iter try_edge (List.rev (Graph.out_edges g v));
+        visited.(v) <- false
+      end
+    end
+  in
+  visited.(dst) <- false;
+  dfs src [];
+  List.rev !acc
+
+let count_simple_paths ?(limit = max_int) g ~src ~dst =
+  List.length (simple_paths ~max_paths:limit g ~src ~dst)

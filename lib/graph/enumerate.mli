@@ -1,0 +1,15 @@
+(** Exhaustive simple-path enumeration.
+
+    Exponential in general — intended for the exact branch-and-bound
+    solver and for tests on small graphs, where the LP's path set [S_r]
+    (Figure 1) can be materialised in full. *)
+
+val simple_paths :
+  ?max_paths:int -> Graph.t -> src:int -> dst:int -> int list list
+(** [simple_paths g ~src ~dst] lists every simple path from [src] to
+    [dst] as edge-id lists, in DFS order (deterministic). Stops after
+    [max_paths] paths when given; raises [Invalid_argument] on
+    out-of-range vertices. [src = dst] yields the single empty path. *)
+
+val count_simple_paths : ?limit:int -> Graph.t -> src:int -> dst:int -> int
+(** Number of simple paths, capped at [limit] (default [max_int]). *)

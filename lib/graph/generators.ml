@@ -1,0 +1,179 @@
+module Rng = Ufp_prelude.Rng
+
+type staircase = {
+  graph : Graph.t;
+  sources : int array;
+  mids : int array;
+  sink : int;
+}
+
+let staircase ~levels ~capacity =
+  if levels <= 0 then invalid_arg "Generators.staircase: levels <= 0";
+  let l = levels in
+  let g = Graph.create ~directed:true ~n:((2 * l) + 1) in
+  (* Vertex layout: sources 0..l-1, mids l..2l-1, sink 2l. *)
+  let sources = Array.init l (fun i -> i) in
+  let mids = Array.init l (fun j -> l + j) in
+  let sink = 2 * l in
+  Array.iter
+    (fun vj -> ignore (Graph.add_edge g ~u:vj ~v:sink ~capacity))
+    mids;
+  for i = 0 to l - 1 do
+    for j = i to l - 1 do
+      ignore (Graph.add_edge g ~u:sources.(i) ~v:mids.(j) ~capacity)
+    done
+  done;
+  { graph = g; sources; mids; sink }
+
+type stretched_staircase = {
+  s_graph : Graph.t;
+  s_sources : int array;
+  s_mids : int array;
+  s_sink : int;
+}
+
+let staircase_stretched ~levels ~capacity =
+  if levels <= 0 then invalid_arg "Generators.staircase_stretched: levels <= 0";
+  let l = levels in
+  (* Edge (s_i, v_j), with 1-based i, j, becomes a path of
+     [i*l + 1 - j] edges, hence [i*l - j] fresh interior vertices. *)
+  let interior = ref 0 in
+  for i = 1 to l do
+    for j = i to l do
+      interior := !interior + ((i * l) - j)
+    done
+  done;
+  let n = (2 * l) + 1 + !interior in
+  let g = Graph.create ~directed:true ~n in
+  let sources = Array.init l (fun i -> i) in
+  let mids = Array.init l (fun j -> l + j) in
+  let sink = 2 * l in
+  let next_fresh = ref ((2 * l) + 1) in
+  Array.iter
+    (fun vj -> ignore (Graph.add_edge g ~u:vj ~v:sink ~capacity))
+    mids;
+  for i = 1 to l do
+    for j = i to l do
+      let hops = (i * l) + 1 - j in
+      assert (hops >= 1);
+      let src = sources.(i - 1) and dst = mids.(j - 1) in
+      let cur = ref src in
+      for _ = 1 to hops - 1 do
+        let w = !next_fresh in
+        incr next_fresh;
+        ignore (Graph.add_edge g ~u:!cur ~v:w ~capacity);
+        cur := w
+      done;
+      ignore (Graph.add_edge g ~u:!cur ~v:dst ~capacity)
+    done
+  done;
+  { s_graph = g; s_sources = sources; s_mids = mids; s_sink = sink }
+
+module Gadget7 = struct
+  let v1 = 0
+  let v2 = 1
+  let v3 = 2
+  let v4 = 3
+  let v5 = 4
+  let v6 = 5
+  let v7 = 6
+end
+
+let gadget7 ~capacity =
+  let open Gadget7 in
+  let g = Graph.create ~directed:false ~n:7 in
+  let edges = [ (v1, v2); (v2, v3); (v4, v5); (v5, v6); (v1, v7); (v3, v7); (v4, v7); (v6, v7) ] in
+  List.iter (fun (u, v) -> ignore (Graph.add_edge g ~u ~v ~capacity)) edges;
+  g
+
+let grid ~rows ~cols ~capacity =
+  if rows <= 0 || cols <= 0 then invalid_arg "Generators.grid";
+  let g = Graph.create ~directed:false ~n:(rows * cols) in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        ignore (Graph.add_edge g ~u:(idx r c) ~v:(idx r (c + 1)) ~capacity);
+      if r + 1 < rows then
+        ignore (Graph.add_edge g ~u:(idx r c) ~v:(idx (r + 1) c) ~capacity)
+    done
+  done;
+  g
+
+let layered rng ~layers ~width ~edge_prob ~capacity_lo ~capacity_hi =
+  if layers < 2 || width <= 0 then invalid_arg "Generators.layered";
+  if not (capacity_lo > 0.0 && capacity_hi >= capacity_lo) then
+    invalid_arg "Generators.layered: bad capacity range";
+  let g = Graph.create ~directed:true ~n:(layers * width) in
+  let idx layer slot = (layer * width) + slot in
+  let cap () = Rng.float_in rng capacity_lo capacity_hi in
+  for layer = 0 to layers - 2 do
+    for a = 0 to width - 1 do
+      (* A guaranteed forward edge avoids dead ends. *)
+      let forced = Rng.int rng width in
+      for b = 0 to width - 1 do
+        if b = forced || Rng.float rng 1.0 < edge_prob then
+          ignore
+            (Graph.add_edge g ~u:(idx layer a) ~v:(idx (layer + 1) b)
+               ~capacity:(cap ()))
+      done
+    done
+  done;
+  g
+
+let erdos_renyi rng ~n ~edge_prob ~directed ~capacity_lo ~capacity_hi =
+  if n <= 1 then invalid_arg "Generators.erdos_renyi";
+  if not (capacity_lo > 0.0 && capacity_hi >= capacity_lo) then
+    invalid_arg "Generators.erdos_renyi: bad capacity range";
+  let g = Graph.create ~directed ~n in
+  let cap () = Rng.float_in rng capacity_lo capacity_hi in
+  for u = 0 to n - 1 do
+    let lo = if directed then 0 else u + 1 in
+    for v = lo to n - 1 do
+      if u <> v && Rng.float rng 1.0 < edge_prob then
+        ignore (Graph.add_edge g ~u ~v ~capacity:(cap ()))
+    done
+  done;
+  g
+
+let ring ~n ~capacity =
+  if n < 3 then invalid_arg "Generators.ring: n < 3";
+  let g = Graph.create ~directed:false ~n in
+  for u = 0 to n - 1 do
+    ignore (Graph.add_edge g ~u ~v:((u + 1) mod n) ~capacity)
+  done;
+  g
+
+module Abilene = struct
+  let names =
+    [|
+      "Seattle"; "Sunnyvale"; "Los Angeles"; "Denver"; "Kansas City";
+      "Houston"; "Chicago"; "Indianapolis"; "Atlanta"; "Washington DC";
+      "New York";
+    |]
+end
+
+let abilene ~capacity =
+  let g = Graph.create ~directed:false ~n:(Array.length Abilene.names) in
+  (* The 14 OC-192 links of the Abilene backbone. Indices follow
+     [Abilene.names]. *)
+  let links =
+    [
+      (0, 1); (* Seattle - Sunnyvale *)
+      (0, 3); (* Seattle - Denver *)
+      (1, 2); (* Sunnyvale - Los Angeles *)
+      (1, 3); (* Sunnyvale - Denver *)
+      (2, 5); (* Los Angeles - Houston *)
+      (3, 4); (* Denver - Kansas City *)
+      (4, 5); (* Kansas City - Houston *)
+      (4, 6); (* Kansas City - Chicago *)
+      (5, 8); (* Houston - Atlanta *)
+      (6, 7); (* Chicago - Indianapolis *)
+      (6, 10); (* Chicago - New York *)
+      (7, 8); (* Indianapolis - Atlanta *)
+      (8, 9); (* Atlanta - Washington DC *)
+      (9, 10); (* Washington DC - New York *)
+    ]
+  in
+  List.iter (fun (u, v) -> ignore (Graph.add_edge g ~u ~v ~capacity)) links;
+  g

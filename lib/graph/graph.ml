@@ -1,0 +1,85 @@
+type edge = { id : int; u : int; v : int; capacity : float }
+
+type t = {
+  directed : bool;
+  n : int;
+  mutable edges : edge array;
+  mutable m : int;
+  adj : (int * int) list array;
+}
+
+let create ~directed ~n =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  { directed; n; edges = [||]; m = 0; adj = Array.make (max n 1) [] }
+
+let is_directed g = g.directed
+
+let n_vertices g = g.n
+
+let n_edges g = g.m
+
+let grow g e =
+  let cap = Array.length g.edges in
+  if g.m = cap then begin
+    let edges' = Array.make (max 8 (2 * cap)) e in
+    Array.blit g.edges 0 edges' 0 g.m;
+    g.edges <- edges'
+  end
+
+let add_edge g ~u ~v ~capacity =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg "Graph.add_edge: endpoint out of range";
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if not (Float.is_finite capacity && capacity > 0.0) then
+    invalid_arg "Graph.add_edge: capacity must be positive and finite";
+  let id = g.m in
+  let e = { id; u; v; capacity } in
+  grow g e;
+  g.edges.(id) <- e;
+  g.m <- g.m + 1;
+  g.adj.(u) <- (id, v) :: g.adj.(u);
+  if not g.directed then g.adj.(v) <- (id, u) :: g.adj.(v);
+  id
+
+let edge g id =
+  if id < 0 || id >= g.m then invalid_arg "Graph.edge: id out of range";
+  g.edges.(id)
+
+let capacity g id = (edge g id).capacity
+
+let min_capacity g =
+  if g.m = 0 then invalid_arg "Graph.min_capacity: no edges";
+  let c = ref g.edges.(0).capacity in
+  for i = 1 to g.m - 1 do
+    if g.edges.(i).capacity < !c then c := g.edges.(i).capacity
+  done;
+  !c
+
+let out_edges g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.out_edges: vertex out of range";
+  g.adj.(u)
+
+let fold_edges f g init =
+  let acc = ref init in
+  for i = 0 to g.m - 1 do
+    acc := f g.edges.(i) !acc
+  done;
+  !acc
+
+let other_endpoint g id w =
+  let e = edge g id in
+  if e.u = w then e.v
+  else if e.v = w then e.u
+  else invalid_arg "Graph.other_endpoint: vertex not an endpoint"
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>%s graph: %d vertices, %d edges@,"
+    (if g.directed then "directed" else "undirected")
+    g.n g.m;
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    Format.fprintf ppf "  e%d: %d %s %d (c=%g)@," e.id e.u
+      (if g.directed then "->" else "--")
+      e.v e.capacity
+  done;
+  Format.fprintf ppf "@]"

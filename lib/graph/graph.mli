@@ -1,0 +1,66 @@
+(** Capacitated graphs for the unsplittable flow problem.
+
+    Vertices are dense integers [0 .. n-1]; edges carry a positive
+    capacity and are identified by dense integers [0 .. m-1], so
+    per-edge solver state (dual weights, flow loads) lives in plain
+    float arrays indexed by edge id.
+
+    A graph is either directed or undirected. An undirected edge is a
+    single edge record traversable in both directions that shares one
+    capacity, matching the model of the paper's Section 3.3 (Figure 3
+    gadget). *)
+
+type t
+(** A capacitated graph. Structure is append-only: vertices are fixed
+    at creation, edges may be added. *)
+
+type edge = private {
+  id : int;  (** dense edge identifier *)
+  u : int;  (** tail (or first endpoint when undirected) *)
+  v : int;  (** head (or second endpoint when undirected) *)
+  capacity : float;  (** positive capacity [c_e] *)
+}
+
+val create : directed:bool -> n:int -> t
+(** [create ~directed ~n] is a graph with [n] vertices and no edges.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val add_edge : t -> u:int -> v:int -> capacity:float -> int
+(** [add_edge g ~u ~v ~capacity] appends an edge and returns its id.
+    Raises [Invalid_argument] on out-of-range endpoints, a self loop,
+    or a capacity that is not positive and finite. Parallel edges are
+    allowed. *)
+
+val is_directed : t -> bool
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val edge : t -> int -> edge
+(** [edge g id] is the edge with identifier [id]. Raises
+    [Invalid_argument] if out of range. *)
+
+val capacity : t -> int -> float
+(** Capacity of an edge by id. *)
+
+val min_capacity : t -> float
+(** [min_capacity g] is [min_e c_e]; the paper's bound [B] when demands
+    are normalised to (0,1]. Raises [Invalid_argument] on an edgeless
+    graph. *)
+
+val out_edges : t -> int -> (int * int) list
+(** [out_edges g u] lists [(edge_id, head)] pairs for edges leaving
+    [u]. In an undirected graph an edge incident to [u] appears with
+    the opposite endpoint as head. Order is reverse insertion order and
+    deterministic. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all edges in increasing id order. *)
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g id w] is the endpoint of edge [id] different from
+    [w]. Raises [Invalid_argument] if [w] is not an endpoint. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: one line per edge. *)

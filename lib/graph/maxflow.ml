@@ -1,0 +1,146 @@
+type result = { value : float; flow : float array }
+
+(* Residual network: arcs in pairs, arc [a] and its reverse [a lxor 1]. *)
+type residual = {
+  n : int;
+  arc_to : int array;
+  mutable cap : float array;
+  adj : int list array;  (* arc indices leaving each vertex *)
+  (* Original-edge bookkeeping: for arc [a], [orig.(a)] is the edge id
+     it was built from, or -1 for auxiliary (super source/sink) arcs. *)
+  orig : int array;
+}
+
+let eps = 1e-12
+
+let build g ~extra_vertices ~extra_arcs =
+  let n = Graph.n_vertices g + extra_vertices in
+  let m = Graph.n_edges g in
+  let n_arcs = (2 * m) + (2 * List.length extra_arcs) in
+  let arc_to = Array.make n_arcs 0 in
+  let cap = Array.make n_arcs 0.0 in
+  let orig = Array.make n_arcs (-1) in
+  let adj = Array.make n [] in
+  let next = ref 0 in
+  let add_pair u v cap_uv cap_vu edge_id =
+    let a = !next in
+    next := !next + 2;
+    arc_to.(a) <- v;
+    cap.(a) <- cap_uv;
+    orig.(a) <- edge_id;
+    adj.(u) <- a :: adj.(u);
+    arc_to.(a + 1) <- u;
+    cap.(a + 1) <- cap_vu;
+    orig.(a + 1) <- edge_id;
+    adj.(v) <- (a + 1) :: adj.(v)
+  in
+  Graph.fold_edges
+    (fun e () ->
+      if Graph.is_directed g then
+        add_pair e.Graph.u e.Graph.v e.Graph.capacity 0.0 e.Graph.id
+      else add_pair e.Graph.u e.Graph.v e.Graph.capacity e.Graph.capacity e.Graph.id)
+    g ();
+  List.iter (fun (u, v, c) -> add_pair u v c 0.0 (-1)) extra_arcs;
+  { n; arc_to; cap; adj; orig }
+
+let bfs_levels r ~src ~dst =
+  let levels = Array.make r.n (-1) in
+  let queue = Queue.create () in
+  levels.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun a ->
+        let v = r.arc_to.(a) in
+        if r.cap.(a) > eps && levels.(v) < 0 then begin
+          levels.(v) <- levels.(u) + 1;
+          Queue.add v queue
+        end)
+      r.adj.(u)
+  done;
+  if levels.(dst) < 0 then None else Some levels
+
+(* Blocking-flow DFS with per-vertex arc cursors. *)
+let rec dfs r levels cursors ~dst u pushed =
+  if u = dst then pushed
+  else begin
+    match cursors.(u) with
+    | [] -> 0.0
+    | a :: rest ->
+      let v = r.arc_to.(a) in
+      let sent =
+        if r.cap.(a) > eps && levels.(v) = levels.(u) + 1 then
+          dfs r levels cursors ~dst v (Float.min pushed r.cap.(a))
+        else 0.0
+      in
+      if sent > eps then begin
+        r.cap.(a) <- r.cap.(a) -. sent;
+        r.cap.(a lxor 1) <- r.cap.(a lxor 1) +. sent;
+        sent
+      end
+      else begin
+        cursors.(u) <- rest;
+        dfs r levels cursors ~dst u pushed
+      end
+  end
+
+let run_dinic r ~src ~dst =
+  let total = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels r ~src ~dst with
+    | None -> continue := false
+    | Some levels ->
+      let cursors = Array.copy r.adj in
+      let phase = ref true in
+      while !phase do
+        let sent = dfs r levels cursors ~dst src infinity in
+        if sent > eps then total := !total +. sent else phase := false
+      done
+  done;
+  !total
+
+let extract_flows g r =
+  let flows = Array.make (Graph.n_edges g) 0.0 in
+  (* Arc pairs were inserted in edge order: arcs 2e and 2e+1 belong to
+     edge e. Net u->v flow = (cap_bwd - cap_bwd_init + cap_fwd_init -
+     cap_fwd)/2 for undirected, cap_fwd_init - cap_fwd for directed. *)
+  Graph.fold_edges
+    (fun e () ->
+      let a = 2 * e.Graph.id in
+      assert (r.orig.(a) = e.Graph.id);
+      if Graph.is_directed g then flows.(e.Graph.id) <- e.Graph.capacity -. r.cap.(a)
+      else begin
+        let fwd_used = e.Graph.capacity -. r.cap.(a) in
+        let bwd_used = e.Graph.capacity -. r.cap.(a + 1) in
+        flows.(e.Graph.id) <- (fwd_used -. bwd_used) /. 2.0
+      end)
+    g ();
+  flows
+
+let max_flow g ~src ~dst =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Maxflow.max_flow: vertex out of range";
+  if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
+  let r = build g ~extra_vertices:0 ~extra_arcs:[] in
+  let value = run_dinic r ~src ~dst in
+  { value; flow = extract_flows g r }
+
+let max_flow_multi g ~sources ~sinks =
+  let n = Graph.n_vertices g in
+  let check (v, c) =
+    if v < 0 || v >= n then invalid_arg "Maxflow.max_flow_multi: vertex out of range";
+    if not (c > 0.0) then invalid_arg "Maxflow.max_flow_multi: budget <= 0"
+  in
+  List.iter check sources;
+  List.iter check sinks;
+  let super_src = n and super_dst = n + 1 in
+  let extra_arcs =
+    List.map (fun (v, c) -> (super_src, v, c)) sources
+    @ List.map (fun (v, c) -> (v, super_dst, c)) sinks
+  in
+  let r = build g ~extra_vertices:2 ~extra_arcs in
+  let value = run_dinic r ~src:super_src ~dst:super_dst in
+  { value; flow = extract_flows g r }

@@ -1,0 +1,26 @@
+(** Maximum flow (Dinic's algorithm) on capacitated graphs.
+
+    Used as an independent optimum certificate: for unit-value,
+    unit-demand request sets the splittable optimum equals a max-flow
+    value (integral by integrality of the flow polytope), which pins
+    OPT exactly for structured instances such as the Figure 2
+    staircase — a cross-check on the LP machinery that shares no code
+    with it.
+
+    An undirected edge is modelled in the residual network as a pair of
+    arcs that share one capacity budget, the standard reduction. *)
+
+type result = {
+  value : float;  (** maximum flow value *)
+  flow : float array;  (** net flow per original edge id; for directed edges in [0, c_e], for undirected in [-c_e, c_e] (sign: from [u] to [v]) *)
+}
+
+val max_flow : Graph.t -> src:int -> dst:int -> result
+(** [max_flow g ~src ~dst]. Raises [Invalid_argument] when [src = dst]
+    or a vertex is out of range. Runs in O(V^2 E). *)
+
+val max_flow_multi :
+  Graph.t -> sources:(int * float) list -> sinks:(int * float) list -> result
+(** Multi-source/multi-sink variant: a super source feeds each listed
+    source with the given budget, symmetrically for sinks. [flow] is
+    reported on the original edges only. *)

@@ -1,0 +1,47 @@
+let vertices g ~src edges =
+  let step v eid =
+    let e = Graph.edge g eid in
+    if Graph.is_directed g then begin
+      if e.Graph.u <> v then
+        invalid_arg "Path.vertices: directed edge traversed against orientation";
+      e.Graph.v
+    end
+    else Graph.other_endpoint g eid v
+  in
+  let rec walk v acc = function
+    | [] -> List.rev acc
+    | eid :: rest ->
+      let v' = step v eid in
+      walk v' (v' :: acc) rest
+  in
+  walk src [ src ] edges
+
+let is_valid g ~src ~dst edges =
+  match vertices g ~src edges with
+  | exception Invalid_argument _ -> false
+  | vs ->
+    let rec last = function
+      | [] -> assert false
+      | [ v ] -> v
+      | _ :: rest -> last rest
+    in
+    let module IS = Set.Make (Int) in
+    let distinct = IS.cardinal (IS.of_list vs) = List.length vs in
+    last vs = dst && distinct
+
+let length ~weight edges =
+  List.fold_left (fun acc eid -> acc +. weight eid) 0.0 edges
+
+let bottleneck g edges =
+  List.fold_left (fun acc eid -> Float.min acc (Graph.capacity g eid)) infinity
+    edges
+
+let mem_edge eid edges = List.mem eid edges
+
+let pp g ~src ppf edges =
+  let vs = vertices g ~src edges in
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+       Format.pp_print_int)
+    vs

@@ -1,0 +1,29 @@
+(** Operations on paths represented as lists of edge ids.
+
+    A path from [src] to [dst] is the ordered list of edges traversed;
+    in an undirected graph each edge may be traversed in either
+    direction, so orientation is recovered by walking from [src]. *)
+
+val vertices : Graph.t -> src:int -> int list -> int list
+(** [vertices g ~src edges] is the vertex sequence of the walk starting
+    at [src], of length [|edges| + 1]. Raises [Invalid_argument] when
+    consecutive edges do not share an endpoint (for directed graphs an
+    edge must be traversed tail-to-head). *)
+
+val is_valid : Graph.t -> src:int -> dst:int -> int list -> bool
+(** [is_valid g ~src ~dst edges] holds when [edges] is a contiguous
+    walk from [src] to [dst] that visits no vertex twice (a simple
+    path). The empty list is valid iff [src = dst]. *)
+
+val length : weight:(int -> float) -> int list -> float
+(** Sum of edge weights along the path. *)
+
+val bottleneck : Graph.t -> int list -> float
+(** Minimum capacity along a non-empty path; [infinity] for the empty
+    path. *)
+
+val mem_edge : int -> int list -> bool
+(** Whether the path uses the given edge id. *)
+
+val pp : Graph.t -> src:int -> Format.formatter -> int list -> unit
+(** Render as ["v0 -> v1 -> ... -> vk"]. *)

@@ -1,0 +1,93 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Maxflow = Ufp_graph.Maxflow
+
+type report = {
+  n_vertices : int;
+  n_edges : int;
+  n_requests : int;
+  directed : bool;
+  bound : float;
+  min_capacity : float;
+  max_capacity : float;
+  max_demand : float;
+  total_demand : float;
+  total_value : float;
+  routable_requests : int;
+  splittable_throughput : float;
+  contention : float;
+}
+
+let analyze inst =
+  let g = Instance.graph inst in
+  let bound = Instance.bound inst in
+  let max_capacity =
+    Graph.fold_edges (fun e acc -> Float.max acc e.Graph.capacity) g 0.0
+  in
+  let requests = Instance.requests inst in
+  let routable = ref [] in
+  Array.iter
+    (fun (r : Request.t) ->
+      if Dijkstra.reachable g ~src:r.Request.src ~dst:r.Request.dst then
+        routable := r :: !routable)
+    requests;
+  let routable_demand =
+    List.fold_left (fun acc r -> acc +. r.Request.demand) 0.0 !routable
+  in
+  (* Aggregate splittable throughput: super-source feeding each request
+     source with that request's demand, super-sink draining targets.
+     Demands of requests sharing a source accumulate. *)
+  let tally side =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Request.t) ->
+        let v = side r in
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl v) in
+        Hashtbl.replace tbl v (cur +. r.Request.demand))
+      !routable;
+    Hashtbl.fold (fun v d acc -> (v, d) :: acc) tbl []
+  in
+  let splittable_throughput =
+    if !routable = [] then 0.0
+    else
+      (Maxflow.max_flow_multi g
+         ~sources:(tally (fun r -> r.Request.src))
+         ~sinks:(tally (fun r -> r.Request.dst)))
+        .Maxflow.value
+  in
+  {
+    n_vertices = Graph.n_vertices g;
+    n_edges = Graph.n_edges g;
+    n_requests = Array.length requests;
+    directed = Graph.is_directed g;
+    bound;
+    min_capacity = Graph.min_capacity g;
+    max_capacity;
+    max_demand = Instance.max_demand inst;
+    total_demand =
+      Array.fold_left (fun acc r -> acc +. r.Request.demand) 0.0 requests;
+    total_value = Instance.total_value inst;
+    routable_requests = List.length !routable;
+    splittable_throughput;
+    contention =
+      (if splittable_throughput > 0.0 then routable_demand /. splittable_throughput
+       else if routable_demand > 0.0 then infinity
+       else 0.0);
+  }
+
+let premise_capacity inst ~eps =
+  let m = float_of_int (Graph.n_edges (Instance.graph inst)) in
+  log m /. (eps *. eps) *. Instance.max_demand inst
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s graph: %d vertices, %d edges@,\
+     capacities: [%g, %g], B = min c / max d = %.2f@,\
+     requests: %d (%d routable), total demand %.2f, total value %.2f@,\
+     splittable throughput (max-flow): %.2f@,\
+     contention (routable demand / throughput): %.2f%s@]"
+    (if r.directed then "directed" else "undirected")
+    r.n_vertices r.n_edges r.min_capacity r.max_capacity r.bound r.n_requests
+    r.routable_requests r.total_demand r.total_value r.splittable_throughput
+    r.contention
+    (if r.contention > 1.0 +. 1e-9 then "  (overloaded)" else "")

@@ -1,0 +1,41 @@
+(** Instance inspection: the quantities that decide which of the
+    paper's regimes an instance falls into.
+
+    Used by the CLI's [inspect] command and by experiments to report
+    workload characteristics next to results. *)
+
+type report = {
+  n_vertices : int;
+  n_edges : int;
+  n_requests : int;
+  directed : bool;
+  bound : float;  (** [B = min_e c_e / max_r d_r] *)
+  min_capacity : float;
+  max_capacity : float;
+  max_demand : float;
+  total_demand : float;
+  total_value : float;
+  routable_requests : int;  (** requests whose target is reachable *)
+  splittable_throughput : float;
+      (** max-flow value from all sources to all sinks with per-request
+          demand budgets. Commodities are mixed (single-commodity
+          relaxation), so this is an upper bound on the total demand
+          any allocation — fractional, integral, or even
+          source/target-respecting — can route. *)
+  contention : float;
+      (** [total routable demand / splittable_throughput]; > 1 means
+          even the mixed-commodity relaxation cannot carry the load —
+          definitely overloaded. A value of 1 does {e not} imply the
+          unsplittable problem is uncontended. *)
+}
+
+val analyze : Instance.t -> report
+(** Raises [Invalid_argument] on an instance with no edges or no
+    requests (per {!Instance.bound}). *)
+
+val premise_capacity : Instance.t -> eps:float -> float
+(** The capacity the Theorem 3.1 premise asks for:
+    [ln m / eps^2 * max_demand]. *)
+
+val pp : Format.formatter -> report -> unit
+(** Multi-line human-readable rendering. *)

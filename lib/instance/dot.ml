@@ -1,0 +1,69 @@
+module Graph = Ufp_graph.Graph
+
+let edge_op g = if Graph.is_directed g then "->" else "--"
+
+let graph_kind g = if Graph.is_directed g then "digraph" else "graph"
+
+let vertex_roles inst =
+  let n = Graph.n_vertices (Instance.graph inst) in
+  let is_source = Array.make n false and is_target = Array.make n false in
+  Array.iter
+    (fun (r : Request.t) ->
+      is_source.(r.Request.src) <- true;
+      is_target.(r.Request.dst) <- true)
+    (Instance.requests inst);
+  (is_source, is_target)
+
+let render ?(name = "ufp") inst ~edge_attrs ~extra_label =
+  let g = Instance.graph inst in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s %s {\n" (graph_kind g) name;
+  add "  node [shape=circle, fontsize=10];\n";
+  (match extra_label with
+  | Some label -> add "  label=%S; labelloc=b; fontsize=10;\n" label
+  | None -> ());
+  let is_source, is_target = vertex_roles inst in
+  for v = 0 to Graph.n_vertices g - 1 do
+    let attrs =
+      match (is_source.(v), is_target.(v)) with
+      | true, true -> " [peripheries=2, style=filled, fillcolor=lightyellow]"
+      | true, false -> " [peripheries=2]"
+      | false, true -> " [style=filled, fillcolor=lightyellow]"
+      | false, false -> ""
+    in
+    add "  %d%s;\n" v attrs
+  done;
+  Graph.fold_edges
+    (fun e () ->
+      add "  %d %s %d [%s];\n" e.Graph.u (edge_op g) e.Graph.v (edge_attrs e))
+    g ();
+  add "}\n";
+  Buffer.contents buf
+
+let instance ?name inst =
+  render ?name inst ~extra_label:None ~edge_attrs:(fun e ->
+      Printf.sprintf "label=\"%g\"" e.Graph.capacity)
+
+let solution ?name inst sol =
+  let loads = Solution.edge_loads inst sol in
+  let allocated =
+    Solution.selected sol |> List.map string_of_int |> String.concat ", "
+  in
+  let label =
+    Printf.sprintf "allocated requests: %s (value %g)"
+      (if allocated = "" then "none" else allocated)
+      (Solution.value inst sol)
+  in
+  render ?name inst ~extra_label:(Some label) ~edge_attrs:(fun e ->
+      let load = loads.(e.Graph.id) in
+      if load > 0.0 then
+        Printf.sprintf "label=\"%g/%g\", color=blue, penwidth=2" load
+          e.Graph.capacity
+      else Printf.sprintf "label=\"%g\", color=gray" e.Graph.capacity)
+
+let save path dot_source =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc dot_source)

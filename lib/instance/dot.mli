@@ -1,0 +1,18 @@
+(** Graphviz (DOT) export of instances and solutions.
+
+    For eyeballing instances and allocations:
+    [dot -Tsvg out.dot > out.svg]. Deterministic output (edges in id
+    order, requests in index order), so snapshots are testable. *)
+
+val instance : ?name:string -> Instance.t -> string
+(** DOT source for the graph: edges labelled with capacities, request
+    endpoints annotated (sources ringed, targets filled). Directed
+    instances render as [digraph], undirected as [graph]. *)
+
+val solution : ?name:string -> Instance.t -> Solution.t -> string
+(** Like {!instance}, additionally colouring every edge used by the
+    allocation (label shows [load/capacity]) and listing the allocated
+    requests in the graph label. *)
+
+val save : string -> string -> unit
+(** [save path dot_source] writes the DOT text to a file. *)

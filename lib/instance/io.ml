@@ -1,0 +1,187 @@
+module Graph = Ufp_graph.Graph
+
+let to_string inst =
+  let g = Instance.graph inst in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "ufp 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "directed %d\n" (if Graph.is_directed g then 1 else 0));
+  Buffer.add_string buf (Printf.sprintf "vertices %d\n" (Graph.n_vertices g));
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (Graph.n_edges g));
+  Graph.fold_edges
+    (fun e () ->
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %.17g\n" e.Graph.u e.Graph.v e.Graph.capacity))
+    g ();
+  Buffer.add_string buf (Printf.sprintf "requests %d\n" (Instance.n_requests inst));
+  Array.iter
+    (fun (r : Request.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "r %d %d %.17g %.17g\n" r.Request.src r.Request.dst
+           r.Request.demand r.Request.value))
+    (Instance.requests inst);
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt in
+  let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "") in
+  let int_of l w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> fail "expected integer in %S" l
+  in
+  let float_of l w =
+    match float_of_string_opt w with
+    | Some v -> v
+    | None -> fail "expected float in %S" l
+  in
+  let expect_kv key = function
+    | l :: rest -> (
+      match words l with
+      | [ k; v ] when k = key -> (int_of l v, rest)
+      | _ -> fail "expected %S line, got %S" key l)
+    | [] -> fail "unexpected end of input, expected %S" key
+  in
+  let parse () =
+    match lines with
+    | [] -> fail "empty input"
+    | header :: rest ->
+      (match words header with
+      | [ "ufp"; "1" ] -> ()
+      | _ -> fail "bad header %S (expected \"ufp 1\")" header);
+      let directed, rest = expect_kv "directed" rest in
+      let n, rest = expect_kv "vertices" rest in
+      let m, rest = expect_kv "edges" rest in
+      let g = Graph.create ~directed:(directed <> 0) ~n in
+      let rec read_edges k rest =
+        if k = 0 then rest
+        else
+          match rest with
+          | [] -> fail "unexpected end of input while reading edges"
+          | l :: rest -> (
+            match words l with
+            | [ "e"; u; v; c ] ->
+              ignore
+                (Graph.add_edge g ~u:(int_of l u) ~v:(int_of l v)
+                   ~capacity:(float_of l c));
+              read_edges (k - 1) rest
+            | _ -> fail "bad edge line %S" l)
+      in
+      let rest = read_edges m rest in
+      let r_count, rest = expect_kv "requests" rest in
+      let reqs = ref [] in
+      let rec read_requests k rest =
+        if k = 0 then rest
+        else
+          match rest with
+          | [] -> fail "unexpected end of input while reading requests"
+          | l :: rest -> (
+            match words l with
+            | [ "r"; s; t; d; v ] ->
+              reqs :=
+                Request.make ~src:(int_of l s) ~dst:(int_of l t)
+                  ~demand:(float_of l d) ~value:(float_of l v)
+                :: !reqs;
+              read_requests (k - 1) rest
+            | _ -> fail "bad request line %S" l)
+      in
+      let leftover = read_requests r_count rest in
+      if leftover <> [] then fail "trailing content: %S" (List.hd leftover);
+      Instance.create g (Array.of_list (List.rev !reqs))
+  in
+  match parse () with
+  | inst -> Ok inst
+  | exception Parse_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let save path inst = write_file path (to_string inst)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let solution_to_string (sol : Solution.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "ufp-solution 1\n";
+  Buffer.add_string buf (Printf.sprintf "allocations %d\n" (List.length sol));
+  List.iter
+    (fun (a : Solution.allocation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "a %d %s\n" a.Solution.request
+           (String.concat " " (List.map string_of_int a.Solution.path))))
+    sol;
+  Buffer.contents buf
+
+let solution_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt in
+  let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "") in
+  let int_of l w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> fail "expected integer in %S" l
+  in
+  let parse () =
+    match lines with
+    | [] -> fail "empty input"
+    | header :: rest ->
+      (match words header with
+      | [ "ufp-solution"; "1" ] -> ()
+      | _ -> fail "bad header %S (expected \"ufp-solution 1\")" header);
+      let count, rest =
+        match rest with
+        | l :: rest -> (
+          match words l with
+          | [ "allocations"; n ] -> (int_of l n, rest)
+          | _ -> fail "expected \"allocations\" line, got %S" l)
+        | [] -> fail "unexpected end of input"
+      in
+      let rec read k acc rest =
+        if k = 0 then
+          if rest = [] then List.rev acc
+          else fail "trailing content: %S" (List.hd rest)
+        else
+          match rest with
+          | [] -> fail "unexpected end of input while reading allocations"
+          | l :: rest -> (
+            match words l with
+            | "a" :: req :: path ->
+              read (k - 1)
+                ({
+                   Solution.request = int_of l req;
+                   path = List.map (int_of l) path;
+                 }
+                :: acc)
+                rest
+            | _ -> fail "bad allocation line %S" l)
+      in
+      read count [] rest
+  in
+  match parse () with
+  | sol -> Ok sol
+  | exception Parse_error msg -> Error msg
+
+let save_solution path sol = write_file path (solution_to_string sol)
+
+let load_solution path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> solution_of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,51 @@
+(** Plain-text (de)serialisation of UFP instances.
+
+    The format is line-oriented and self-describing:
+
+    {v
+    ufp 1
+    directed 1
+    vertices 5
+    edges 2
+    e 0 1 4.0
+    e 1 2 4.0
+    requests 1
+    r 0 2 1.0 2.5
+    v}
+
+    Lines starting with [#] and blank lines are ignored. Floats are
+    printed with full precision ([%.17g]) so a round trip is exact. *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> (Instance.t, string) result
+(** Parse; the error string names the offending line. *)
+
+val save : string -> Instance.t -> unit
+(** [save path inst] writes the instance to a file. *)
+
+val load : string -> (Instance.t, string) result
+(** [load path] reads an instance from a file; IO failures are reported
+    in the error string. *)
+
+val solution_to_string : Solution.t -> string
+(** Line-oriented allocation format:
+
+    {v
+    ufp-solution 1
+    allocations 2
+    a 0 3 7
+    a 2 1
+    v}
+
+    where each [a] line is a request index followed by its edge-id
+    path. Pairs with {!to_string}: a solution file only makes sense
+    next to its instance file. *)
+
+val solution_of_string : string -> (Solution.t, string) result
+(** Parse; structural validity only — feasibility against a specific
+    instance is the caller's job ({!Solution.check}). *)
+
+val save_solution : string -> Solution.t -> unit
+
+val load_solution : string -> (Solution.t, string) result

@@ -1,0 +1,21 @@
+type t = { src : int; dst : int; demand : float; value : float }
+
+let positive_finite x = Float.is_finite x && x > 0.0
+
+let make ~src ~dst ~demand ~value =
+  if src = dst then invalid_arg "Request.make: src = dst";
+  if not (positive_finite demand) then
+    invalid_arg "Request.make: demand must be positive and finite";
+  if not (positive_finite value) then
+    invalid_arg "Request.make: value must be positive and finite";
+  { src; dst; demand; value }
+
+let with_type r ~demand ~value = make ~src:r.src ~dst:r.dst ~demand ~value
+
+let density r = r.demand /. r.value
+
+let equal a b =
+  a.src = b.src && a.dst = b.dst && a.demand = b.demand && a.value = b.value
+
+let pp ppf r =
+  Format.fprintf ppf "(%d -> %d, d=%g, v=%g)" r.src r.dst r.demand r.value

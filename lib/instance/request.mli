@@ -1,0 +1,30 @@
+(** Connection requests.
+
+    A request [r] is the quadruple [(s_r, t_r, d_r, v_r)] of the paper:
+    source, target, positive demand and positive value. In the
+    mechanism-design setting (Section 2) the pair [(d_r, v_r)] is the
+    request's {e type}, controlled by a selfish agent; [(s_r, t_r)] is
+    public. *)
+
+type t = private {
+  src : int;  (** source vertex [s_r] *)
+  dst : int;  (** target vertex [t_r] *)
+  demand : float;  (** demand [d_r > 0] *)
+  value : float;  (** value [v_r > 0] *)
+}
+
+val make : src:int -> dst:int -> demand:float -> value:float -> t
+(** Raises [Invalid_argument] when [src = dst], or demand/value is not
+    positive and finite. *)
+
+val with_type : t -> demand:float -> value:float -> t
+(** Same endpoints, different declared type — the misreport operation
+    of the truthfulness harness. *)
+
+val density : t -> float
+(** [demand /. value], the quantity Algorithm 1 line 9 multiplies the
+    path length by; lower is more attractive. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

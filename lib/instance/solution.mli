@@ -1,0 +1,41 @@
+(** Solutions to UFP instances: allocations of requests to paths.
+
+    A solution selects a subset of requests and a simple path for each;
+    the "with repetitions" problem of Section 5 drops the subset
+    restriction, so the same representation serves both with two
+    feasibility predicates. *)
+
+type allocation = {
+  request : int;  (** index of the request in the instance *)
+  path : int list;  (** edge ids from [s_r] to [t_r] *)
+}
+
+type t = allocation list
+
+val empty : t
+
+val value : Instance.t -> t -> float
+(** Sum of values of allocated requests, counting repetitions (the
+    primal objective of Figure 1 / Figure 5). *)
+
+val edge_loads : Instance.t -> t -> float array
+(** [edge_loads inst sol].(e) is the total demand routed through edge
+    [e]. Raises [Invalid_argument] on a bad request index. *)
+
+val check : ?repetitions:bool -> Instance.t -> t -> (unit, string) result
+(** Full feasibility check: each allocation's path is a valid simple
+    path from [s_r] to [t_r]; every edge load is within capacity (up to
+    float tolerance); and unless [repetitions] (default [false]), each
+    request appears at most once. Returns a human-readable reason on
+    failure. *)
+
+val is_feasible : ?repetitions:bool -> Instance.t -> t -> bool
+(** [check] as a predicate. *)
+
+val selected : t -> int list
+(** Indices of allocated requests, in allocation order. *)
+
+val mem : t -> int -> bool
+(** Whether a given request index is allocated. *)
+
+val pp : Format.formatter -> t -> unit

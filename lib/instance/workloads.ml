@@ -1,0 +1,70 @@
+module Rng = Ufp_prelude.Rng
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Generators = Ufp_graph.Generators
+
+let max_pair_attempts = 10_000
+
+let random_reachable_pair rng g =
+  let n = Graph.n_vertices g in
+  let rec attempt k =
+    if k > max_pair_attempts then
+      failwith "Workloads: could not find a reachable request pair";
+    let s = Rng.int rng n and t = Rng.int rng n in
+    if s <> t && Dijkstra.reachable g ~src:s ~dst:t then (s, t) else attempt (k + 1)
+  in
+  attempt 0
+
+let random_requests rng g ~count ?(demand = (0.2, 1.0)) ?(value = (0.5, 2.0)) ()
+    =
+  let dlo, dhi = demand and vlo, vhi = value in
+  Array.init count (fun _ ->
+      let src, dst = random_reachable_pair rng g in
+      Request.make ~src ~dst
+        ~demand:(Rng.float_in rng dlo dhi)
+        ~value:(Rng.float_in rng vlo vhi))
+
+let hop_distance g ~src ~dst =
+  let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src in
+  tree.Dijkstra.dist.(dst)
+
+let random_requests_value_per_hop rng g ~count ?(demand = (0.2, 1.0))
+    ~value_per_hop () =
+  let dlo, dhi = demand in
+  Array.init count (fun _ ->
+      let src, dst = random_reachable_pair rng g in
+      let d = Rng.float_in rng dlo dhi in
+      let hops = hop_distance g ~src ~dst in
+      let v = d *. hops *. value_per_hop *. Rng.float_in rng 0.5 1.5 in
+      Request.make ~src ~dst ~demand:d ~value:v)
+
+let per_source_requests sources sink ~per_source =
+  let l = Array.length sources in
+  Array.init (l * per_source) (fun k ->
+      let i = k / per_source in
+      Request.make ~src:sources.(i) ~dst:sink ~demand:1.0 ~value:1.0)
+
+let staircase_requests (sc : Generators.staircase) ~per_source =
+  per_source_requests sc.Generators.sources sc.Generators.sink ~per_source
+
+let stretched_staircase_requests (sc : Generators.stretched_staircase)
+    ~per_source =
+  per_source_requests sc.Generators.s_sources sc.Generators.s_sink ~per_source
+
+let gadget7_requests ~per_pair =
+  let open Generators.Gadget7 in
+  let pairs = [| (v1, v3); (v4, v6); (v1, v6); (v3, v4) |] in
+  Array.init (4 * per_pair) (fun k ->
+      let src, dst = pairs.(k / per_pair) in
+      Request.make ~src ~dst ~demand:1.0 ~value:1.0)
+
+let all_pairs_unit g ~demand ~value =
+  let n = Graph.n_vertices g in
+  let acc = ref [] in
+  for s = n - 1 downto 0 do
+    for t = n - 1 downto 0 do
+      if s <> t && Dijkstra.reachable g ~src:s ~dst:t then
+        acc := Request.make ~src:s ~dst:t ~demand ~value :: !acc
+    done
+  done;
+  Array.of_list !acc

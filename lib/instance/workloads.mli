@@ -1,0 +1,41 @@
+(** Request-set generators: random workloads for the approximation
+    experiments and the exact request sets of the paper's lower-bound
+    constructions. *)
+
+val random_requests :
+  Ufp_prelude.Rng.t -> Ufp_graph.Graph.t -> count:int ->
+  ?demand:float * float -> ?value:float * float -> unit -> Request.t array
+(** [count] requests with uniformly random endpoint pairs [(s, t)] such
+    that [t] is reachable from [s], demand uniform in [demand] (default
+    [(0.2, 1.0)]) and value uniform in [value] (default [(0.5, 2.0)]).
+    Raises [Failure] if after many attempts no reachable pair can be
+    found (e.g. an edgeless graph). *)
+
+val random_requests_value_per_hop :
+  Ufp_prelude.Rng.t -> Ufp_graph.Graph.t -> count:int ->
+  ?demand:float * float -> value_per_hop:float -> unit -> Request.t array
+(** Like {!random_requests} but each request's value is
+    [demand * hops * value_per_hop * u] with [u] uniform in [0.5, 1.5]
+    and [hops] the unweighted shortest-path distance — a workload where
+    value correlates with resource consumption, the economically
+    natural regime. *)
+
+val staircase_requests :
+  Ufp_graph.Generators.staircase -> per_source:int -> Request.t array
+(** The Theorem 3.11 request multiset: [per_source] unit-demand,
+    unit-value requests [(s_i, t)] for every level [i] (the paper sets
+    [per_source = B]). Requests are ordered level by level. *)
+
+val stretched_staircase_requests :
+  Ufp_graph.Generators.stretched_staircase -> per_source:int -> Request.t array
+(** Same request multiset on the stretched variant. *)
+
+val gadget7_requests : per_pair:int -> Request.t array
+(** The Theorem 3.12 request multiset on {!Ufp_graph.Generators.gadget7}:
+    [per_pair] unit requests for each of the pairs [(v1,v3)], [(v4,v6)],
+    [(v1,v6)], [(v3,v4)] (the paper sets [per_pair = B]). *)
+
+val all_pairs_unit :
+  Ufp_graph.Graph.t -> demand:float -> value:float -> Request.t array
+(** One request for every ordered reachable pair — used by exhaustive
+    small-instance tests. *)

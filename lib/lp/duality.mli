@@ -1,0 +1,48 @@
+(** The linear programs of Figure 1 and Figure 5, made executable.
+
+    Figure 1 (UFP): the dual of the relaxation has a variable [y_e] per
+    edge and [z_r] per request, with constraints
+    [z_r + d_r * sum_{e in s} y_e >= v_r] for every request [r] and
+    every simple path [s in S_r]. Because the left side is minimised
+    over [s] by a shortest-path computation under weights [y], dual
+    feasibility is decidable without materialising the exponential
+    path set — the observation behind Claim 3.6.
+
+    Figure 5 (UFP with repetitions) is the same dual without the [z]
+    variables. *)
+
+val dual_objective :
+  Ufp_instance.Instance.t -> y:float array -> z:float array -> float
+(** [sum_e c_e y_e + sum_r z_r]. Array lengths must match the number of
+    edges and requests respectively; raises [Invalid_argument]
+    otherwise. *)
+
+val dual_objective_repeat : Ufp_instance.Instance.t -> y:float array -> float
+(** [sum_e c_e y_e], the Figure 5 dual objective. *)
+
+val min_constraint_slack :
+  Ufp_instance.Instance.t -> y:float array -> z:float array -> float
+(** The minimum over requests [r] of
+    [z_r + d_r * dist_y(s_r, t_r) - v_r], where [dist_y] is the
+    shortest-path distance under weights [y] ([infinity] when [t_r] is
+    unreachable — that request constrains nothing). Nonnegative iff
+    the dual solution [(y, z)] is feasible. *)
+
+val dual_feasible :
+  ?eps:float -> Ufp_instance.Instance.t -> y:float array -> z:float array ->
+  bool
+(** Feasibility of [(y, z)] for the Figure 1 dual, with float
+    tolerance [eps] (default {!Ufp_prelude.Float_tol.default_eps}). *)
+
+val dual_feasible_repeat :
+  ?eps:float -> Ufp_instance.Instance.t -> y:float array -> bool
+(** Feasibility of [y] for the Figure 5 dual ([z = 0]). *)
+
+val scaled_dual_bound :
+  Ufp_instance.Instance.t -> y:float array -> z:float array -> float
+(** The Claim 3.6 certificate: the least multiplier [1/alpha] making
+    [(y/alpha, z)] dual feasible gives the upper bound
+    [D1/alpha + D2 >= OPT_LP >= OPT]. Returns that bound, or
+    [infinity] when every request has [z_r >= v_r] covered so no
+    scaling is needed and the bound is just the objective — in that
+    case the objective is returned. *)

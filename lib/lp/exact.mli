@@ -1,0 +1,22 @@
+(** Exact optimum for small UFP instances by branch and bound.
+
+    Enumerates the simple-path set [S_r] of every request, then
+    searches allocations with a residual-capacity DFS, pruning with the
+    remaining-value bound. Exponential — intended for instances with
+    at most a couple of dozen requests on small graphs, where it pins
+    the true integral optimum for ratio tests. *)
+
+exception Too_large of string
+(** Raised when a request's path set exceeds the enumeration budget. *)
+
+val solve :
+  ?max_paths_per_request:int -> Ufp_instance.Instance.t ->
+  Ufp_instance.Solution.t
+(** [solve inst] is an optimal feasible solution. Requests with
+    unreachable targets are simply never allocated.
+    [max_paths_per_request] (default [2000]) bounds path enumeration;
+    {!Too_large} is raised when exceeded. Deterministic: among equal
+    valued optima the DFS-first one is returned. *)
+
+val opt_value : ?max_paths_per_request:int -> Ufp_instance.Instance.t -> float
+(** Value of {!solve}'s solution. *)

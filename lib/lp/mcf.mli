@@ -1,0 +1,43 @@
+(** Fractional multicommodity flow: a Garg–Könemann style
+    multiplicative-weights FPTAS for the LP relaxation of the Figure 1
+    program.
+
+    The relaxation is a packing LP whose rows are the [m] edge
+    capacity constraints plus the [|R|] per-request constraints
+    [sum_{s in S_r} x_s <= 1], and whose (exponentially many) columns
+    are (request, path) pairs found by a shortest-path oracle — the
+    fractional problem the paper calls multicommodity flow and cites
+    Garg–Könemann [9] / Fleischer [8] for.
+
+    Two certified quantities are returned:
+    - [feasible_value]: the value of an explicitly feasible fractional
+      flow (the accumulated flow scaled down by the standard
+      [log_{1+eps}((1+eps)/delta)] factor) — a lower bound on OPT_LP;
+    - [upper_bound]: the best Claim-3.6-style scaled dual objective
+      observed, an upper bound on OPT_LP and hence on the integral
+      optimum. Approximation-ratio experiments divide algorithm values
+      by this certified bound, which can only over-estimate the true
+      ratio. *)
+
+type path_flow = {
+  pf_request : int;  (** request index *)
+  pf_path : int list;  (** edge ids *)
+  pf_amount : float;  (** fractional amount in [\[0, 1\]], post-scaling *)
+}
+
+type result = {
+  feasible_value : float;  (** value of the returned feasible flow *)
+  upper_bound : float;  (** certified upper bound on OPT_LP *)
+  flow : path_flow list;  (** feasible fractional flow decomposition *)
+  iterations : int;
+}
+
+val solve : ?eps:float -> Ufp_instance.Instance.t -> result
+(** [solve ~eps inst] runs the width-independent multiplicative-weights
+    loop with accuracy parameter [eps] (default [0.1], must be in
+    (0, 1)). Deterministic. Requests whose target is unreachable are
+    ignored. *)
+
+val fractional_opt_interval : ?eps:float -> Ufp_instance.Instance.t -> float * float
+(** [(lo, hi)] with [lo <= OPT_LP <= hi]: just [feasible_value] and
+    [upper_bound] of {!solve}. *)

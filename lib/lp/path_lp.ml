@@ -1,0 +1,147 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Enumerate = Ufp_graph.Enumerate
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+
+type t = {
+  opt : float;
+  y : float array;
+  z : float array;
+  flow : (int * int list * float) list;
+  columns : int;
+}
+
+exception Too_large of string
+
+exception No_convergence of string
+
+(* Clamp float noise: optimal duals are nonnegative in exact
+   arithmetic. *)
+let clamp = Array.map (fun v -> Float.max 0.0 v)
+
+(* Solve the packing LP restricted to the given (request, path)
+   columns. *)
+let solve_columns inst cols =
+  let g = Instance.graph inst in
+  let m = Graph.n_edges g in
+  let n_req = Instance.n_requests inst in
+  let n_cols = Array.length cols in
+  if n_cols = 0 then
+    {
+      opt = 0.0;
+      y = Array.make m 0.0;
+      z = Array.make n_req 0.0;
+      flow = [];
+      columns = 0;
+    }
+  else begin
+    let n_rows = m + n_req in
+    let c =
+      Array.map (fun (i, _) -> (Instance.request inst i).Request.value) cols
+    in
+    let rows = Array.make_matrix n_rows n_cols 0.0 in
+    Array.iteri
+      (fun j (i, path) ->
+        let d = (Instance.request inst i).Request.demand in
+        List.iter (fun e -> rows.(e).(j) <- rows.(e).(j) +. d) path;
+        rows.(m + i).(j) <- 1.0)
+      cols;
+    let b =
+      Array.init n_rows (fun row ->
+          if row < m then Graph.capacity g row else 1.0)
+    in
+    match Simplex.maximize ~c ~rows ~b () with
+    | Simplex.Unbounded ->
+      (* Impossible: every column is capped by its request row. *)
+      assert false
+    | Simplex.Optimal sol ->
+      let flow = ref [] in
+      Array.iteri
+        (fun j x ->
+          if x > 1e-9 then begin
+            let i, p = cols.(j) in
+            flow := (i, p, x) :: !flow
+          end)
+        sol.Simplex.primal;
+      {
+        opt = sol.Simplex.objective;
+        y = clamp (Array.sub sol.Simplex.dual 0 m);
+        z = clamp (Array.sub sol.Simplex.dual m n_req);
+        flow = !flow;
+        columns = n_cols;
+      }
+  end
+
+let solve ?(max_paths_per_request = 500) inst =
+  let g = Instance.graph inst in
+  let n_req = Instance.n_requests inst in
+  let columns = ref [] in
+  for i = n_req - 1 downto 0 do
+    let r = Instance.request inst i in
+    let paths =
+      Enumerate.simple_paths ~max_paths:(max_paths_per_request + 1) g
+        ~src:r.Request.src ~dst:r.Request.dst
+    in
+    if List.length paths > max_paths_per_request then
+      raise
+        (Too_large
+           (Printf.sprintf "request %d exceeds %d simple paths" i
+              max_paths_per_request));
+    List.iter (fun p -> columns := (i, p) :: !columns) paths
+  done;
+  solve_columns inst (Array.of_list !columns)
+
+let solve_colgen ?(max_rounds = 200) inst =
+  let g = Instance.graph inst in
+  let n_req = Instance.n_requests inst in
+  (* Seed: one fewest-hop path per routable request. *)
+  let seen = Hashtbl.create 64 in
+  let columns = ref [] in
+  let add_column key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      columns := key :: !columns;
+      true
+    end
+    else false
+  in
+  for i = 0 to n_req - 1 do
+    let r = Instance.request inst i in
+    match
+      Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:r.Request.src
+        ~dst:r.Request.dst
+    with
+    | Some (_, path) -> ignore (add_column (i, path))
+    | None -> ()
+  done;
+  let price_tol = 1e-7 in
+  let rec rounds k =
+    if k > max_rounds then
+      raise
+        (No_convergence
+           (Printf.sprintf "column generation did not converge in %d rounds"
+              max_rounds));
+    let restricted = solve_columns inst (Array.of_list !columns) in
+    (* Pricing: the dual constraint for request r is violated by some
+       path iff v_r - z_r - d_r * dist_y(s_r, t_r) > 0, and the
+       Dijkstra path is the witness. *)
+    let improved = ref false in
+    for i = 0 to n_req - 1 do
+      let r = Instance.request inst i in
+      match
+        Dijkstra.shortest_path g
+          ~weight:(fun e -> restricted.y.(e))
+          ~src:r.Request.src ~dst:r.Request.dst
+      with
+      | Some (dist, path) ->
+        let reduced =
+          r.Request.value -. restricted.z.(i) -. (r.Request.demand *. dist)
+        in
+        if reduced > price_tol *. Float.max 1.0 r.Request.value then
+          if add_column (i, path) then improved := true
+      | None -> ()
+    done;
+    if !improved then rounds (k + 1) else restricted
+  in
+  rounds 1

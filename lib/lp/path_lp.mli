@@ -1,0 +1,41 @@
+(** The Figure 1 relaxation solved {e exactly} by materialising the
+    path set.
+
+    Enumerates every simple path of every request (so exponential in
+    the worst case — bounded by [max_paths_per_request]) and hands the
+    resulting packing LP to the dense {!Simplex} solver. Returns both
+    the optimal fractional value and the optimal dual variables
+    [(y, z)], which are feasible for the Figure 1 dual and satisfy
+    strong duality — the ground truth that the iterative
+    Garg–Könemann interval of {!Mcf} and the Claim 3.6 certificates
+    are tested against. *)
+
+type t = {
+  opt : float;  (** the exact fractional optimum OPT_LP *)
+  y : float array;  (** optimal edge duals, one per edge *)
+  z : float array;  (** optimal request duals, one per request *)
+  flow : (int * int list * float) list;
+      (** fractional primal support: (request, path, amount > 0) *)
+  columns : int;  (** number of materialised (request, path) columns *)
+}
+
+exception Too_large of string
+(** Raised when a request's simple-path count exceeds the budget. *)
+
+val solve : ?max_paths_per_request:int -> Ufp_instance.Instance.t -> t
+(** [solve inst] with a per-request enumeration budget (default
+    [500]). Raises {!Too_large} or {!Simplex.Iteration_limit}. *)
+
+exception No_convergence of string
+
+val solve_colgen : ?max_rounds:int -> Ufp_instance.Instance.t -> t
+(** Column generation: solve a restricted LP over a small path set,
+    price out improving columns with one Dijkstra per request under
+    the restricted optimal duals (the Figure 1 dual constraint
+    [z_r + d_r sum y_e >= v_r] is violated exactly when a request has
+    a path with positive reduced cost), and repeat until no column
+    prices in — at which point the restricted optimum is optimal for
+    the full exponential LP. Scales to graphs whose full simple-path
+    sets are astronomically large. [max_rounds] (default [200]) guards
+    degenerate float cycling; {!No_convergence} is raised when it is
+    exceeded. *)

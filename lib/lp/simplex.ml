@@ -1,0 +1,113 @@
+type solution = {
+  objective : float;
+  primal : float array;
+  dual : float array;
+}
+
+type outcome = Optimal of solution | Unbounded
+
+exception Iteration_limit
+
+let eps = 1e-9
+
+(* Tableau layout: m constraint rows over n structural + m slack
+   columns, plus the right-hand side; a separate cost row holds the
+   reduced costs (negated objective coefficients initially) and the
+   running objective value in its last cell. *)
+let maximize ?(max_pivots = 50_000) ~c ~rows ~b () =
+  let m = Array.length rows and n = Array.length c in
+  if Array.length b <> m then invalid_arg "Simplex.maximize: b length mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.maximize: row length mismatch")
+    rows;
+  Array.iter
+    (fun bi -> if bi < 0.0 then invalid_arg "Simplex.maximize: b must be >= 0")
+    b;
+  let width = n + m + 1 in
+  let tab = Array.make_matrix m width 0.0 in
+  for i = 0 to m - 1 do
+    Array.blit rows.(i) 0 tab.(i) 0 n;
+    tab.(i).(n + i) <- 1.0;
+    tab.(i).(width - 1) <- b.(i)
+  done;
+  let cost = Array.make width 0.0 in
+  for j = 0 to n - 1 do
+    cost.(j) <- -.c.(j)
+  done;
+  (* basis.(i) = column currently basic in row i. *)
+  let basis = Array.init m (fun i -> n + i) in
+  let pivots = ref 0 in
+  let continue = ref true in
+  let unbounded = ref false in
+  while !continue do
+    (* Bland: entering column = smallest index with negative reduced
+       cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to width - 2 do
+         if cost.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then continue := false
+    else begin
+      let j = !entering in
+      (* Ratio test; Bland tie-break on the basic variable index. *)
+      let leaving = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(j) > eps then begin
+          let ratio = tab.(i).(width - 1) /. tab.(i).(j) in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best_ratio := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving < 0 then begin
+        unbounded := true;
+        continue := false
+      end
+      else begin
+        incr pivots;
+        if !pivots > max_pivots then raise Iteration_limit;
+        let r = !leaving in
+        let pivot = tab.(r).(j) in
+        for k = 0 to width - 1 do
+          tab.(r).(k) <- tab.(r).(k) /. pivot
+        done;
+        for i = 0 to m - 1 do
+          if i <> r && Float.abs tab.(i).(j) > 0.0 then begin
+            let factor = tab.(i).(j) in
+            for k = 0 to width - 1 do
+              tab.(i).(k) <- tab.(i).(k) -. (factor *. tab.(r).(k))
+            done
+          end
+        done;
+        let factor = cost.(j) in
+        if Float.abs factor > 0.0 then
+          for k = 0 to width - 1 do
+            cost.(k) <- cost.(k) -. (factor *. tab.(r).(k))
+          done;
+        basis.(r) <- j
+      end
+    end
+  done;
+  if !unbounded then Unbounded
+  else begin
+    let primal = Array.make n 0.0 in
+    Array.iteri
+      (fun i bj -> if bj < n then primal.(bj) <- tab.(i).(width - 1))
+      basis;
+    (* Optimal duals are the reduced costs of the slack columns. *)
+    let dual = Array.init m (fun i -> cost.(n + i)) in
+    Optimal { objective = cost.(width - 1); primal; dual }
+  end

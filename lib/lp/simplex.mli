@@ -1,0 +1,34 @@
+(** A dense primal simplex solver for small linear programs in the
+    canonical packing form
+
+    {v max c.x   subject to   A x <= b,  x >= 0,  b >= 0 v}
+
+    which is exactly the shape of the Figure 1 / Figure 5 relaxations
+    once the path set is materialised ({!Path_lp}). The slack basis is
+    immediately feasible (since [b >= 0]), so no phase-1 is needed.
+    Bland's rule is used for both the entering and leaving variable, so
+    the method terminates on non-degenerate-in-exact-arithmetic
+    problems; an iteration cap guards float-degeneracy corner cases.
+
+    Dense and exponential-size-tolerant only in the column count —
+    intended for instances with at most a few thousand columns. *)
+
+type solution = {
+  objective : float;
+  primal : float array;  (** optimal [x], length = number of columns *)
+  dual : float array;  (** optimal dual [y >= 0], length = number of rows; by strong duality [b.y = objective] *)
+}
+
+type outcome = Optimal of solution | Unbounded
+
+exception Iteration_limit
+(** Raised when the pivot cap (default [50_000]) is exceeded —
+    indicates float-degeneracy cycling. *)
+
+val maximize :
+  ?max_pivots:int -> c:float array -> rows:float array array ->
+  b:float array -> unit -> outcome
+(** [maximize ~c ~rows ~b ()] solves the program above, where
+    [rows.(i)] is the i-th constraint row (length matching [c]).
+    Raises [Invalid_argument] on shape mismatches or a negative
+    [b.(i)]. *)

@@ -1,0 +1,97 @@
+module Rng = Ufp_prelude.Rng
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Auction = Ufp_auction.Auction
+
+type ufp_violation = {
+  agent : int;
+  original_type : float * float;
+  improved_type : float * float;
+}
+
+let winning_agents won =
+  let acc = ref [] in
+  Array.iteri (fun i w -> if w then acc := i :: !acc) won;
+  Array.of_list (List.rev !acc)
+
+let check_ufp ?(trials = 100) ~seed algo inst =
+  let rng = Rng.create seed in
+  let won = Ufp_mechanism.winners algo inst in
+  let winners = winning_agents won in
+  if Array.length winners = 0 then None
+  else begin
+    let violation = ref None in
+    let trial () =
+      let agent = Rng.pick rng winners in
+      let r = Instance.request inst agent in
+      let d' = r.Request.demand *. Rng.float_in rng 0.5 1.0 in
+      let v' = r.Request.value *. Rng.float_in rng 1.0 2.0 in
+      let improved =
+        Instance.with_request inst agent
+          (Request.with_type r ~demand:d' ~value:v')
+      in
+      if not (Ufp_mechanism.winners algo improved).(agent) then
+        violation :=
+          Some
+            {
+              agent;
+              original_type = (r.Request.demand, r.Request.value);
+              improved_type = (d', v');
+            }
+    in
+    let k = ref 0 in
+    while !violation = None && !k < trials do
+      incr k;
+      trial ()
+    done;
+    !violation
+  end
+
+type muca_violation = {
+  bid : int;
+  original_value : float;
+  improved_value : float;
+  shrunk_bundle : bool;
+}
+
+let shrink_bundle rng bundle =
+  (* Drop each item with probability 1/4, keeping at least one. *)
+  let kept = List.filter (fun _ -> Rng.float rng 1.0 >= 0.25) bundle in
+  if kept = [] then [ List.hd bundle ] else kept
+
+let check_muca ?(trials = 100) ?(shrink_bundles = true) ~seed algo auction =
+  let rng = Rng.create seed in
+  let won = Muca_mechanism.winners algo auction in
+  let winners = winning_agents won in
+  if Array.length winners = 0 then None
+  else begin
+    let violation = ref None in
+    let trial () =
+      let bid_idx = Rng.pick rng winners in
+      let b = Auction.bid auction bid_idx in
+      let v' = b.Auction.value *. Rng.float_in rng 1.0 2.0 in
+      let shrink = shrink_bundles && Rng.bool rng in
+      let bundle' =
+        if shrink then shrink_bundle rng b.Auction.bundle else b.Auction.bundle
+      in
+      let improved =
+        Auction.with_bid auction bid_idx
+          (Auction.make_bid ~bundle:bundle' ~value:v')
+      in
+      if not (Muca_mechanism.winners algo improved).(bid_idx) then
+        violation :=
+          Some
+            {
+              bid = bid_idx;
+              original_value = b.Auction.value;
+              improved_value = v';
+              shrunk_bundle = shrink;
+            }
+    in
+    let k = ref 0 in
+    while !violation = None && !k < trials do
+      incr k;
+      trial ()
+    done;
+    !violation
+  end

@@ -1,0 +1,39 @@
+(** Empirical monotonicity checking (Definition 2.1).
+
+    An allocation rule is monotone when a winning request keeps
+    winning after any unilateral improvement of its type — lower
+    demand and/or higher value for UFP (Definition 2.1), higher value
+    and/or smaller bundle for MUCA. These checkers sample random
+    unilateral improvements and report the first counterexample; they
+    are expected to find none for the paper's algorithms (Lemma 3.4)
+    and to find violations for randomized rounding, which is the
+    paper's motivation for avoiding that technique. *)
+
+type ufp_violation = {
+  agent : int;
+  original_type : float * float;  (** (demand, value): won *)
+  improved_type : float * float;  (** better type: lost *)
+}
+
+val check_ufp :
+  ?trials:int -> seed:int -> Ufp_mechanism.algo -> Ufp_instance.Instance.t ->
+  ufp_violation option
+(** Sample [trials] (default [100]) random improvements of random
+    winning requests: demand scaled by a uniform factor in [0.5, 1],
+    value by a uniform factor in [1, 2]. Returns the first violation
+    found, [None] otherwise. Deterministic given [seed]. *)
+
+type muca_violation = {
+  bid : int;
+  original_value : float;
+  improved_value : float;
+  shrunk_bundle : bool;  (** whether the improvement also dropped bundle items *)
+}
+
+val check_muca :
+  ?trials:int -> ?shrink_bundles:bool -> seed:int -> Muca_mechanism.algo ->
+  Ufp_auction.Auction.t -> muca_violation option
+(** Value improvements as above; with [shrink_bundles] (default
+    [true], the unknown-single-minded setting) improvements may also
+    drop random items from the bundle, which must also preserve
+    winning for Algorithm 2 (Section 4.1 remark). *)

@@ -1,0 +1,42 @@
+module Auction = Ufp_auction.Auction
+
+type algo = Auction.t -> Auction.Allocation.t
+
+let winners algo auction =
+  let won = Array.make (Auction.n_bids auction) false in
+  List.iter (fun i -> won.(i) <- true) (algo auction);
+  won
+
+let model algo =
+  {
+    Single_param.n_agents = Auction.n_bids;
+    get_value = (fun a i -> (Auction.bid a i).Auction.value);
+    set_value =
+      (fun a i v ->
+        let b = Auction.bid a i in
+        Auction.with_bid a i (Auction.make_bid ~bundle:b.Auction.bundle ~value:v));
+    winners = winners algo;
+  }
+
+let payments ?rel_tol algo auction =
+  Single_param.payments ?rel_tol (model algo) auction
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let utility ?rel_tol algo auction ~agent ~true_bundle ~true_value
+    ~declared_bundle ~declared_value =
+  let declared =
+    Auction.with_bid auction agent
+      (Auction.make_bid ~bundle:declared_bundle ~value:declared_value)
+  in
+  let m = model algo in
+  if not (Single_param.is_winner m declared agent) then 0.0
+  else begin
+    let payment =
+      match Single_param.critical_value ?rel_tol m declared ~agent with
+      | Some c -> c
+      | None -> declared_value
+    in
+    let gross = if subset true_bundle declared_bundle then true_value else 0.0 in
+    gross -. payment
+  end

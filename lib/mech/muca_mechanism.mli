@@ -1,0 +1,20 @@
+(** The truthful MUCA mechanism of Corollary 4.2: Algorithm 2 plus
+    critical-value payments, for (known or unknown) single-minded
+    bidders. *)
+
+type algo = Ufp_auction.Auction.t -> Ufp_auction.Auction.Allocation.t
+
+val winners : algo -> Ufp_auction.Auction.t -> bool array
+
+val model : algo -> Ufp_auction.Auction.t Single_param.model
+
+val payments : ?rel_tol:float -> algo -> Ufp_auction.Auction.t -> float array
+
+val utility :
+  ?rel_tol:float -> algo -> Ufp_auction.Auction.t -> agent:int ->
+  true_bundle:int list -> true_value:float ->
+  declared_bundle:int list -> declared_value:float -> float
+(** Unknown-single-minded utility: the winning agent gains its true
+    value only when the declared bundle contains its true bundle
+    (otherwise the allocation is unusable), and always pays its
+    critical value at the declared bundle. *)

@@ -1,0 +1,90 @@
+type 'inst model = {
+  n_agents : 'inst -> int;
+  get_value : 'inst -> int -> float;
+  set_value : 'inst -> int -> float -> 'inst;
+  winners : 'inst -> bool array;
+}
+
+let is_winner model inst agent = (model.winners inst).(agent)
+
+let default_v_hi model inst =
+  let n = model.n_agents inst in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. model.get_value inst i
+  done;
+  4.0 *. Float.max !total 1.0
+
+let critical_value ?v_hi ?(rel_tol = 1e-6) model inst ~agent =
+  let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
+  let wins v = is_winner model (model.set_value inst agent v) agent in
+  if not (wins v_hi) then None
+  else begin
+    (* Invariant: wins hi, loses lo (or lo = 0, an open bound since
+       declarations must be positive). *)
+    let lo = ref 0.0 and hi = ref v_hi in
+    while !hi -. !lo > rel_tol *. v_hi do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if mid > 0.0 && wins mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
+let payments ?v_hi ?rel_tol model inst =
+  let winners = model.winners inst in
+  Array.mapi
+    (fun i won ->
+      if not won then 0.0
+      else
+        match critical_value ?v_hi ?rel_tol model inst ~agent:i with
+        | Some c -> Float.min c (model.get_value inst i)
+        | None ->
+          (* Cannot happen for a monotone rule: the agent wins at its
+             declaration, hence also at the larger v_hi. Charge the
+             declaration as a conservative fallback. *)
+          model.get_value inst i)
+    winners
+
+let utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value =
+  let reported = model.set_value inst agent declared_value in
+  if not (is_winner model reported agent) then 0.0
+  else begin
+    let payment =
+      match critical_value ?v_hi ?rel_tol model reported ~agent with
+      | Some c -> c
+      | None -> declared_value
+    in
+    true_value -. payment
+  end
+
+type spot_check = {
+  agent : int;
+  truthful_utility : float;
+  best_misreport_utility : float;
+  best_misreport : float option;
+}
+
+let spot_check_truthfulness ?v_hi ?rel_tol ?(slack = 1e-5) model inst ~agent
+    ~misreports =
+  let true_value = model.get_value inst agent in
+  let u v = utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value:v in
+  let truthful_utility = u true_value in
+  let best_misreport_utility = ref truthful_utility in
+  let best_misreport = ref None in
+  List.iter
+    (fun v ->
+      let uv = u v in
+      if
+        uv > !best_misreport_utility
+        && uv -. truthful_utility > slack *. Float.max 1.0 truthful_utility
+      then begin
+        best_misreport_utility := uv;
+        best_misreport := Some v
+      end)
+    misreports;
+  {
+    agent;
+    truthful_utility;
+    best_misreport_utility = !best_misreport_utility;
+    best_misreport = !best_misreport;
+  }

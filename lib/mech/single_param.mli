@@ -1,0 +1,61 @@
+(** Generic critical-value machinery for monotone allocation rules
+    (Theorem 2.3, after Lehmann–O'Callaghan–Shoham [13] and Briest et
+    al. [7]).
+
+    A monotone, exact allocation algorithm induces a truthful
+    mechanism whose payment for a winner is its {e critical value}:
+    the infimum declared value at which it would still win, all other
+    declarations fixed. This module computes critical values by
+    bisection over a single agent's declared value, abstracted over
+    the instance representation so that the same code serves UFP
+    (value coordinate of the two-parameter type) and MUCA. *)
+
+type 'inst model = {
+  n_agents : 'inst -> int;
+  get_value : 'inst -> int -> float;  (** declared value of an agent *)
+  set_value : 'inst -> int -> float -> 'inst;  (** re-declare one agent's value *)
+  winners : 'inst -> bool array;  (** run the allocation algorithm *)
+}
+
+val is_winner : 'inst model -> 'inst -> int -> bool
+
+val critical_value :
+  ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst -> agent:int ->
+  float option
+(** [critical_value model inst ~agent] is [Some c] with [c] the
+    critical value of [agent] (accurate to a relative [rel_tol],
+    default [1e-6]), or [None] when the agent loses even when
+    declaring [v_hi] (default: 4 times the sum of all declared
+    values). Requires the allocation to be value-monotone for this
+    agent; on a non-monotone rule the result is meaningless. *)
+
+val payments :
+  ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst -> float array
+(** Critical-value payment for every winner, [0.] for losers — the
+    truthful mechanism of Theorem 2.3. A winner whose critical value
+    exceeds its declaration (possible only through bisection
+    tolerance) is charged its declaration. *)
+
+val utility :
+  ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst ->
+  agent:int -> true_value:float -> declared_value:float -> float
+(** Quasi-linear utility of [agent] with the given true value when it
+    declares [declared_value] (everyone else as in [inst]):
+    [true_value - payment] if the declaration wins, else [0.]. *)
+
+type spot_check = {
+  agent : int;
+  truthful_utility : float;
+  best_misreport_utility : float;
+  best_misreport : float option;  (** a misreport strictly beating truth, if found *)
+}
+
+val spot_check_truthfulness :
+  ?v_hi:float -> ?rel_tol:float -> ?slack:float -> 'inst model -> 'inst ->
+  agent:int -> misreports:float list -> spot_check
+(** Evaluate the agent's utility under each misreported value,
+    treating its declaration in [inst] as its true value.
+    [best_misreport] is [Some v] when some misreport improves on
+    truthful utility by more than [slack] (default [1e-5] relative) —
+    for a truthful mechanism this is always [None] up to bisection
+    error. *)

@@ -1,0 +1,71 @@
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+
+type algo = Instance.t -> Solution.t
+
+let winners algo inst =
+  let won = Array.make (Instance.n_requests inst) false in
+  List.iter (fun a -> won.(a.Solution.request) <- true) (algo inst);
+  won
+
+let model algo =
+  {
+    Single_param.n_agents = Instance.n_requests;
+    get_value = (fun inst i -> (Instance.request inst i).Request.value);
+    set_value =
+      (fun inst i v ->
+        let r = Instance.request inst i in
+        Instance.with_request inst i
+          (Request.with_type r ~demand:r.Request.demand ~value:v));
+    winners = winners algo;
+  }
+
+let payments ?rel_tol algo inst = Single_param.payments ?rel_tol (model algo) inst
+
+let utility ?rel_tol algo inst ~agent ~true_demand ~true_value ~declared_demand
+    ~declared_value =
+  let r = Instance.request inst agent in
+  let declared =
+    Instance.with_request inst agent
+      (Request.with_type r ~demand:declared_demand ~value:declared_value)
+  in
+  let m = model algo in
+  if not (Single_param.is_winner m declared agent) then 0.0
+  else begin
+    let payment =
+      match Single_param.critical_value ?rel_tol m declared ~agent with
+      | Some c -> c
+      | None -> declared_value
+    in
+    let gross = if declared_demand >= true_demand -. 1e-12 then true_value else 0.0 in
+    gross -. payment
+  end
+
+type misreport_outcome = {
+  declared : float * float;
+  won : bool;
+  outcome_utility : float;
+}
+
+let truthfulness_table ?rel_tol algo inst ~agent ~misreports =
+  let r = Instance.request inst agent in
+  let true_demand = r.Request.demand and true_value = r.Request.value in
+  let evaluate (d, v) =
+    let declared =
+      Instance.with_request inst agent (Request.with_type r ~demand:d ~value:v)
+    in
+    let won = Single_param.is_winner (model algo) declared agent in
+    {
+      declared = (d, v);
+      won;
+      outcome_utility =
+        utility ?rel_tol algo inst ~agent ~true_demand ~true_value
+          ~declared_demand:d ~declared_value:v;
+    }
+  in
+  let truthful =
+    utility ?rel_tol algo inst ~agent ~true_demand ~true_value
+      ~declared_demand:true_demand ~declared_value:true_value
+  in
+  (List.map evaluate misreports, truthful)

@@ -1,0 +1,67 @@
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Solution = Ufp_instance.Solution
+module Exact = Ufp_lp.Exact
+module Auction = Ufp_auction.Auction
+module Muca_baselines = Ufp_auction.Baselines
+
+type outcome = {
+  allocation : Solution.t;
+  payments : float array;
+  welfare : float;
+}
+
+let without_request inst i =
+  let kept = ref [] in
+  for j = Instance.n_requests inst - 1 downto 0 do
+    if j <> i then kept := Instance.request inst j :: !kept
+  done;
+  Instance.create (Instance.graph inst) (Array.of_list !kept)
+
+let ufp ?max_paths_per_request inst =
+  let allocation = Exact.solve ?max_paths_per_request inst in
+  let welfare = Solution.value inst allocation in
+  let payments = Array.make (Instance.n_requests inst) 0.0 in
+  List.iter
+    (fun (a : Solution.allocation) ->
+      let i = a.Solution.request in
+      let v = (Instance.request inst i).Request.value in
+      let opt_without =
+        Exact.opt_value ?max_paths_per_request (without_request inst i)
+      in
+      (* Clarke pivot; clamp float noise into [0, v]. *)
+      payments.(i) <-
+        Float.max 0.0 (Float.min v (opt_without -. (welfare -. v))))
+    allocation;
+  { allocation; payments; welfare }
+
+type muca_outcome = {
+  muca_allocation : Auction.Allocation.t;
+  muca_payments : float array;
+  muca_welfare : float;
+}
+
+let without_bid auction i =
+  let kept = ref [] in
+  for j = Auction.n_bids auction - 1 downto 0 do
+    if j <> i then kept := Auction.bid auction j :: !kept
+  done;
+  let multiplicities =
+    Array.init (Auction.n_items auction) (fun u -> Auction.multiplicity auction u)
+  in
+  Auction.create ~multiplicities (Array.of_list !kept)
+
+let muca ?max_bids auction =
+  let muca_allocation = Muca_baselines.exact ?max_bids auction in
+  let muca_welfare = Auction.Allocation.value auction muca_allocation in
+  let muca_payments = Array.make (Auction.n_bids auction) 0.0 in
+  List.iter
+    (fun i ->
+      let v = (Auction.bid auction i).Auction.value in
+      let opt_without =
+        Muca_baselines.opt_value ?max_bids (without_bid auction i)
+      in
+      muca_payments.(i) <-
+        Float.max 0.0 (Float.min v (opt_without -. (muca_welfare -. v))))
+    muca_allocation;
+  { muca_allocation; muca_payments; muca_welfare }

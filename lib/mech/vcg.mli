@@ -1,0 +1,34 @@
+(** VCG payments over the exact allocation — the classical truthful
+    benchmark the paper's mechanism is an efficient substitute for.
+
+    VCG with the {e optimal} allocation is truthful but requires
+    solving NP-hard problems exactly; the paper's contribution is a
+    polynomial truthful mechanism with a constant-factor guarantee.
+    This module implements VCG over {!Ufp_lp.Exact} (and the MUCA
+    exact solver) so that, on small instances, revenue and welfare of
+    the two mechanisms can be compared empirically — and so the test
+    suite has a second, independent truthful mechanism to validate the
+    harness against.
+
+    The Clarke pivot payment of winner [i] is
+    [OPT(R minus i) - (OPT(R) - v_i)]: the externality [i] imposes.
+    Payments are nonnegative and at most [v_i]. *)
+
+type outcome = {
+  allocation : Ufp_instance.Solution.t;  (** a welfare-optimal allocation *)
+  payments : float array;  (** Clarke pivot payment per request; [0.] for losers *)
+  welfare : float;
+}
+
+val ufp : ?max_paths_per_request:int -> Ufp_instance.Instance.t -> outcome
+(** Exponential time (per {!Ufp_lp.Exact}); raises
+    {!Ufp_lp.Exact.Too_large} on big instances. *)
+
+type muca_outcome = {
+  muca_allocation : Ufp_auction.Auction.Allocation.t;
+  muca_payments : float array;
+  muca_welfare : float;
+}
+
+val muca : ?max_bids:int -> Ufp_auction.Auction.t -> muca_outcome
+(** Raises {!Ufp_auction.Baselines.Too_large} on big auctions. *)

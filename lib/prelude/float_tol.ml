@@ -1,0 +1,11 @@
+let default_eps = 1e-9
+
+let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let approx_eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps *. scale a b
+
+let leq ?(eps = default_eps) a b = a <= b +. (eps *. scale a b)
+
+let geq ?(eps = default_eps) a b = a >= b -. (eps *. scale a b)
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)

@@ -1,0 +1,22 @@
+(** Tolerant float comparisons.
+
+    The primal-dual solvers accumulate exponential edge weights; exact
+    float equality is meaningless there, so every comparison against a
+    theoretical bound in tests and benches goes through this module
+    with an explicit tolerance. *)
+
+val default_eps : float
+(** [1e-9], suitable for values of magnitude around 1. *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b| <= eps * max(1, |a|, |b|)]
+    (relative for large magnitudes, absolute near zero). *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b] up to tolerance. *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b] is [a >= b] up to tolerance. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [\[lo, hi\]]. *)

@@ -1,0 +1,32 @@
+(** Imperative binary min-heap keyed by float priorities.
+
+    Used by Dijkstra ({!Ufp_graph.Dijkstra}) and by the primal-dual
+    solvers to extract the current minimum-length path. Decrease-key is
+    handled by lazy deletion: push the improved entry and let stale
+    entries be filtered by the caller, which is the standard idiom for
+    sparse-graph Dijkstra and keeps the structure allocation-light. *)
+
+type 'a t
+(** Min-heap holding values of type ['a] with [float] keys. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap. [capacity] pre-sizes the backing array. *)
+
+val length : 'a t -> int
+(** Number of stored entries (including stale ones pushed by the
+    lazy-deletion idiom). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key entry, or [None] if empty. Ties
+    are broken arbitrarily but deterministically. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Returns the minimum-key entry without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all entries, retaining the backing array. *)

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, self-contained splitmix64 generator. Every workload
+    generator in the repository takes an explicit seed and threads a
+    value of type {!t}, which makes all experiments bit-reproducible
+    across runs and machines (the OCaml [Random] module is avoided on
+    purpose: its default generator changed between compiler releases). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a fresh generator from an integer seed. Equal
+    seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same
+    stream as [t] from this point on. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. The two
+    streams are statistically independent; useful to give each request
+    generator its own stream so insertion order does not matter. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on
+    an empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [\[0, n)], in increasing order. Requires [0 <= k <= n]. *)

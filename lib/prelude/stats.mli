@@ -1,0 +1,32 @@
+(** Descriptive statistics over float samples, used by the benchmark
+    harness to summarise measured approximation ratios and running
+    times. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] for fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation
+    between closest ranks; [nan] on the empty array. Does not mutate
+    [xs]. *)
+
+val summarize : float array -> summary
+(** Full summary; raises [Invalid_argument] on the empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as ["mean=… sd=… min=… med=… max=… (n=…)"]. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive samples; [nan] on the empty array. *)

@@ -1,0 +1,75 @@
+type row = Cells of string list | Rule
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let print ?(oc = stdout) t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  let measure = function
+    | Rule -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+        cells
+  in
+  List.iter measure rows;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line cells =
+    let padded = List.mapi pad cells in
+    Printf.fprintf oc "| %s |\n" (String.concat " | " padded)
+  in
+  let rule () =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Printf.fprintf oc "+-%s-+\n" (String.concat "-+-" dashes)
+  in
+  Printf.fprintf oc "\n== %s ==\n" t.title;
+  rule ();
+  line t.columns;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cells -> line cells) rows;
+  rule ()
+
+let cell_f x = Printf.sprintf "%.4f" x
+
+let cell_i n = string_of_int n
+
+let title t = t.title
+
+let csv_escape cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  let rows =
+    List.rev t.rows
+    |> List.filter_map (function Rule -> None | Cells c -> Some (line c))
+  in
+  String.concat "\n" (line t.columns :: rows) ^ "\n"
+
+let md_escape cell =
+  String.concat "\\|" (String.split_on_char '|' cell)
+
+let to_markdown t =
+  let line cells = "| " ^ String.concat " | " (List.map md_escape cells) ^ " |" in
+  let sep = "|" ^ String.concat "|" (List.map (fun _ -> "---") t.columns) ^ "|" in
+  let rows =
+    List.rev t.rows
+    |> List.filter_map (function Rule -> None | Cells c -> Some (line c))
+  in
+  String.concat "\n"
+    (Printf.sprintf "**%s**" t.title :: "" :: line t.columns :: sep :: rows)
+  ^ "\n"

@@ -1,0 +1,37 @@
+(** Fixed-width plain-text tables.
+
+    The benchmark harness prints one table per reproduced
+    theorem/figure; this module keeps the formatting identical across
+    experiments so EXPERIMENTS.md can quote the output verbatim. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. Raises
+    [Invalid_argument] otherwise. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val print : ?oc:out_channel -> t -> unit
+(** Render with columns padded to the widest cell, preceded by the
+    title. Defaults to [stdout]. *)
+
+val cell_f : float -> string
+(** Format a float cell with 4 significant decimals. *)
+
+val cell_i : int -> string
+(** Format an int cell. *)
+
+val title : t -> string
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows; separator rules are
+    dropped; cells containing commas, quotes or newlines are quoted. *)
+
+val to_markdown : t -> string
+(** GitHub-flavoured markdown table, preceded by the title as a bold
+    line. Separator rules are dropped; [|] in cells is escaped. *)

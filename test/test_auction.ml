@@ -1,0 +1,633 @@
+(* Tests for Ufp_auction: auction, bounded_muca, lower_bound,
+   reasonable_bundle, baselines, lp. *)
+
+module Auction = Ufp_auction.Auction
+module Bounded_muca = Ufp_auction.Bounded_muca
+module Lower_bound = Ufp_auction.Lower_bound
+module Reasonable_bundle = Ufp_auction.Reasonable_bundle
+module Baselines = Ufp_auction.Baselines
+module Lp = Ufp_auction.Lp
+module Rng = Ufp_prelude.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let random_auction ?(items = 8) ?(multiplicity = 6) ?(bids = 12)
+    ?(bundle_size = 3) seed =
+  let rng = Rng.create seed in
+  let bid _ =
+    let bundle = Rng.sample_without_replacement rng bundle_size items in
+    Auction.make_bid ~bundle ~value:(Rng.float_in rng 0.5 3.0)
+  in
+  Auction.create
+    ~multiplicities:(Array.make items multiplicity)
+    (Array.init bids bid)
+
+(* --- Auction --- *)
+
+let test_make_bid () =
+  let b = Auction.make_bid ~bundle:[ 3; 1; 3; 2 ] ~value:1.5 in
+  Alcotest.(check (list int)) "sorted deduped" [ 1; 2; 3 ] b.Auction.bundle;
+  check_float "value" 1.5 b.Auction.value
+
+let test_make_bid_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Auction.make_bid: empty bundle")
+    (fun () -> ignore (Auction.make_bid ~bundle:[] ~value:1.0));
+  Alcotest.check_raises "negative item"
+    (Invalid_argument "Auction.make_bid: negative item id") (fun () ->
+      ignore (Auction.make_bid ~bundle:[ -1 ] ~value:1.0));
+  Alcotest.check_raises "bad value"
+    (Invalid_argument "Auction.make_bid: value must be positive and finite")
+    (fun () -> ignore (Auction.make_bid ~bundle:[ 0 ] ~value:0.0))
+
+let test_create_validation () =
+  Alcotest.check_raises "bad multiplicity"
+    (Invalid_argument "Auction.create: multiplicity <= 0") (fun () ->
+      ignore (Auction.create ~multiplicities:[| 2; 0 |] [||]));
+  Alcotest.check_raises "unknown item"
+    (Invalid_argument "Auction.create: bundle references unknown item")
+    (fun () ->
+      ignore
+        (Auction.create ~multiplicities:[| 2 |]
+           [| Auction.make_bid ~bundle:[ 5 ] ~value:1.0 |]))
+
+let test_accessors () =
+  let a =
+    Auction.create ~multiplicities:[| 3; 5 |]
+      [| Auction.make_bid ~bundle:[ 0; 1 ] ~value:2.0 |]
+  in
+  Alcotest.(check int) "items" 2 (Auction.n_items a);
+  Alcotest.(check int) "bids" 1 (Auction.n_bids a);
+  Alcotest.(check int) "multiplicity" 5 (Auction.multiplicity a 1);
+  Alcotest.(check int) "bound" 3 (Auction.bound a);
+  check_float "total value" 2.0 (Auction.total_value a);
+  Alcotest.check_raises "bad bid" (Invalid_argument "Auction.bid: index out of range")
+    (fun () -> ignore (Auction.bid a 7))
+
+let test_with_bid () =
+  let a =
+    Auction.create ~multiplicities:[| 3; 5 |]
+      [| Auction.make_bid ~bundle:[ 0 ] ~value:2.0 |]
+  in
+  let a' = Auction.with_bid a 0 (Auction.make_bid ~bundle:[ 1 ] ~value:4.0) in
+  check_float "replaced value" 4.0 (Auction.bid a' 0).Auction.value;
+  check_float "original intact" 2.0 (Auction.bid a 0).Auction.value
+
+let test_allocation_check () =
+  let a =
+    Auction.create ~multiplicities:[| 1; 2 |]
+      [|
+        Auction.make_bid ~bundle:[ 0; 1 ] ~value:1.0;
+        Auction.make_bid ~bundle:[ 0 ] ~value:1.0;
+        Auction.make_bid ~bundle:[ 1 ] ~value:1.0;
+      |]
+  in
+  Alcotest.(check bool) "ok" true (Auction.Allocation.is_feasible a [ 0; 2 ]);
+  Alcotest.(check bool) "item 0 over-allocated" false
+    (Auction.Allocation.is_feasible a [ 0; 1 ]);
+  Alcotest.(check bool) "duplicate bid" false
+    (Auction.Allocation.is_feasible a [ 1; 1 ]);
+  Alcotest.(check bool) "unknown bid" false
+    (Auction.Allocation.is_feasible a [ 9 ]);
+  check_float "value" 2.0 (Auction.Allocation.value a [ 0; 2 ]);
+  Alcotest.(check (array int)) "loads" [| 1; 2 |]
+    (Auction.Allocation.item_loads a [ 0; 2 ])
+
+let test_meets_bound () =
+  let a =
+    Auction.create ~multiplicities:[| 9; 9 |]
+      [| Auction.make_bid ~bundle:[ 0 ] ~value:1.0 |]
+  in
+  Alcotest.(check bool) "meets for eps=1" true (Auction.meets_bound a ~eps:1.0);
+  Alcotest.(check bool) "fails for tiny eps" false (Auction.meets_bound a ~eps:0.01)
+
+(* --- Bounded_muca --- *)
+
+let test_muca_feasible () =
+  for seed = 1 to 10 do
+    let a = random_auction seed in
+    let alloc = Bounded_muca.solve ~eps:0.3 a in
+    Alcotest.(check bool)
+      (Printf.sprintf "feasible seed %d" seed)
+      true
+      (Auction.Allocation.is_feasible a alloc)
+  done
+
+let test_muca_ample_selects_all () =
+  let a = random_auction ~multiplicity:50 ~bids:10 3 in
+  let run = Bounded_muca.run ~eps:0.2 a in
+  Alcotest.(check int) "all bids" 10 (List.length run.Bounded_muca.allocation);
+  Alcotest.(check bool) "no budget stop" false run.Bounded_muca.budget_exhausted
+
+let test_muca_prefers_value () =
+  (* One item with one copy; two bids on it. *)
+  let a =
+    Auction.create ~multiplicities:[| 1 |]
+      [|
+        Auction.make_bid ~bundle:[ 0 ] ~value:1.0;
+        Auction.make_bid ~bundle:[ 0 ] ~value:9.0;
+      |]
+  in
+  Alcotest.(check (list int)) "takes the big bid" [ 1 ] (Bounded_muca.solve a)
+
+let test_muca_certified_bound () =
+  for seed = 1 to 6 do
+    let a = random_auction ~multiplicity:8 ~bids:10 seed in
+    let opt = Baselines.opt_value a in
+    let run = Bounded_muca.run ~eps:0.3 a in
+    Alcotest.(check bool)
+      (Printf.sprintf "bound >= OPT seed %d" seed)
+      true
+      (run.Bounded_muca.certified_upper_bound >= opt -. 1e-6)
+  done
+
+let test_muca_trace () =
+  let a = random_auction ~multiplicity:20 ~bids:10 5 in
+  let run = Bounded_muca.run ~eps:0.2 a in
+  Alcotest.(check int) "trace length" run.Bounded_muca.iterations
+    (List.length run.Bounded_muca.trace);
+  let rec nondecreasing prev = function
+    | [] -> true
+    | (e : Bounded_muca.trace_entry) :: rest ->
+      e.Bounded_muca.alpha >= prev -. 1e-9 && nondecreasing e.Bounded_muca.alpha rest
+  in
+  Alcotest.(check bool) "alphas nondecreasing" true
+    (nondecreasing 0.0 run.Bounded_muca.trace)
+
+let test_muca_validation () =
+  let a = random_auction 1 in
+  Alcotest.check_raises "eps" (Invalid_argument "Bounded_muca: eps must be in (0, 1]")
+    (fun () -> ignore (Bounded_muca.run ~eps:2.0 a));
+  Alcotest.check_raises "no bids" (Invalid_argument "Bounded_muca: no bids")
+    (fun () -> ignore (Bounded_muca.run (Auction.create ~multiplicities:[| 1 |] [||])))
+
+let test_muca_monotone_manual () =
+  let a = random_auction ~multiplicity:10 ~bids:10 7 in
+  match Bounded_muca.solve ~eps:0.3 a with
+  | [] -> Alcotest.fail "expected winners"
+  | w :: _ ->
+    let b = Auction.bid a w in
+    let improved =
+      Auction.with_bid a w
+        (Auction.make_bid ~bundle:b.Auction.bundle ~value:(b.Auction.value *. 2.0))
+    in
+    Alcotest.(check bool) "still wins with higher value" true
+      (List.mem w (Bounded_muca.solve ~eps:0.3 improved));
+    (* Unknown single-minded: shrinking the bundle also preserves
+       winning (Section 4.1 remark). *)
+    (match b.Auction.bundle with
+    | [ _ ] -> () (* nothing to shrink *)
+    | first :: _ ->
+      let shrunk =
+        Auction.with_bid a w
+          (Auction.make_bid ~bundle:[ first ] ~value:b.Auction.value)
+      in
+      Alcotest.(check bool) "still wins with smaller bundle" true
+        (List.mem w (Bounded_muca.solve ~eps:0.3 shrunk))
+    | [] -> assert false)
+
+(* --- Lower_bound --- *)
+
+let test_lower_bound_structure () =
+  let lb = Lower_bound.make ~p:3 ~b:4 () in
+  let a = lb.Lower_bound.auction in
+  Alcotest.(check int) "items" 12 (Auction.n_items a);
+  (* p * B/2 type 1 bids + (p+1) * B/2 type 2 bids. *)
+  Alcotest.(check int) "bids" ((3 * 2) + (4 * 2)) (Auction.n_bids a);
+  Alcotest.(check int) "type1 count" 6 lb.Lower_bound.type1_count;
+  check_float "opt" 12.0 lb.Lower_bound.opt_value;
+  check_float "adversarial bound" 10.0 lb.Lower_bound.adversarial_bound;
+  (* All bundles have m/p = 4 items. *)
+  Array.iter
+    (fun (bid : Auction.bid) ->
+      Alcotest.(check int) "bundle size m/p" 4 (List.length bid.Auction.bundle))
+    (Auction.bids a)
+
+let test_lower_bound_optimal_allocation () =
+  List.iter
+    (fun (p, b) ->
+      let lb = Lower_bound.make ~p ~b () in
+      let alloc = Lower_bound.optimal_allocation lb in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal feasible p=%d b=%d" p b)
+        true
+        (Auction.Allocation.is_feasible lb.Lower_bound.auction alloc);
+      check_float "optimal value" lb.Lower_bound.opt_value
+        (Auction.Allocation.value lb.Lower_bound.auction alloc))
+    [ (3, 2); (3, 4); (5, 4); (5, 8); (7, 6) ]
+
+let test_lower_bound_validation () =
+  Alcotest.check_raises "even p"
+    (Invalid_argument "Lower_bound.make: p must be an odd integer >= 3")
+    (fun () -> ignore (Lower_bound.make ~p:4 ~b:4 ()));
+  Alcotest.check_raises "odd b"
+    (Invalid_argument "Lower_bound.make: b must be an even integer >= 2")
+    (fun () -> ignore (Lower_bound.make ~p:3 ~b:3 ()))
+
+let test_lower_bound_exact_matches_formula () =
+  (* For small instances, the true optimum really is p*B. *)
+  let lb = Lower_bound.make ~p:3 ~b:2 () in
+  check_float "exact = pB" lb.Lower_bound.opt_value
+    (Baselines.opt_value lb.Lower_bound.auction)
+
+(* --- Reasonable_bundle --- *)
+
+let test_reasonable_bundle_fig4 () =
+  List.iter
+    (fun (p, b) ->
+      let lb = Lower_bound.make ~p ~b () in
+      let res =
+        Reasonable_bundle.run
+          ~priority:(Reasonable_bundle.h_muca ~eps:0.1)
+          ~tie_break:Reasonable_bundle.first_bid lb.Lower_bound.auction
+      in
+      let v =
+        Auction.Allocation.value lb.Lower_bound.auction
+          res.Reasonable_bundle.allocation
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "(3p+1)B/4 for p=%d B=%d" p b)
+        lb.Lower_bound.adversarial_bound v;
+      Alcotest.(check bool) "feasible" true
+        (Auction.Allocation.is_feasible lb.Lower_bound.auction
+           res.Reasonable_bundle.allocation))
+    [ (3, 4); (5, 4); (5, 8); (7, 4) ]
+
+let test_reasonable_bundle_priorities () =
+  let a = random_auction ~multiplicity:4 ~bids:15 9 in
+  List.iter
+    (fun (name, priority) ->
+      let res =
+        Reasonable_bundle.run ~priority ~tie_break:Reasonable_bundle.first_bid a
+      in
+      Alcotest.(check bool) (name ^ " feasible") true
+        (Auction.Allocation.is_feasible a res.Reasonable_bundle.allocation))
+    [
+      ("h_muca", Reasonable_bundle.h_muca ~eps:0.1);
+      ("bundle_size", Reasonable_bundle.bundle_size);
+      ("max_load", Reasonable_bundle.max_load);
+    ]
+
+let test_reasonable_bundle_saturates () =
+  let a =
+    Auction.create ~multiplicities:[| 2 |]
+      (Array.init 5 (fun _ -> Auction.make_bid ~bundle:[ 0 ] ~value:1.0))
+  in
+  let res =
+    Reasonable_bundle.run ~priority:Reasonable_bundle.bundle_size
+      ~tie_break:Reasonable_bundle.first_bid a
+  in
+  Alcotest.(check int) "fills multiplicity" 2
+    (List.length res.Reasonable_bundle.allocation)
+
+let test_reasonable_bundle_random_tie () =
+  let a = random_auction ~multiplicity:3 ~bids:10 15 in
+  let run () =
+    Reasonable_bundle.run ~priority:Reasonable_bundle.bundle_size
+      ~tie_break:(Reasonable_bundle.random_bid ~seed:3)
+      a
+  in
+  Alcotest.(check (list int)) "deterministic given seed"
+    (run ()).Reasonable_bundle.allocation (run ()).Reasonable_bundle.allocation
+
+(* --- Baselines --- *)
+
+let test_muca_greedy_feasible () =
+  for seed = 1 to 5 do
+    let a = random_auction ~multiplicity:3 seed in
+    List.iter
+      (fun (name, algo) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s feasible seed %d" name seed)
+          true
+          (Auction.Allocation.is_feasible a (algo a)))
+      [
+        ("by value", Baselines.greedy_by_value);
+        ("per item", Baselines.greedy_value_per_item);
+        ("lehmann", Baselines.greedy_lehmann);
+      ]
+  done
+
+let test_muca_exact_small () =
+  (* Two conflicting bids and one compatible: optimum picks 1 + 2. *)
+  let a =
+    Auction.create ~multiplicities:[| 1; 1 |]
+      [|
+        Auction.make_bid ~bundle:[ 0; 1 ] ~value:2.5;
+        Auction.make_bid ~bundle:[ 0 ] ~value:2.0;
+        Auction.make_bid ~bundle:[ 1 ] ~value:1.0;
+      |]
+  in
+  check_float "optimum" 3.0 (Baselines.opt_value a);
+  Alcotest.(check (list int)) "selection" [ 1; 2 ] (Baselines.exact a)
+
+let test_muca_exact_grouped () =
+  (* Many identical bids collapse into one counted group. *)
+  let a =
+    Auction.create ~multiplicities:[| 3 |]
+      (Array.init 10 (fun _ -> Auction.make_bid ~bundle:[ 0 ] ~value:1.0))
+  in
+  check_float "multiplicity binds" 3.0 (Baselines.opt_value a)
+
+let test_muca_exact_dominates_greedy () =
+  for seed = 1 to 8 do
+    let a = random_auction ~multiplicity:3 ~bids:10 seed in
+    let opt = Baselines.opt_value a in
+    List.iter
+      (fun algo ->
+        Alcotest.(check bool) "exact dominates" true
+          (Auction.Allocation.value a (algo a) <= opt +. 1e-9))
+      [
+        Baselines.greedy_by_value;
+        Baselines.greedy_value_per_item;
+        Baselines.greedy_lehmann;
+        Bounded_muca.solve ~eps:0.3;
+      ]
+  done
+
+let test_muca_exact_too_large () =
+  let rng = Rng.create 2 in
+  let bids =
+    Array.init 70 (fun _ ->
+        Auction.make_bid
+          ~bundle:(Rng.sample_without_replacement rng 2 10)
+          ~value:(Rng.float_in rng 0.5 2.0))
+  in
+  let a = Auction.create ~multiplicities:(Array.make 10 2) bids in
+  match Baselines.exact ~max_bids:20 a with
+  | exception Baselines.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* --- Lp --- *)
+
+let test_muca_lp_sandwich () =
+  for seed = 1 to 6 do
+    let a = random_auction ~multiplicity:4 ~bids:10 seed in
+    let r = Lp.solve ~eps:0.2 a in
+    let opt = Baselines.opt_value a in
+    Alcotest.(check bool)
+      (Printf.sprintf "upper >= OPT seed %d" seed)
+      true
+      (r.Lp.upper_bound >= opt -. 1e-6);
+    Alcotest.(check bool) "lower <= upper" true
+      (r.Lp.feasible_value <= r.Lp.upper_bound +. 1e-6);
+    (* The scaled fractional acceptance is feasible. *)
+    let loads = Array.make (Auction.n_items a) 0.0 in
+    Array.iteri
+      (fun i x ->
+        Alcotest.(check bool) "fraction <= 1" true (x <= 1.0 +. 1e-6);
+        List.iter
+          (fun u -> loads.(u) <- loads.(u) +. x)
+          (Auction.bid a i).Auction.bundle)
+      r.Lp.fractions;
+    Array.iteri
+      (fun u load ->
+        Alcotest.(check bool) "item load within multiplicity" true
+          (load <= float_of_int (Auction.multiplicity a u) +. 1e-6))
+      loads
+  done
+
+let test_muca_lp_empty () =
+  let a = Auction.create ~multiplicities:[| 2 |] [||] in
+  let r = Lp.solve a in
+  check_float "empty feasible" 0.0 r.Lp.feasible_value;
+  check_float "empty upper" 0.0 r.Lp.upper_bound
+
+(* --- Workloads --- *)
+
+module Workloads = Ufp_auction.Workloads
+
+let test_workload_uniform () =
+  let rng = Rng.create 4 in
+  let a = Workloads.uniform rng ~items:10 ~multiplicity:5 ~bids:20 () in
+  Alcotest.(check int) "items" 10 (Auction.n_items a);
+  Alcotest.(check int) "bids" 20 (Auction.n_bids a);
+  Alcotest.(check int) "bound" 5 (Auction.bound a);
+  Array.iter
+    (fun (b : Auction.bid) ->
+      let size = List.length b.Auction.bundle in
+      Alcotest.(check bool) "size in [2,4]" true (size >= 2 && size <= 4);
+      Alcotest.(check bool) "value in range" true
+        (b.Auction.value >= 0.5 && b.Auction.value <= 3.0))
+    (Auction.bids a)
+
+let test_workload_uniform_deterministic () =
+  let mk () =
+    Workloads.uniform (Rng.create 9) ~items:8 ~multiplicity:3 ~bids:10 ()
+  in
+  let a = mk () and b = mk () in
+  Array.iteri
+    (fun i (ba : Auction.bid) ->
+      let bb = Auction.bid b i in
+      Alcotest.(check bool) "same bid" true
+        (ba.Auction.bundle = bb.Auction.bundle && ba.Auction.value = bb.Auction.value))
+    (Auction.bids a)
+
+let test_workload_intervals () =
+  let rng = Rng.create 7 in
+  let a = Workloads.intervals rng ~items:12 ~multiplicity:4 ~bids:30 ~span:(2, 5) () in
+  Array.iter
+    (fun (b : Auction.bid) ->
+      let bundle = b.Auction.bundle in
+      let len = List.length bundle in
+      Alcotest.(check bool) "span" true (len >= 2 && len <= 5);
+      (* Contiguity: max - min = len - 1 for a sorted duplicate-free
+         interval. *)
+      let lo = List.hd bundle and hi = List.nth bundle (len - 1) in
+      Alcotest.(check int) "contiguous" (len - 1) (hi - lo))
+    (Auction.bids a)
+
+let test_workload_weighted () =
+  let rng = Rng.create 3 in
+  let a = Workloads.weighted_items rng ~items:10 ~multiplicity:3 ~bids:25 () in
+  Array.iter
+    (fun (b : Auction.bid) ->
+      Alcotest.(check bool) "positive value" true (b.Auction.value > 0.0))
+    (Auction.bids a);
+  (* All algorithms stay feasible on it. *)
+  Alcotest.(check bool) "muca feasible" true
+    (Auction.Allocation.is_feasible a (Bounded_muca.solve ~eps:0.3 a))
+
+let test_workload_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bundle too large"
+    (Invalid_argument "Workloads.uniform: bundle larger than item set")
+    (fun () ->
+      ignore
+        (Workloads.uniform rng ~items:3 ~multiplicity:1 ~bids:1
+           ~bundle_size:(4, 5) ()));
+  Alcotest.check_raises "span too large"
+    (Invalid_argument "Workloads.intervals: span larger than item set")
+    (fun () ->
+      ignore (Workloads.intervals rng ~items:2 ~multiplicity:1 ~bids:1 ~span:(3, 3) ()))
+
+(* --- Differential: Bounded-MUCA vs the h_muca bundle minimizer --- *)
+
+let test_muca_matches_reasonable_bundle () =
+  (* With ample multiplicities (no budget stop, no scarcity) Algorithm 2
+     and the h_muca-minimising simulator pick the same bids in the same
+     order: the duals of Bounded-MUCA are exactly the exponential loads
+     h_muca evaluates. *)
+  for seed = 1 to 5 do
+    let a = random_auction ~multiplicity:50 ~bids:12 seed in
+    let eps = 0.2 in
+    let direct = Bounded_muca.solve ~eps a in
+    let sim =
+      Reasonable_bundle.run
+        ~priority:(Reasonable_bundle.h_muca ~eps)
+        ~tie_break:Reasonable_bundle.first_bid a
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "same order seed %d" seed)
+      direct sim.Reasonable_bundle.allocation
+  done
+
+(* --- Online_muca --- *)
+
+module Online_muca = Ufp_auction.Online_muca
+
+let test_online_muca_feasible () =
+  for seed = 1 to 5 do
+    let a = random_auction ~multiplicity:4 ~bids:20 seed in
+    let run = Online_muca.route ~eps:0.3 a in
+    Alcotest.(check bool)
+      (Printf.sprintf "feasible seed %d" seed)
+      true
+      (Auction.Allocation.is_feasible a run.Online_muca.allocation);
+    Alcotest.(check int) "one event per bid" 20 (List.length run.Online_muca.log)
+  done
+
+let test_online_muca_log_consistent () =
+  let a = random_auction ~multiplicity:4 ~bids:20 9 in
+  let run = Online_muca.route ~eps:0.3 a in
+  List.iter
+    (fun (e : Online_muca.event) ->
+      if e.Online_muca.accepted then
+        Alcotest.(check bool) "accepted price <= 1" true (e.Online_muca.price <= 1.0)
+      else
+        Alcotest.(check bool) "rejected price > 1 or sold out" true
+          (e.Online_muca.price > 1.0 || e.Online_muca.price = infinity))
+    run.Online_muca.log
+
+let test_online_muca_monotone_per_order () =
+  let a = random_auction ~multiplicity:10 ~bids:15 3 in
+  match Online_muca.solve ~eps:0.3 a with
+  | [] -> Alcotest.fail "expected winners"
+  | w :: _ ->
+    let b = Auction.bid a w in
+    let improved =
+      Auction.with_bid a w
+        (Auction.make_bid ~bundle:b.Auction.bundle ~value:(b.Auction.value *. 3.0))
+    in
+    Alcotest.(check bool) "still accepted" true
+      (List.mem w (Online_muca.solve ~eps:0.3 improved))
+
+let test_online_muca_order_validation () =
+  let a = random_auction ~bids:4 1 in
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "Online_muca.route: order must be a permutation")
+    (fun () -> ignore (Online_muca.route ~order:[| 0; 0; 1; 2 |] a))
+
+let test_online_muca_rejects_worthless () =
+  let a =
+    Auction.create ~multiplicities:[| 4 |]
+      [| Auction.make_bid ~bundle:[ 0 ] ~value:0.01 |]
+  in
+  (* Price = (1/4) / 0.01 = 25 > 1: rejected. *)
+  Alcotest.(check (list int)) "rejected" [] (Online_muca.solve ~eps:0.3 a)
+
+(* --- QCheck --- *)
+
+let qcheck_muca_feasible =
+  QCheck.Test.make ~name:"Bounded-MUCA output is always feasible" ~count:50
+    QCheck.small_int (fun seed ->
+      let a = random_auction ~multiplicity:3 (seed + 500) in
+      Auction.Allocation.is_feasible a (Bounded_muca.solve ~eps:0.4 a))
+
+let qcheck_muca_bound_sandwich =
+  QCheck.Test.make ~name:"MUCA value within certified bound" ~count:30
+    QCheck.small_int (fun seed ->
+      let a = random_auction ~multiplicity:8 (seed + 900) in
+      let run = Bounded_muca.run ~eps:0.3 a in
+      Auction.Allocation.value a run.Bounded_muca.allocation
+      <= run.Bounded_muca.certified_upper_bound +. 1e-6)
+
+let () =
+  Alcotest.run "auction"
+    [
+      ( "auction",
+        [
+          Alcotest.test_case "make_bid" `Quick test_make_bid;
+          Alcotest.test_case "make_bid validation" `Quick test_make_bid_validation;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "with_bid" `Quick test_with_bid;
+          Alcotest.test_case "allocation check" `Quick test_allocation_check;
+          Alcotest.test_case "meets_bound" `Quick test_meets_bound;
+        ] );
+      ( "bounded-muca",
+        [
+          Alcotest.test_case "feasible" `Quick test_muca_feasible;
+          Alcotest.test_case "ample selects all" `Quick test_muca_ample_selects_all;
+          Alcotest.test_case "prefers value" `Quick test_muca_prefers_value;
+          Alcotest.test_case "certified bound" `Quick test_muca_certified_bound;
+          Alcotest.test_case "trace" `Quick test_muca_trace;
+          Alcotest.test_case "validation" `Quick test_muca_validation;
+          Alcotest.test_case "monotone manual" `Quick test_muca_monotone_manual;
+        ] );
+      ( "lower-bound",
+        [
+          Alcotest.test_case "structure" `Quick test_lower_bound_structure;
+          Alcotest.test_case "optimal allocation" `Quick
+            test_lower_bound_optimal_allocation;
+          Alcotest.test_case "validation" `Quick test_lower_bound_validation;
+          Alcotest.test_case "exact matches formula" `Quick
+            test_lower_bound_exact_matches_formula;
+        ] );
+      ( "reasonable-bundle",
+        [
+          Alcotest.test_case "figure 4 ratio" `Quick test_reasonable_bundle_fig4;
+          Alcotest.test_case "priorities" `Quick test_reasonable_bundle_priorities;
+          Alcotest.test_case "saturates" `Quick test_reasonable_bundle_saturates;
+          Alcotest.test_case "random tie" `Quick test_reasonable_bundle_random_tie;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "greedy feasible" `Quick test_muca_greedy_feasible;
+          Alcotest.test_case "exact small" `Quick test_muca_exact_small;
+          Alcotest.test_case "exact grouped" `Quick test_muca_exact_grouped;
+          Alcotest.test_case "exact dominates" `Quick test_muca_exact_dominates_greedy;
+          Alcotest.test_case "exact too large" `Quick test_muca_exact_too_large;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "sandwich" `Quick test_muca_lp_sandwich;
+          Alcotest.test_case "empty" `Quick test_muca_lp_empty;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "matches reasonable bundle minimizer" `Quick
+            test_muca_matches_reasonable_bundle;
+        ] );
+      ( "online-muca",
+        [
+          Alcotest.test_case "feasible" `Quick test_online_muca_feasible;
+          Alcotest.test_case "log consistent" `Quick test_online_muca_log_consistent;
+          Alcotest.test_case "monotone per order" `Quick
+            test_online_muca_monotone_per_order;
+          Alcotest.test_case "order validation" `Quick
+            test_online_muca_order_validation;
+          Alcotest.test_case "rejects worthless" `Quick
+            test_online_muca_rejects_worthless;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "uniform" `Quick test_workload_uniform;
+          Alcotest.test_case "deterministic" `Quick test_workload_uniform_deterministic;
+          Alcotest.test_case "intervals" `Quick test_workload_intervals;
+          Alcotest.test_case "weighted items" `Quick test_workload_weighted;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_muca_feasible; qcheck_muca_bound_sandwich ] );
+    ]

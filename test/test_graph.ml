@@ -1,0 +1,711 @@
+(* Tests for Ufp_graph: graph, dijkstra, path, enumerate, generators. *)
+
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Path = Ufp_graph.Path
+module Enumerate = Ufp_graph.Enumerate
+module Gen = Ufp_graph.Generators
+module Rng = Ufp_prelude.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A small directed diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, plus 0 -> 3. *)
+let diamond () =
+  let g = Graph.create ~directed:true ~n:4 in
+  let e01 = Graph.add_edge g ~u:0 ~v:1 ~capacity:2.0 in
+  let e13 = Graph.add_edge g ~u:1 ~v:3 ~capacity:3.0 in
+  let e02 = Graph.add_edge g ~u:0 ~v:2 ~capacity:4.0 in
+  let e23 = Graph.add_edge g ~u:2 ~v:3 ~capacity:5.0 in
+  let e03 = Graph.add_edge g ~u:0 ~v:3 ~capacity:1.0 in
+  (g, e01, e13, e02, e23, e03)
+
+(* --- Graph --- *)
+
+let test_create_negative () =
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Graph.create: negative vertex count") (fun () ->
+      ignore (Graph.create ~directed:true ~n:(-1)))
+
+let test_add_edge_validation () =
+  let g = Graph.create ~directed:true ~n:3 in
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Graph.add_edge: endpoint out of range") (fun () ->
+      ignore (Graph.add_edge g ~u:0 ~v:3 ~capacity:1.0));
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop")
+    (fun () -> ignore (Graph.add_edge g ~u:1 ~v:1 ~capacity:1.0));
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Graph.add_edge: capacity must be positive and finite")
+    (fun () -> ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:0.0));
+  Alcotest.check_raises "infinite capacity"
+    (Invalid_argument "Graph.add_edge: capacity must be positive and finite")
+    (fun () -> ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:infinity));
+  Alcotest.check_raises "nan capacity"
+    (Invalid_argument "Graph.add_edge: capacity must be positive and finite")
+    (fun () -> ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:nan))
+
+let test_basic_accessors () =
+  let g, e01, _, _, _, e03 = diamond () in
+  Alcotest.(check bool) "directed" true (Graph.is_directed g);
+  Alcotest.(check int) "n" 4 (Graph.n_vertices g);
+  Alcotest.(check int) "m" 5 (Graph.n_edges g);
+  let e = Graph.edge g e01 in
+  Alcotest.(check int) "edge u" 0 e.Graph.u;
+  Alcotest.(check int) "edge v" 1 e.Graph.v;
+  check_float "edge capacity" 2.0 e.Graph.capacity;
+  check_float "capacity accessor" 1.0 (Graph.capacity g e03);
+  check_float "min capacity" 1.0 (Graph.min_capacity g);
+  Alcotest.check_raises "bad edge id" (Invalid_argument "Graph.edge: id out of range")
+    (fun () -> ignore (Graph.edge g 99))
+
+let test_min_capacity_empty () =
+  let g = Graph.create ~directed:true ~n:2 in
+  Alcotest.check_raises "no edges" (Invalid_argument "Graph.min_capacity: no edges")
+    (fun () -> ignore (Graph.min_capacity g))
+
+let test_out_edges_directed () =
+  let g, e01, _, e02, _, e03 = diamond () in
+  let out0 = Graph.out_edges g 0 |> List.map fst |> List.sort compare in
+  Alcotest.(check (list int)) "out of 0" (List.sort compare [ e01; e02; e03 ]) out0;
+  Alcotest.(check (list int)) "sink has no out edges" []
+    (Graph.out_edges g 3 |> List.map fst)
+
+let test_out_edges_undirected () =
+  let g = Graph.create ~directed:false ~n:3 in
+  let e01 = Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0 in
+  let e12 = Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0 in
+  let out1 = Graph.out_edges g 1 |> List.sort compare in
+  Alcotest.(check (list (pair int int))) "both incident edges"
+    (List.sort compare [ (e01, 0); (e12, 2) ])
+    out1
+
+let test_fold_edges_order () =
+  let g, _, _, _, _, _ = diamond () in
+  let ids = Graph.fold_edges (fun e acc -> e.Graph.id :: acc) g [] |> List.rev in
+  Alcotest.(check (list int)) "increasing ids" [ 0; 1; 2; 3; 4 ] ids
+
+let test_other_endpoint () =
+  let g, e01, _, _, _, _ = diamond () in
+  Alcotest.(check int) "other of 0" 1 (Graph.other_endpoint g e01 0);
+  Alcotest.(check int) "other of 1" 0 (Graph.other_endpoint g e01 1);
+  Alcotest.check_raises "not an endpoint"
+    (Invalid_argument "Graph.other_endpoint: vertex not an endpoint") (fun () ->
+      ignore (Graph.other_endpoint g e01 2))
+
+let test_parallel_edges () =
+  let g = Graph.create ~directed:true ~n:2 in
+  let a = Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0 in
+  let b = Graph.add_edge g ~u:0 ~v:1 ~capacity:2.0 in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "two edges" 2 (Graph.n_edges g)
+
+let test_pp_smoke () =
+  let g, _, _, _, _, _ = diamond () in
+  let s = Format.asprintf "%a" Graph.pp g in
+  Alcotest.(check bool) "renders" true (String.length s > 10)
+
+(* --- Dijkstra --- *)
+
+let test_dijkstra_diamond () =
+  let g, e01, e13, _, _, e03 = diamond () in
+  let w = Array.make 5 10.0 in
+  w.(e01) <- 1.0;
+  w.(e13) <- 1.0;
+  w.(e03) <- 5.0;
+  match Dijkstra.shortest_path g ~weight:(fun e -> w.(e)) ~src:0 ~dst:3 with
+  | Some (len, path) ->
+    check_float "length" 2.0 len;
+    Alcotest.(check (list int)) "path edges" [ e01; e13 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_dijkstra_direct_when_cheap () =
+  let g, _, _, _, _, e03 = diamond () in
+  let w = Array.make 5 10.0 in
+  w.(e03) <- 0.5;
+  match Dijkstra.shortest_path g ~weight:(fun e -> w.(e)) ~src:0 ~dst:3 with
+  | Some (len, path) ->
+    check_float "length" 0.5 len;
+    Alcotest.(check (list int)) "direct edge" [ e03 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  Alcotest.(check bool) "no path to 2" true
+    (Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:0 ~dst:2 = None)
+
+let test_dijkstra_directed_respects_orientation () =
+  let g = Graph.create ~directed:true ~n:2 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  Alcotest.(check bool) "backwards unreachable" true
+    (Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:1 ~dst:0 = None)
+
+let test_dijkstra_negative_raises () =
+  let g = Graph.create ~directed:true ~n:2 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dijkstra: negative edge weight") (fun () ->
+      ignore (Dijkstra.shortest_tree g ~weight:(fun _ -> -1.0) ~src:0))
+
+let test_dijkstra_tree_distances () =
+  let g = Gen.grid ~rows:3 ~cols:3 ~capacity:1.0 in
+  let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src:0 in
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      check_float
+        (Printf.sprintf "dist to (%d,%d)" r c)
+        (float_of_int (r + c))
+        tree.Dijkstra.dist.((r * 3) + c)
+    done
+  done
+
+let test_dijkstra_undirected_both_ways () =
+  let g = Gen.ring ~n:5 ~capacity:1.0 in
+  let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src:0 in
+  check_float "dist to 2" 2.0 tree.Dijkstra.dist.(2);
+  check_float "dist to 4 wraps" 1.0 tree.Dijkstra.dist.(4)
+
+let test_reachable () =
+  let g = Graph.create ~directed:true ~n:4 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0);
+  Alcotest.(check bool) "0 reaches 2" true (Dijkstra.reachable g ~src:0 ~dst:2);
+  Alcotest.(check bool) "0 reaches 0" true (Dijkstra.reachable g ~src:0 ~dst:0);
+  Alcotest.(check bool) "2 does not reach 0" false (Dijkstra.reachable g ~src:2 ~dst:0);
+  Alcotest.(check bool) "3 isolated" false (Dijkstra.reachable g ~src:0 ~dst:3)
+
+(* --- Path --- *)
+
+let test_path_vertices () =
+  let g, e01, e13, _, _, _ = diamond () in
+  Alcotest.(check (list int)) "vertex walk" [ 0; 1; 3 ]
+    (Path.vertices g ~src:0 [ e01; e13 ]);
+  Alcotest.(check (list int)) "empty path" [ 0 ] (Path.vertices g ~src:0 [])
+
+let test_path_vertices_orientation () =
+  let g, e01, _, _, _, _ = diamond () in
+  Alcotest.check_raises "against orientation"
+    (Invalid_argument "Path.vertices: directed edge traversed against orientation")
+    (fun () -> ignore (Path.vertices g ~src:1 [ e01 ]))
+
+let test_path_vertices_undirected () =
+  let g = Gen.ring ~n:4 ~capacity:1.0 in
+  Alcotest.(check (list int)) "reverse traversal ok" [ 1; 0 ]
+    (Path.vertices g ~src:1 [ 0 ])
+
+let test_path_is_valid () =
+  let g, e01, e13, e02, e23, e03 = diamond () in
+  Alcotest.(check bool) "valid" true (Path.is_valid g ~src:0 ~dst:3 [ e01; e13 ]);
+  Alcotest.(check bool) "wrong dst" false (Path.is_valid g ~src:0 ~dst:2 [ e01; e13 ]);
+  Alcotest.(check bool) "disconnected edges" false
+    (Path.is_valid g ~src:0 ~dst:3 [ e01; e23 ]);
+  Alcotest.(check bool) "empty needs src=dst" true (Path.is_valid g ~src:1 ~dst:1 []);
+  Alcotest.(check bool) "empty src<>dst" false (Path.is_valid g ~src:0 ~dst:3 []);
+  ignore (e02, e03)
+
+let test_path_simple_only () =
+  let g = Gen.ring ~n:4 ~capacity:1.0 in
+  Alcotest.(check bool) "cycle not simple" false
+    (Path.is_valid g ~src:0 ~dst:0 [ 0; 1; 2; 3 ])
+
+let test_path_length_bottleneck () =
+  let g, e01, e13, _, _, _ = diamond () in
+  check_float "length" 5.0
+    (Path.length ~weight:(fun e -> if e = e01 then 2.0 else 3.0) [ e01; e13 ]);
+  check_float "bottleneck" 2.0 (Path.bottleneck g [ e01; e13 ]);
+  check_float "empty bottleneck" infinity (Path.bottleneck g []);
+  Alcotest.(check bool) "mem edge" true (Path.mem_edge e01 [ e01; e13 ]);
+  Alcotest.(check bool) "not mem" false (Path.mem_edge 99 [ e01; e13 ])
+
+let test_path_pp () =
+  let g, e01, e13, _, _, _ = diamond () in
+  let s = Format.asprintf "%a" (Path.pp g ~src:0) [ e01; e13 ] in
+  Alcotest.(check string) "render" "0 -> 1 -> 3" s
+
+(* --- Enumerate --- *)
+
+let test_enumerate_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let paths = Enumerate.simple_paths g ~src:0 ~dst:3 in
+  Alcotest.(check int) "three paths" 3 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "each valid" true (Path.is_valid g ~src:0 ~dst:3 p))
+    paths;
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare paths))
+
+let test_enumerate_src_eq_dst () =
+  let g, _, _, _, _, _ = diamond () in
+  Alcotest.(check (list (list int))) "single empty path" [ [] ]
+    (Enumerate.simple_paths g ~src:2 ~dst:2)
+
+let test_enumerate_max_paths () =
+  let g, _, _, _, _, _ = diamond () in
+  Alcotest.(check int) "capped" 2
+    (List.length (Enumerate.simple_paths ~max_paths:2 g ~src:0 ~dst:3))
+
+let test_enumerate_gadget_count () =
+  let g = Gen.gadget7 ~capacity:1.0 in
+  let open Gen.Gadget7 in
+  (* v1 -> v6: via v7 directly, via v2-v3-v7, via v7-v4-v5, and the long
+     way around both side chains. *)
+  Alcotest.(check int) "gadget v1->v6 paths" 4
+    (Enumerate.count_simple_paths g ~src:v1 ~dst:v6)
+
+let test_enumerate_none () =
+  let g = Graph.create ~directed:true ~n:2 in
+  Alcotest.(check (list (list int))) "no path" []
+    (Enumerate.simple_paths g ~src:0 ~dst:1)
+
+(* --- Generators --- *)
+
+let test_staircase_structure () =
+  let l = 6 in
+  let sc = Gen.staircase ~levels:l ~capacity:4.0 in
+  let g = sc.Gen.graph in
+  Alcotest.(check int) "vertices" ((2 * l) + 1) (Graph.n_vertices g);
+  Alcotest.(check int) "edges" (l + (l * (l + 1) / 2)) (Graph.n_edges g);
+  Alcotest.(check bool) "directed" true (Graph.is_directed g);
+  check_float "uniform capacity" 4.0 (Graph.min_capacity g);
+  Array.iteri
+    (fun i si ->
+      Alcotest.(check bool) "source reaches sink" true
+        (Dijkstra.reachable g ~src:si ~dst:sc.Gen.sink);
+      Alcotest.(check int)
+        (Printf.sprintf "out-degree of s_%d" (i + 1))
+        (l - i)
+        (List.length (Graph.out_edges g si)))
+    sc.Gen.sources;
+  Array.iter
+    (fun vj ->
+      Alcotest.(check (list int)) "mid connects to sink" [ sc.Gen.sink ]
+        (Graph.out_edges g vj |> List.map snd))
+    sc.Gen.mids
+
+let test_staircase_invalid () =
+  Alcotest.check_raises "levels 0"
+    (Invalid_argument "Generators.staircase: levels <= 0") (fun () ->
+      ignore (Gen.staircase ~levels:0 ~capacity:1.0))
+
+let test_stretched_staircase () =
+  let l = 3 in
+  let sc = Gen.staircase_stretched ~levels:l ~capacity:2.0 in
+  let g = sc.Gen.s_graph in
+  (* The (s_i, v_j) connection is a path of i*l + 1 - j edges. *)
+  for i = 1 to l do
+    let tree =
+      Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0)
+        ~src:sc.Gen.s_sources.(i - 1)
+    in
+    for j = i to l do
+      check_float
+        (Printf.sprintf "hops s_%d -> v_%d" i j)
+        (float_of_int ((i * l) + 1 - j))
+        tree.Dijkstra.dist.(sc.Gen.s_mids.(j - 1))
+    done
+  done
+
+let test_gadget7_structure () =
+  let g = Gen.gadget7 ~capacity:3.0 in
+  let open Gen.Gadget7 in
+  Alcotest.(check int) "vertices" 7 (Graph.n_vertices g);
+  Alcotest.(check int) "edges" 8 (Graph.n_edges g);
+  Alcotest.(check bool) "undirected" false (Graph.is_directed g);
+  Alcotest.(check int) "hub degree" 4 (List.length (Graph.out_edges g v7));
+  (* Every v1 -> v6 simple path uses edge v1-v7 or v3-v7 — the
+     bottleneck of Theorem 3.12. *)
+  let uses_bottleneck p =
+    List.exists
+      (fun eid ->
+        let e = Graph.edge g eid in
+        let pair = (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v) in
+        pair = (v1, v7) || pair = (v3, v7))
+      p
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) "bottleneck edge used" true (uses_bottleneck p))
+    (Enumerate.simple_paths g ~src:v1 ~dst:v6)
+
+let test_grid_structure () =
+  let g = Gen.grid ~rows:3 ~cols:4 ~capacity:2.0 in
+  Alcotest.(check int) "vertices" 12 (Graph.n_vertices g);
+  Alcotest.(check int) "edges" 17 (Graph.n_edges g);
+  Alcotest.(check bool) "connected" true (Dijkstra.reachable g ~src:0 ~dst:11)
+
+let test_layered_structure () =
+  let rng = Rng.create 5 in
+  let g =
+    Gen.layered rng ~layers:4 ~width:3 ~edge_prob:0.3 ~capacity_lo:1.0
+      ~capacity_hi:2.0
+  in
+  Alcotest.(check int) "vertices" 12 (Graph.n_vertices g);
+  Alcotest.(check bool) "directed" true (Graph.is_directed g);
+  let reaches_last v =
+    List.exists (fun t -> Dijkstra.reachable g ~src:v ~dst:t) [ 9; 10; 11 ]
+  in
+  List.iter
+    (fun v -> Alcotest.(check bool) "no dead end" true (reaches_last v))
+    [ 0; 1; 2 ];
+  Graph.fold_edges
+    (fun e () ->
+      Alcotest.(check bool) "capacity range" true
+        (e.Graph.capacity >= 1.0 && e.Graph.capacity <= 2.0))
+    g ()
+
+let test_erdos_renyi_deterministic () =
+  let build () =
+    let rng = Rng.create 8 in
+    Gen.erdos_renyi rng ~n:10 ~edge_prob:0.4 ~directed:true ~capacity_lo:1.0
+      ~capacity_hi:3.0
+  in
+  let a = build () and b = build () in
+  Alcotest.(check int) "same edge count" (Graph.n_edges a) (Graph.n_edges b);
+  for i = 0 to Graph.n_edges a - 1 do
+    let ea = Graph.edge a i and eb = Graph.edge b i in
+    Alcotest.(check bool) "same edge" true
+      (ea.Graph.u = eb.Graph.u && ea.Graph.v = eb.Graph.v
+      && ea.Graph.capacity = eb.Graph.capacity)
+  done
+
+let test_ring_structure () =
+  let g = Gen.ring ~n:6 ~capacity:1.5 in
+  Alcotest.(check int) "edges" 6 (Graph.n_edges g);
+  Alcotest.check_raises "too small" (Invalid_argument "Generators.ring: n < 3")
+    (fun () -> ignore (Gen.ring ~n:2 ~capacity:1.0))
+
+let test_abilene_structure () =
+  let g = Gen.abilene ~capacity:10.0 in
+  Alcotest.(check int) "11 PoPs" 11 (Graph.n_vertices g);
+  Alcotest.(check int) "14 links" 14 (Graph.n_edges g);
+  Alcotest.(check int) "names match" 11 (Array.length Gen.Abilene.names);
+  Alcotest.(check bool) "undirected" false (Graph.is_directed g);
+  (* Fully connected: Seattle reaches every PoP. *)
+  for v = 1 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "Seattle reaches %s" Gen.Abilene.names.(v))
+      true
+      (Dijkstra.reachable g ~src:0 ~dst:v)
+  done;
+  (* The backbone is 2-edge-connected: min cut between coasts >= 2. *)
+  let flow = Ufp_graph.Maxflow.max_flow g ~src:0 ~dst:10 in
+  Alcotest.(check bool) "two disjoint coast-to-coast routes" true
+    (flow.Ufp_graph.Maxflow.value >= 20.0 -. 1e-9)
+
+(* --- Maxflow --- *)
+
+module Maxflow = Ufp_graph.Maxflow
+
+(* Net out-flow minus in-flow at a vertex, from the per-edge flows. *)
+let net_outflow g (flow : float array) v =
+  Graph.fold_edges
+    (fun e acc ->
+      if e.Graph.u = v then acc +. flow.(e.Graph.id)
+      else if e.Graph.v = v then acc -. flow.(e.Graph.id)
+      else acc)
+    g 0.0
+
+let check_flow_valid g (r : Maxflow.result) ~src ~dst =
+  Graph.fold_edges
+    (fun e () ->
+      let f = r.Maxflow.flow.(e.Graph.id) in
+      let lo = if Graph.is_directed g then 0.0 else -.e.Graph.capacity in
+      Alcotest.(check bool) "within capacity" true
+        (f >= lo -. 1e-9 && f <= e.Graph.capacity +. 1e-9))
+    g ();
+  for v = 0 to Graph.n_vertices g - 1 do
+    if v <> src && v <> dst then
+      Alcotest.(check (float 1e-6)) "conservation" 0.0 (net_outflow g r.Maxflow.flow v)
+  done;
+  Alcotest.(check (float 1e-6)) "source emits the value" r.Maxflow.value
+    (net_outflow g r.Maxflow.flow src)
+
+let test_maxflow_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let r = Maxflow.max_flow g ~src:0 ~dst:3 in
+  check_float "value 2+4+1" 7.0 r.Maxflow.value;
+  check_flow_valid g r ~src:0 ~dst:3
+
+let test_maxflow_respects_orientation () =
+  let g, _, _, _, _, _ = diamond () in
+  check_float "no reverse flow" 0.0 (Maxflow.max_flow g ~src:3 ~dst:0).Maxflow.value
+
+let test_maxflow_undirected_ring () =
+  let g = Gen.ring ~n:6 ~capacity:3.0 in
+  let r = Maxflow.max_flow g ~src:0 ~dst:3 in
+  check_float "both directions used" 6.0 r.Maxflow.value;
+  check_flow_valid g r ~src:0 ~dst:3
+
+let test_maxflow_grid () =
+  let g = Gen.grid ~rows:2 ~cols:2 ~capacity:5.0 in
+  check_float "corner to corner" 10.0
+    (Maxflow.max_flow g ~src:0 ~dst:3).Maxflow.value
+
+let test_maxflow_unreachable () =
+  let g = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  check_float "zero" 0.0 (Maxflow.max_flow g ~src:0 ~dst:2).Maxflow.value
+
+let test_maxflow_validation () =
+  let g, _, _, _, _, _ = diamond () in
+  Alcotest.check_raises "src = dst" (Invalid_argument "Maxflow.max_flow: src = dst")
+    (fun () -> ignore (Maxflow.max_flow g ~src:1 ~dst:1));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Maxflow.max_flow: vertex out of range") (fun () ->
+      ignore (Maxflow.max_flow g ~src:0 ~dst:9))
+
+let test_maxflow_multi_staircase () =
+  (* The Figure 2 staircase saturates: total flow l * B — the
+     independent certificate that OPT = lB for Theorem 3.11. *)
+  let l = 8 and b = 4 in
+  let sc = Gen.staircase ~levels:l ~capacity:(float_of_int b) in
+  let sources =
+    Array.to_list (Array.map (fun s -> (s, float_of_int b)) sc.Gen.sources)
+  in
+  let r =
+    Maxflow.max_flow_multi sc.Gen.graph ~sources
+      ~sinks:[ (sc.Gen.sink, float_of_int (l * b)) ]
+  in
+  check_float "staircase saturates" (float_of_int (l * b)) r.Maxflow.value
+
+let test_maxflow_multi_validation () =
+  let g, _, _, _, _, _ = diamond () in
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Maxflow.max_flow_multi: budget <= 0") (fun () ->
+      ignore (Maxflow.max_flow_multi g ~sources:[ (0, 0.0) ] ~sinks:[ (3, 1.0) ]))
+
+(* Max-flow/min-cut: after Dinic, the vertices reachable from the
+   source in the residual network define a cut whose capacity equals
+   the flow value — verifying optimality, not just feasibility. *)
+let residual_cut_capacity g (r : Maxflow.result) ~src =
+  let n = Graph.n_vertices g in
+  let reachable = Array.make n false in
+  reachable.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let residual_to u v eid =
+    let e = Graph.edge g eid in
+    let f = r.Maxflow.flow.(eid) in
+    if Graph.is_directed g then
+      if e.Graph.u = u && e.Graph.v = v then e.Graph.capacity -. f
+      else if e.Graph.v = u && e.Graph.u = v then f
+      else 0.0
+    else if e.Graph.u = u && e.Graph.v = v then e.Graph.capacity -. f
+    else if e.Graph.v = u && e.Graph.u = v then e.Graph.capacity +. f
+    else 0.0
+  in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.fold_edges
+      (fun e () ->
+        List.iter
+          (fun v ->
+            if
+              v <> u
+              && (not reachable.(v))
+              && (e.Graph.u = u || e.Graph.v = u)
+              && (e.Graph.u = v || e.Graph.v = v)
+              && residual_to u v e.Graph.id > 1e-9
+            then begin
+              reachable.(v) <- true;
+              Queue.add v queue
+            end)
+          [ e.Graph.u; e.Graph.v ])
+      g ()
+  done;
+  let cut =
+    Graph.fold_edges
+      (fun e acc ->
+        let crosses_forward = reachable.(e.Graph.u) && not reachable.(e.Graph.v) in
+        let crosses_backward = reachable.(e.Graph.v) && not reachable.(e.Graph.u) in
+        if Graph.is_directed g then
+          if crosses_forward then acc +. e.Graph.capacity else acc
+        else if crosses_forward || crosses_backward then acc +. e.Graph.capacity
+        else acc)
+      g 0.0
+  in
+  (cut, reachable)
+
+let qcheck_maxflow_equals_mincut =
+  QCheck.Test.make ~name:"max flow equals a residual min cut" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      let directed = seed mod 2 = 0 in
+      let g =
+        Gen.erdos_renyi rng ~n:8 ~edge_prob:0.45 ~directed ~capacity_lo:1.0
+          ~capacity_hi:4.0
+      in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let r = Maxflow.max_flow g ~src:0 ~dst:7 in
+        let cut, reachable = residual_cut_capacity g r ~src:0 in
+        (* The sink must be cut off, and the cut certifies optimality. *)
+        (not reachable.(7)) && Float.abs (cut -. r.Maxflow.value) < 1e-6
+      end)
+
+let qcheck_maxflow_bounded_by_cut =
+  QCheck.Test.make ~name:"max flow bounded by source/sink degree cuts" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Gen.erdos_renyi rng ~n:8 ~edge_prob:0.4 ~directed:true ~capacity_lo:1.0
+          ~capacity_hi:4.0
+      in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let out_cap v =
+          List.fold_left
+            (fun acc (e, _) -> acc +. Graph.capacity g e)
+            0.0 (Graph.out_edges g v)
+        in
+        let r = Maxflow.max_flow g ~src:0 ~dst:7 in
+        r.Maxflow.value <= out_cap 0 +. 1e-9 && r.Maxflow.value >= -.1e-9
+      end)
+
+(* --- QCheck --- *)
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  Gen.erdos_renyi rng ~n:12 ~edge_prob:0.3 ~directed:false ~capacity_lo:1.0
+    ~capacity_hi:5.0
+
+let qcheck_dijkstra_path_length =
+  QCheck.Test.make ~name:"dijkstra path length equals reported distance"
+    ~count:100
+    QCheck.(pair small_int (pair (int_bound 11) (int_bound 11)))
+    (fun (seed, (src, dst)) ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 1) in
+      let w =
+        Array.init (max 1 (Graph.n_edges g)) (fun _ -> Rng.float_in rng 0.1 3.0)
+      in
+      match Dijkstra.shortest_path g ~weight:(fun e -> w.(e)) ~src ~dst with
+      | None -> true
+      | Some (len, path) ->
+        (src = dst && path = [])
+        || (Path.is_valid g ~src ~dst path
+           && Float.abs (Path.length ~weight:(fun e -> w.(e)) path -. len) < 1e-9))
+
+let qcheck_dijkstra_optimal_vs_enumeration =
+  QCheck.Test.make ~name:"dijkstra distance matches exhaustive minimum" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Gen.erdos_renyi rng ~n:7 ~edge_prob:0.4 ~directed:true ~capacity_lo:1.0
+          ~capacity_hi:2.0
+      in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let w = Array.init (Graph.n_edges g) (fun _ -> Rng.float_in rng 0.1 1.0) in
+        let weight e = w.(e) in
+        let ok = ref true in
+        for src = 0 to 6 do
+          for dst = 0 to 6 do
+            if src <> dst then begin
+              let brute =
+                Enumerate.simple_paths g ~src ~dst
+                |> List.fold_left
+                     (fun acc p -> Float.min acc (Path.length ~weight p))
+                     infinity
+              in
+              let dij =
+                match Dijkstra.shortest_path g ~weight ~src ~dst with
+                | Some (len, _) -> len
+                | None -> infinity
+              in
+              if brute <> dij && Float.abs (brute -. dij) > 1e-9 then ok := false
+            end
+          done
+        done;
+        !ok
+      end)
+
+let qcheck_enumerate_simple =
+  QCheck.Test.make ~name:"enumerated paths are simple and distinct" ~count:50
+    QCheck.small_int (fun seed ->
+      let g = random_graph seed in
+      let paths = Enumerate.simple_paths ~max_paths:500 g ~src:0 ~dst:5 in
+      List.for_all (fun p -> Path.is_valid g ~src:0 ~dst:5 p) paths
+      && List.length (List.sort_uniq compare paths) = List.length paths)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create negative" `Quick test_create_negative;
+          Alcotest.test_case "add_edge validation" `Quick test_add_edge_validation;
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "min_capacity empty" `Quick test_min_capacity_empty;
+          Alcotest.test_case "out_edges directed" `Quick test_out_edges_directed;
+          Alcotest.test_case "out_edges undirected" `Quick test_out_edges_undirected;
+          Alcotest.test_case "fold order" `Quick test_fold_edges_order;
+          Alcotest.test_case "other endpoint" `Quick test_other_endpoint;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "diamond shortest" `Quick test_dijkstra_diamond;
+          Alcotest.test_case "direct when cheap" `Quick test_dijkstra_direct_when_cheap;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "orientation" `Quick
+            test_dijkstra_directed_respects_orientation;
+          Alcotest.test_case "negative raises" `Quick test_dijkstra_negative_raises;
+          Alcotest.test_case "grid distances" `Quick test_dijkstra_tree_distances;
+          Alcotest.test_case "undirected both ways" `Quick
+            test_dijkstra_undirected_both_ways;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "vertices" `Quick test_path_vertices;
+          Alcotest.test_case "orientation" `Quick test_path_vertices_orientation;
+          Alcotest.test_case "undirected traversal" `Quick
+            test_path_vertices_undirected;
+          Alcotest.test_case "is_valid" `Quick test_path_is_valid;
+          Alcotest.test_case "simple only" `Quick test_path_simple_only;
+          Alcotest.test_case "length and bottleneck" `Quick
+            test_path_length_bottleneck;
+          Alcotest.test_case "pp" `Quick test_path_pp;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "diamond" `Quick test_enumerate_diamond;
+          Alcotest.test_case "src = dst" `Quick test_enumerate_src_eq_dst;
+          Alcotest.test_case "max paths" `Quick test_enumerate_max_paths;
+          Alcotest.test_case "gadget count" `Quick test_enumerate_gadget_count;
+          Alcotest.test_case "no path" `Quick test_enumerate_none;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "staircase" `Quick test_staircase_structure;
+          Alcotest.test_case "staircase invalid" `Quick test_staircase_invalid;
+          Alcotest.test_case "stretched staircase" `Quick test_stretched_staircase;
+          Alcotest.test_case "gadget7" `Quick test_gadget7_structure;
+          Alcotest.test_case "grid" `Quick test_grid_structure;
+          Alcotest.test_case "layered" `Quick test_layered_structure;
+          Alcotest.test_case "erdos-renyi deterministic" `Quick
+            test_erdos_renyi_deterministic;
+          Alcotest.test_case "ring" `Quick test_ring_structure;
+          Alcotest.test_case "abilene" `Quick test_abilene_structure;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "diamond" `Quick test_maxflow_diamond;
+          Alcotest.test_case "orientation" `Quick test_maxflow_respects_orientation;
+          Alcotest.test_case "undirected ring" `Quick test_maxflow_undirected_ring;
+          Alcotest.test_case "grid" `Quick test_maxflow_grid;
+          Alcotest.test_case "unreachable" `Quick test_maxflow_unreachable;
+          Alcotest.test_case "validation" `Quick test_maxflow_validation;
+          Alcotest.test_case "multi staircase" `Quick test_maxflow_multi_staircase;
+          Alcotest.test_case "multi validation" `Quick test_maxflow_multi_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_dijkstra_path_length;
+            qcheck_dijkstra_optimal_vs_enumeration;
+            qcheck_enumerate_simple;
+            qcheck_maxflow_bounded_by_cut;
+            qcheck_maxflow_equals_mincut;
+          ] );
+    ]

@@ -1,0 +1,569 @@
+(* Tests for Ufp_lp: duality, mcf, exact. *)
+
+module Graph = Ufp_graph.Graph
+module Gen = Ufp_graph.Generators
+module Request = Ufp_instance.Request
+module Instance = Ufp_instance.Instance
+module Solution = Ufp_instance.Solution
+module Workloads = Ufp_instance.Workloads
+module Duality = Ufp_lp.Duality
+module Mcf = Ufp_lp.Mcf
+module Exact = Ufp_lp.Exact
+module Rng = Ufp_prelude.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let line_graph caps =
+  let n = Array.length caps + 1 in
+  let g = Graph.create ~directed:true ~n in
+  Array.iteri (fun i c -> ignore (Graph.add_edge g ~u:i ~v:(i + 1) ~capacity:c)) caps;
+  g
+
+(* Chain 0 -> 1 -> 2, both capacities 1; request A (0->2, v=2),
+   request B (0->1, v=1), request C (1->2, v=1). OPT = 2 exactly:
+   either A alone, or B + C. *)
+let conflict_instance () =
+  let g = line_graph [| 1.0; 1.0 |] in
+  Instance.create g
+    [|
+      Request.make ~src:0 ~dst:2 ~demand:1.0 ~value:2.0;
+      Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:1.0;
+      Request.make ~src:1 ~dst:2 ~demand:1.0 ~value:1.0;
+    |]
+
+let random_instance ?(rows = 3) ?(cols = 3) ?(capacity = 3.0) ?(count = 6) seed =
+  let rng = Rng.create seed in
+  let g = Gen.grid ~rows ~cols ~capacity in
+  let reqs = Workloads.random_requests rng g ~count () in
+  Instance.create g reqs
+
+(* --- Duality --- *)
+
+let test_dual_objective () =
+  let inst = conflict_instance () in
+  let y = [| 0.5; 0.25 |] and z = [| 1.0; 0.0; 2.0 |] in
+  (* 1*0.5 + 1*0.25 + 3.0 *)
+  check_float "objective" 3.75 (Duality.dual_objective inst ~y ~z);
+  check_float "repeat objective" 0.75 (Duality.dual_objective_repeat inst ~y)
+
+let test_dual_length_mismatch () =
+  let inst = conflict_instance () in
+  Alcotest.check_raises "y mismatch"
+    (Invalid_argument "Duality: y length must equal the number of edges")
+    (fun () -> ignore (Duality.dual_objective inst ~y:[| 1.0 |] ~z:[| 0.; 0.; 0. |]));
+  Alcotest.check_raises "z mismatch"
+    (Invalid_argument "Duality: z length must equal the number of requests")
+    (fun () -> ignore (Duality.dual_objective inst ~y:[| 1.0; 1.0 |] ~z:[| 0. |]))
+
+let test_dual_feasibility () =
+  let inst = conflict_instance () in
+  (* y = (1, 1): path price for request A is 2 = v_A, for B and C it is
+     1 = v. Feasible with z = 0. *)
+  Alcotest.(check bool) "tight duals feasible" true
+    (Duality.dual_feasible inst ~y:[| 1.0; 1.0 |] ~z:[| 0.; 0.; 0. |]);
+  (* y = (0.4, 0.4): request A constraint 0.8 < 2 violated. *)
+  Alcotest.(check bool) "cheap duals infeasible" false
+    (Duality.dual_feasible inst ~y:[| 0.4; 0.4 |] ~z:[| 0.; 0.; 0. |]);
+  (* But z can cover the gap. *)
+  Alcotest.(check bool) "z covers" true
+    (Duality.dual_feasible inst ~y:[| 0.4; 0.4 |] ~z:[| 1.2; 0.6; 0.6 |]);
+  (* Negative variables are rejected. *)
+  Alcotest.(check bool) "negative y infeasible" false
+    (Duality.dual_feasible inst ~y:[| -1.0; 5.0 |] ~z:[| 9.; 9.; 9. |])
+
+let test_dual_feasible_repeat () =
+  let inst = conflict_instance () in
+  Alcotest.(check bool) "repeat feasible" true
+    (Duality.dual_feasible_repeat inst ~y:[| 1.0; 1.0 |]);
+  Alcotest.(check bool) "repeat infeasible" false
+    (Duality.dual_feasible_repeat inst ~y:[| 0.1; 0.1 |])
+
+let test_min_constraint_slack () =
+  let inst = conflict_instance () in
+  (* With y = (1, 1), z = 0: slack of A = 0, of B = 0, of C = 0. *)
+  check_float "tight slack" 0.0
+    (Duality.min_constraint_slack inst ~y:[| 1.0; 1.0 |] ~z:[| 0.; 0.; 0. |]);
+  check_float "negative slack" (-1.0)
+    (Duality.min_constraint_slack inst ~y:[| 0.5; 0.5 |] ~z:[| 0.; 0.; 0. |])
+
+let test_scaled_dual_bound () =
+  let inst = conflict_instance () in
+  (* The certificate must upper-bound OPT = 2 for any positive duals. *)
+  let bound = Duality.scaled_dual_bound inst ~y:[| 1.0; 1.0 |] ~z:[| 0.; 0.; 0. |] in
+  Alcotest.(check bool) "bound >= OPT" true (bound >= 2.0 -. 1e-9);
+  let bound2 =
+    Duality.scaled_dual_bound inst ~y:[| 0.2; 0.3 |] ~z:[| 0.; 0.; 0. |]
+  in
+  Alcotest.(check bool) "bound2 >= OPT" true (bound2 >= 2.0 -. 1e-9);
+  (* z covering everything: the bound is just D2. *)
+  check_float "z covers" 9.0
+    (Duality.scaled_dual_bound inst ~y:[| 1.0; 1.0 |] ~z:[| 3.0; 3.0; 3.0 |])
+
+(* --- Exact --- *)
+
+let test_exact_conflict () =
+  let inst = conflict_instance () in
+  let sol = Exact.solve inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible inst sol);
+  check_float "optimal value" 2.0 (Solution.value inst sol)
+
+let test_exact_prefers_pair () =
+  (* Same chain but A is worth less than B + C. *)
+  let g = line_graph [| 1.0; 1.0 |] in
+  let inst =
+    Instance.create g
+      [|
+        Request.make ~src:0 ~dst:2 ~demand:1.0 ~value:1.5;
+        Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:1.0;
+        Request.make ~src:1 ~dst:2 ~demand:1.0 ~value:1.0;
+      |]
+  in
+  check_float "pair wins" 2.0 (Exact.opt_value inst);
+  let sol = Exact.solve inst in
+  Alcotest.(check (list int)) "requests 1 and 2"
+    [ 1; 2 ]
+    (List.sort compare (Solution.selected sol))
+
+let test_exact_respects_capacity () =
+  let g = line_graph [| 2.0 |] in
+  let inst =
+    Instance.create g
+      (Array.init 5 (fun i ->
+           Request.make ~src:0 ~dst:1 ~demand:1.0
+             ~value:(float_of_int (i + 1))))
+  in
+  (* Capacity 2 fits the two most valuable requests. *)
+  check_float "top two" 9.0 (Exact.opt_value inst);
+  Alcotest.(check bool) "feasible" true
+    (Solution.is_feasible inst (Exact.solve inst))
+
+let test_exact_unroutable () =
+  let g = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  let inst =
+    Instance.create g
+      [|
+        Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:1.0;
+        Request.make ~src:0 ~dst:2 ~demand:1.0 ~value:100.0;
+      |]
+  in
+  (* The valuable request has no path; optimum allocates only the other. *)
+  check_float "only routable" 1.0 (Exact.opt_value inst)
+
+let test_exact_fractional_demands () =
+  let g = line_graph [| 1.0 |] in
+  let inst =
+    Instance.create g
+      [|
+        Request.make ~src:0 ~dst:1 ~demand:0.6 ~value:2.0;
+        Request.make ~src:0 ~dst:1 ~demand:0.5 ~value:1.2;
+        Request.make ~src:0 ~dst:1 ~demand:0.4 ~value:1.1;
+      |]
+  in
+  (* 0.6 + 0.4 fits (value 3.1); 0.6 + 0.5 does not; 0.5 + 0.4 fits
+     (2.3). *)
+  check_float "best packing" 3.1 (Exact.opt_value inst)
+
+let test_exact_too_large () =
+  (* A graph with a huge number of simple paths triggers the budget. *)
+  let g = Gen.grid ~rows:4 ~cols:4 ~capacity:1.0 in
+  let inst =
+    Instance.create g [| Request.make ~src:0 ~dst:15 ~demand:1.0 ~value:1.0 |]
+  in
+  match Exact.solve ~max_paths_per_request:10 inst with
+  | exception Exact.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* --- Mcf --- *)
+
+let test_mcf_single_edge () =
+  let g = line_graph [| 1.0 |] in
+  let inst =
+    Instance.create g [| Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:5.0 |]
+  in
+  let r = Mcf.solve ~eps:0.05 inst in
+  (* OPT_LP = 5. *)
+  Alcotest.(check bool) "lower <= 5" true (r.Mcf.feasible_value <= 5.0 +. 1e-6);
+  Alcotest.(check bool) "upper >= 5" true (r.Mcf.upper_bound >= 5.0 -. 1e-6);
+  Alcotest.(check bool) "sandwich" true
+    (r.Mcf.feasible_value <= r.Mcf.upper_bound +. 1e-9)
+
+let test_mcf_empty () =
+  let g = line_graph [| 1.0 |] in
+  let inst = Instance.create g [||] in
+  let r = Mcf.solve inst in
+  check_float "no requests" 0.0 r.Mcf.feasible_value;
+  check_float "no bound" 0.0 r.Mcf.upper_bound
+
+let test_mcf_unroutable_only () =
+  let g = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  let inst =
+    Instance.create g [| Request.make ~src:1 ~dst:2 ~demand:1.0 ~value:3.0 |]
+  in
+  let r = Mcf.solve inst in
+  check_float "zero value" 0.0 r.Mcf.feasible_value;
+  check_float "zero bound" 0.0 r.Mcf.upper_bound
+
+let scaled_flow_feasible inst (r : Mcf.result) =
+  let g = Instance.graph inst in
+  let loads = Array.make (Graph.n_edges g) 0.0 in
+  let per_request = Array.make (Instance.n_requests inst) 0.0 in
+  List.iter
+    (fun (pf : Mcf.path_flow) ->
+      let d = (Instance.request inst pf.Mcf.pf_request).Request.demand in
+      per_request.(pf.Mcf.pf_request) <-
+        per_request.(pf.Mcf.pf_request) +. pf.Mcf.pf_amount;
+      List.iter
+        (fun e -> loads.(e) <- loads.(e) +. (pf.Mcf.pf_amount *. d))
+        pf.Mcf.pf_path)
+    r.Mcf.flow;
+  let edges_ok = ref true in
+  Array.iteri
+    (fun e load -> if load > Graph.capacity g e +. 1e-6 then edges_ok := false)
+    loads;
+  !edges_ok && Array.for_all (fun x -> x <= 1.0 +. 1e-6) per_request
+
+let test_mcf_scaled_flow_feasible () =
+  let inst = random_instance ~capacity:2.0 ~count:8 77 in
+  let r = Mcf.solve ~eps:0.2 inst in
+  Alcotest.(check bool) "scaled flow is feasible" true (scaled_flow_feasible inst r)
+
+let test_mcf_upper_bounds_exact () =
+  (* The certified LP upper bound dominates the integral optimum. *)
+  for seed = 1 to 8 do
+    let inst = random_instance ~capacity:2.0 ~count:6 seed in
+    let opt = Exact.opt_value inst in
+    let _, hi = Mcf.fractional_opt_interval ~eps:0.2 inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "upper >= OPT (seed %d)" seed)
+      true
+      (hi >= opt -. 1e-6)
+  done
+
+let test_mcf_deterministic () =
+  let a = Mcf.solve (random_instance 5) and b = Mcf.solve (random_instance 5) in
+  check_float "same feasible value" a.Mcf.feasible_value b.Mcf.feasible_value;
+  check_float "same upper bound" a.Mcf.upper_bound b.Mcf.upper_bound;
+  Alcotest.(check int) "same iterations" a.Mcf.iterations b.Mcf.iterations
+
+let test_mcf_eps_validation () =
+  let inst = conflict_instance () in
+  Alcotest.check_raises "eps out of range"
+    (Invalid_argument "Mcf.solve: eps must be in (0,1)") (fun () ->
+      ignore (Mcf.solve ~eps:1.5 inst))
+
+let test_mcf_accuracy_improves () =
+  (* Tighter eps gives a tighter certified interval. *)
+  let inst = random_instance ~capacity:3.0 ~count:8 21 in
+  let lo1, hi1 = Mcf.fractional_opt_interval ~eps:0.5 inst in
+  let lo2, hi2 = Mcf.fractional_opt_interval ~eps:0.05 inst in
+  Alcotest.(check bool) "interval shrinks" true (hi2 -. lo2 < hi1 -. lo1)
+
+(* --- Simplex --- *)
+
+module Simplex = Ufp_lp.Simplex
+module Path_lp = Ufp_lp.Path_lp
+
+let solve_lp ~c ~rows ~b =
+  match Simplex.maximize ~c ~rows ~b () with
+  | Simplex.Optimal s -> s
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_known () =
+  (* max 3x + 2y s.t. x + y <= 4, x <= 2: optimum (2, 2), value 10. *)
+  let s =
+    solve_lp ~c:[| 3.0; 2.0 |]
+      ~rows:[| [| 1.0; 1.0 |]; [| 1.0; 0.0 |] |]
+      ~b:[| 4.0; 2.0 |]
+  in
+  check_float "objective" 10.0 s.Simplex.objective;
+  check_float "x" 2.0 s.Simplex.primal.(0);
+  check_float "y" 2.0 s.Simplex.primal.(1);
+  (* Strong duality: b . y = objective. *)
+  check_float "strong duality" 10.0
+    ((4.0 *. s.Simplex.dual.(0)) +. (2.0 *. s.Simplex.dual.(1)))
+
+let test_simplex_degenerate_zero () =
+  let s = solve_lp ~c:[| 1.0 |] ~rows:[| [| 1.0 |] |] ~b:[| 0.0 |] in
+  check_float "objective zero" 0.0 s.Simplex.objective
+
+let test_simplex_unbounded () =
+  (* max x + y with only x constrained. *)
+  match
+    Simplex.maximize ~c:[| 1.0; 1.0 |] ~rows:[| [| 1.0; 0.0 |] |] ~b:[| 5.0 |] ()
+  with
+  | Simplex.Unbounded -> ()
+  | Simplex.Optimal _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_validation () =
+  Alcotest.check_raises "negative b"
+    (Invalid_argument "Simplex.maximize: b must be >= 0") (fun () ->
+      ignore (Simplex.maximize ~c:[| 1.0 |] ~rows:[| [| 1.0 |] |] ~b:[| -1.0 |] ()));
+  Alcotest.check_raises "row shape"
+    (Invalid_argument "Simplex.maximize: row length mismatch") (fun () ->
+      ignore (Simplex.maximize ~c:[| 1.0 |] ~rows:[| [| 1.0; 2.0 |] |] ~b:[| 1.0 |] ()))
+
+let qcheck_simplex_certificates =
+  (* On random nonnegative packing LPs the simplex output must satisfy
+     primal feasibility, dual feasibility and strong duality. *)
+  QCheck.Test.make ~name:"simplex outputs certified optima" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n = 1 + Rng.int rng 4 and m = 1 + Rng.int rng 4 in
+      let c = Array.init n (fun _ -> Rng.float_in rng 0.1 3.0) in
+      let rows =
+        Array.init m (fun _ -> Array.init n (fun _ -> Rng.float_in rng 0.0 2.0))
+      in
+      let b = Array.init m (fun _ -> Rng.float_in rng 0.5 4.0) in
+      match Simplex.maximize ~c ~rows ~b () with
+      | Simplex.Unbounded ->
+        (* Possible when some activity has no binding row. *)
+        Array.exists
+          (fun j -> Array.for_all (fun row -> row.(j) <= 1e-12) rows)
+          (Array.init n Fun.id)
+      | Simplex.Optimal s ->
+        let primal_feasible =
+          Array.for_all2
+            (fun row bi ->
+              let lhs = ref 0.0 in
+              Array.iteri (fun j a -> lhs := !lhs +. (a *. s.Simplex.primal.(j))) row;
+              !lhs <= bi +. 1e-6)
+            rows b
+          && Array.for_all (fun x -> x >= -.1e-9) s.Simplex.primal
+        in
+        let dual_feasible =
+          Array.for_all (fun y -> y >= -.1e-9) s.Simplex.dual
+          && Array.for_all
+               (fun j ->
+                 let col = ref 0.0 in
+                 Array.iteri
+                   (fun i row -> col := !col +. (row.(j) *. s.Simplex.dual.(i)))
+                   rows;
+                 !col >= c.(j) -. 1e-6)
+               (Array.init n Fun.id)
+        in
+        let duality_gap =
+          let by = ref 0.0 in
+          Array.iteri (fun i bi -> by := !by +. (bi *. s.Simplex.dual.(i))) b;
+          Float.abs (!by -. s.Simplex.objective)
+        in
+        primal_feasible && dual_feasible && duality_gap < 1e-6)
+
+(* --- Path_lp --- *)
+
+let test_path_lp_chain () =
+  let inst = conflict_instance () in
+  let lp = Path_lp.solve inst in
+  check_float "OPT_LP = 2" 2.0 lp.Path_lp.opt;
+  Alcotest.(check int) "three columns" 3 lp.Path_lp.columns;
+  Alcotest.(check bool) "duals feasible" true
+    (Duality.dual_feasible ~eps:1e-6 inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z);
+  check_float "strong duality" lp.Path_lp.opt
+    (Duality.dual_objective inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z)
+
+let test_path_lp_fractional_beats_integral () =
+  (* A triangle where the LP can split but the ILP cannot: three unit
+     requests pairwise sharing capacity-1 edges. OPT = 1 + eps-ish,
+     OPT_LP = 1.5 x value. *)
+  let g = Graph.create ~directed:false ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:2 ~v:0 ~capacity:1.0);
+  let inst =
+    Instance.create g
+      [|
+        Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:1.0;
+        Request.make ~src:1 ~dst:2 ~demand:1.0 ~value:1.0;
+        Request.make ~src:2 ~dst:0 ~demand:1.0 ~value:1.0;
+      |]
+  in
+  let opt = Exact.opt_value inst in
+  let lp = Path_lp.solve inst in
+  (* Integral: any two direct paths collide on... actually requests use
+     disjoint direct edges, so OPT = 3 here; the point is LP >= ILP. *)
+  Alcotest.(check bool) "LP >= ILP" true (lp.Path_lp.opt >= opt -. 1e-9)
+
+let test_path_lp_flow_support_feasible () =
+  for seed = 1 to 5 do
+    let inst = random_instance ~capacity:2.0 ~count:6 (seed + 40) in
+    let lp = Path_lp.solve inst in
+    let g = Instance.graph inst in
+    let loads = Array.make (Graph.n_edges g) 0.0 in
+    let per_req = Array.make (Instance.n_requests inst) 0.0 in
+    List.iter
+      (fun (i, path, x) ->
+        per_req.(i) <- per_req.(i) +. x;
+        let d = (Instance.request inst i).Request.demand in
+        List.iter (fun e -> loads.(e) <- loads.(e) +. (x *. d)) path)
+      lp.Path_lp.flow;
+    Array.iteri
+      (fun e load ->
+        Alcotest.(check bool) "edge load" true (load <= Graph.capacity g e +. 1e-6))
+      loads;
+    Array.iter
+      (fun x -> Alcotest.(check bool) "request mass <= 1" true (x <= 1.0 +. 1e-6))
+      per_req
+  done
+
+let test_path_lp_brackets () =
+  (* OPT <= OPT_LP and the Mcf interval brackets OPT_LP. *)
+  for seed = 1 to 6 do
+    let inst = random_instance ~capacity:2.0 ~count:6 seed in
+    let lp = Path_lp.solve inst in
+    let opt = Exact.opt_value inst in
+    let lo, hi = Mcf.fractional_opt_interval ~eps:0.15 inst in
+    Alcotest.(check bool) "ILP <= LP" true (opt <= lp.Path_lp.opt +. 1e-6);
+    Alcotest.(check bool) "Mcf lo <= LP" true (lo <= lp.Path_lp.opt +. 1e-6);
+    Alcotest.(check bool) "LP <= Mcf hi" true (lp.Path_lp.opt <= hi +. 1e-6)
+  done
+
+let test_path_lp_empty_and_unroutable () =
+  let g = line_graph [| 1.0 |] in
+  let empty = Path_lp.solve (Instance.create g [||]) in
+  check_float "no requests" 0.0 empty.Path_lp.opt;
+  let g2 = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g2 ~u:0 ~v:1 ~capacity:1.0);
+  let inst =
+    Instance.create g2
+      [|
+        Request.make ~src:0 ~dst:1 ~demand:1.0 ~value:1.0;
+        Request.make ~src:1 ~dst:2 ~demand:1.0 ~value:9.0;
+      |]
+  in
+  check_float "unroutable ignored" 1.0 (Path_lp.solve inst).Path_lp.opt
+
+let test_colgen_matches_full () =
+  for seed = 1 to 8 do
+    let inst = random_instance ~capacity:2.0 ~count:6 seed in
+    let full = Path_lp.solve inst in
+    let cg = Path_lp.solve_colgen inst in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "same optimum seed %d" seed)
+      full.Path_lp.opt cg.Path_lp.opt;
+    Alcotest.(check bool) "fewer or equal columns" true
+      (cg.Path_lp.columns <= full.Path_lp.columns);
+    Alcotest.(check bool) "colgen duals feasible" true
+      (Duality.dual_feasible ~eps:1e-6 inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
+    check_float "colgen strong duality" cg.Path_lp.opt
+      (Duality.dual_objective inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z)
+  done
+
+let test_colgen_scales_beyond_enumeration () =
+  (* On a 5x5 grid full enumeration explodes (millions of simple paths
+     between far corners) but pricing needs only a handful. *)
+  let rng = Rng.create 1 in
+  let g = Gen.grid ~rows:5 ~cols:5 ~capacity:6.0 in
+  let inst =
+    Instance.create g (Workloads.random_requests rng g ~count:25 ())
+  in
+  let cg = Path_lp.solve_colgen inst in
+  Alcotest.(check bool) "small column count" true (cg.Path_lp.columns < 200);
+  let lo, hi = Mcf.fractional_opt_interval ~eps:0.2 inst in
+  Alcotest.(check bool) "inside the Mcf interval" true
+    (lo <= cg.Path_lp.opt +. 1e-6 && cg.Path_lp.opt <= hi +. 1e-6);
+  Alcotest.(check bool) "duals feasible" true
+    (Duality.dual_feasible ~eps:1e-6 inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
+  (* A greedy integral solution lower-bounds the fractional optimum. *)
+  let greedy =
+    Solution.value inst (Ufp_core.Baselines.greedy_by_density inst)
+  in
+  Alcotest.(check bool) "dominates greedy" true (greedy <= cg.Path_lp.opt +. 1e-6)
+
+let test_colgen_empty () =
+  let g = line_graph [| 1.0 |] in
+  check_float "no requests" 0.0
+    (Path_lp.solve_colgen (Instance.create g [||])).Path_lp.opt
+
+let test_path_lp_too_large () =
+  let g = Gen.grid ~rows:4 ~cols:4 ~capacity:1.0 in
+  let inst =
+    Instance.create g [| Request.make ~src:0 ~dst:15 ~demand:1.0 ~value:1.0 |]
+  in
+  match Path_lp.solve ~max_paths_per_request:5 inst with
+  | exception Path_lp.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* --- QCheck --- *)
+
+let qcheck_sandwich =
+  QCheck.Test.make ~name:"exact OPT lies in the Mcf certified interval" ~count:25
+    QCheck.small_int (fun seed ->
+      let inst = random_instance ~capacity:2.0 ~count:5 (seed + 100) in
+      let opt = Exact.opt_value inst in
+      let lo, hi = Mcf.fractional_opt_interval ~eps:0.2 inst in
+      (* lo is a fractional value, so it may exceed opt; the hard
+         guarantees are opt <= hi and lo <= hi. *)
+      opt <= hi +. 1e-6 && lo <= hi +. 1e-6)
+
+let qcheck_exact_beats_greedy_order =
+  QCheck.Test.make ~name:"exact OPT dominates any single-order greedy" ~count:25
+    QCheck.small_int (fun seed ->
+      let inst = random_instance ~capacity:2.0 ~count:5 (seed + 300) in
+      let opt = Exact.opt_value inst in
+      (* Greedy by declared value. *)
+      let greedy = Ufp_core.Baselines.greedy_by_value inst in
+      Solution.value inst greedy <= opt +. 1e-9)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "duality",
+        [
+          Alcotest.test_case "objective" `Quick test_dual_objective;
+          Alcotest.test_case "length mismatch" `Quick test_dual_length_mismatch;
+          Alcotest.test_case "feasibility" `Quick test_dual_feasibility;
+          Alcotest.test_case "repeat feasibility" `Quick test_dual_feasible_repeat;
+          Alcotest.test_case "min slack" `Quick test_min_constraint_slack;
+          Alcotest.test_case "scaled bound" `Quick test_scaled_dual_bound;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "conflict instance" `Quick test_exact_conflict;
+          Alcotest.test_case "prefers pair" `Quick test_exact_prefers_pair;
+          Alcotest.test_case "capacity" `Quick test_exact_respects_capacity;
+          Alcotest.test_case "unroutable" `Quick test_exact_unroutable;
+          Alcotest.test_case "fractional demands" `Quick test_exact_fractional_demands;
+          Alcotest.test_case "too large" `Quick test_exact_too_large;
+        ] );
+      ( "mcf",
+        [
+          Alcotest.test_case "single edge" `Quick test_mcf_single_edge;
+          Alcotest.test_case "empty" `Quick test_mcf_empty;
+          Alcotest.test_case "unroutable only" `Quick test_mcf_unroutable_only;
+          Alcotest.test_case "scaled flow feasible" `Quick test_mcf_scaled_flow_feasible;
+          Alcotest.test_case "upper bounds exact" `Quick test_mcf_upper_bounds_exact;
+          Alcotest.test_case "deterministic" `Quick test_mcf_deterministic;
+          Alcotest.test_case "eps validation" `Quick test_mcf_eps_validation;
+          Alcotest.test_case "accuracy improves" `Quick test_mcf_accuracy_improves;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "known optimum" `Quick test_simplex_known;
+          Alcotest.test_case "degenerate zero" `Quick test_simplex_degenerate_zero;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "validation" `Quick test_simplex_validation;
+        ] );
+      ( "path-lp",
+        [
+          Alcotest.test_case "chain" `Quick test_path_lp_chain;
+          Alcotest.test_case "LP >= ILP" `Quick test_path_lp_fractional_beats_integral;
+          Alcotest.test_case "flow support feasible" `Quick
+            test_path_lp_flow_support_feasible;
+          Alcotest.test_case "brackets" `Quick test_path_lp_brackets;
+          Alcotest.test_case "empty and unroutable" `Quick
+            test_path_lp_empty_and_unroutable;
+          Alcotest.test_case "too large" `Quick test_path_lp_too_large;
+          Alcotest.test_case "colgen matches full" `Quick test_colgen_matches_full;
+          Alcotest.test_case "colgen scales" `Quick
+            test_colgen_scales_beyond_enumeration;
+          Alcotest.test_case "colgen empty" `Quick test_colgen_empty;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_sandwich;
+            qcheck_exact_beats_greedy_order;
+            qcheck_simplex_certificates;
+          ] );
+    ]
