@@ -38,13 +38,33 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Dijkstra.shortest_tree grid ~weight:(fun e -> weights.(e)) ~src:0)))
   in
-  (* Full Bounded-UFP solve (Theorem 3.1 instance). *)
+  (* Reusable-workspace Dijkstra on the same grid (zero allocation per
+     solve once the workspace exists). *)
+  let ws = Dijkstra.create_workspace grid in
+  let n = Graph.n_vertices grid in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let dijkstra_ws =
+    Test.make ~name:"dijkstra-workspace-grid-12x12"
+      (Staged.stage (fun () ->
+           Dijkstra.shortest_tree_into ws grid
+             ~weight:(fun e -> weights.(e))
+             ~src:0 ~dist ~parent_edge))
+  in
+  (* Full Bounded-UFP solve (Theorem 3.1 instance), once per selection
+     engine — the EXP-SCALE-SELECTOR comparison at micro scale. *)
   let eps = 0.3 in
   let capacity = Harness.capacity_for ~m:24 ~eps in
   let ufp_inst = Harness.grid_instance ~seed:2 ~rows:4 ~cols:4 ~capacity ~count:60 in
   let bounded_ufp =
-    Test.make ~name:"bounded-ufp-4x4-60req"
-      (Staged.stage (fun () -> ignore (Bounded_ufp.solve ~eps ufp_inst)))
+    Test.make ~name:"bounded-ufp-naive-4x4-60req"
+      (Staged.stage (fun () ->
+           ignore (Bounded_ufp.solve ~eps ~selector:`Naive ufp_inst)))
+  in
+  let bounded_ufp_incr =
+    Test.make ~name:"bounded-ufp-incremental-4x4-60req"
+      (Staged.stage (fun () ->
+           ignore (Bounded_ufp.solve ~eps ~selector:`Incremental ufp_inst)))
   in
   (* Bounded-MUCA solve. *)
   let auction =
@@ -96,7 +116,10 @@ let micro_tests () =
              (Ufp_mech.Single_param.critical_value ~rel_tol:1e-4 pay_model
                 pay_inst ~agent:0)))
   in
-  [ dijkstra; bounded_ufp; bounded_muca; staircase; mcf; colgen; maxflow; payment ]
+  [
+    dijkstra; dijkstra_ws; bounded_ufp; bounded_ufp_incr; bounded_muca;
+    staircase; mcf; colgen; maxflow; payment;
+  ]
 
 let run_micro () =
   let open Bechamel in

@@ -108,11 +108,11 @@ let generate_cmd =
 
 let pick_algo name eps seed =
   match name with
-  | "bounded-ufp" -> Bounded_ufp.solve ~eps
-  | "repeat" -> Repeat.solve ~eps
+  | "bounded-ufp" -> fun inst -> Bounded_ufp.solve ~eps inst
+  | "repeat" -> fun inst -> Repeat.solve ~eps inst
   | "greedy-density" -> Baselines.greedy_by_density
   | "greedy-value" -> Baselines.greedy_by_value
-  | "threshold-pd" -> Baselines.threshold_pd ~eps
+  | "threshold-pd" -> fun inst -> Baselines.threshold_pd ~eps inst
   | "rounding" -> Baselines.randomized_rounding ~eps:(Float.min eps 0.5) ~seed
   | "exact" -> (fun inst -> Exact.solve inst)
   | other ->

@@ -4,6 +4,8 @@ module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Duality = Ufp_lp.Duality
 
+let slack = Ufp_prelude.Float_tol.capacity_slack
+
 type finding = { check : string; passed : bool; detail : string }
 
 type report = { findings : finding list; all_passed : bool }
@@ -30,7 +32,7 @@ let bounded_ufp_run inst (run : Bounded_ufp.run) =
   let rec nondecreasing prev = function
     | [] -> true
     | (e : Bounded_ufp.trace_entry) :: rest ->
-      e.Bounded_ufp.alpha >= prev -. 1e-9
+      e.Bounded_ufp.alpha >= prev -. slack
       && nondecreasing e.Bounded_ufp.alpha rest
   in
   add
@@ -45,7 +47,7 @@ let bounded_ufp_run inst (run : Bounded_ufp.run) =
         if List.mem i selected then (Instance.request inst i).Request.value
         else 0.0
       in
-      if Float.abs (z -. expected) > 1e-9 then z_ok := false)
+      if Float.abs (z -. expected) > slack then z_ok := false)
     run.Bounded_ufp.final_z;
   add (finding "z-bookkeeping" !z_ok "z_r = v_r exactly for winners, 0 otherwise");
   (* 5. The running D1 matches the final duals. *)

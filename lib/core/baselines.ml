@@ -5,6 +5,8 @@ module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Rng = Ufp_prelude.Rng
 
+let capacity_slack = Ufp_prelude.Float_tol.capacity_slack
+
 (* Route requests one by one, in the given index order, each on a
    fewest-hop path among edges with residual capacity for its demand. *)
 let route_in_order inst order =
@@ -13,7 +15,7 @@ let route_in_order inst order =
   let allocate acc i =
     let r = Instance.request inst i in
     let d = r.Request.demand in
-    let weight e = if residual.(e) +. 1e-9 >= d then 1.0 else infinity in
+    let weight e = if residual.(e) +. capacity_slack >= d then 1.0 else infinity in
     match Dijkstra.shortest_path g ~weight ~src:r.Request.src ~dst:r.Request.dst with
     | Some (len, path) when len < infinity ->
       List.iter (fun e -> residual.(e) <- residual.(e) -. d) path;
@@ -41,7 +43,7 @@ let greedy_by_value inst =
   let by_value a b = compare b.Request.value a.Request.value in
   route_in_order inst (sorted_indices inst by_value)
 
-let threshold_pd ?(eps = 0.1) inst =
+let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
   if not (eps > 0.0 && eps <= 1.0) then
     invalid_arg "Baselines.threshold_pd: eps must be in (0, 1]";
   if not (Instance.is_normalized inst) then
@@ -52,38 +54,34 @@ let threshold_pd ?(eps = 0.1) inst =
   let m = Graph.n_edges g in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
   let residual = Array.init m (fun e -> Graph.capacity g e) in
-  let pending = ref (List.init (Instance.n_requests inst) Fun.id) in
+  let sel =
+    Selector.create ~kind:selector
+      ~weights:
+        (Selector.Per_demand
+           (fun ~demand e ->
+             if residual.(e) +. capacity_slack < demand then infinity
+             else y.(e)))
+      inst
+  in
   let solution = ref [] in
   let continue = ref true in
   while !continue do
-    let best = ref None in
-    let consider i =
-      let r = Instance.request inst i in
-      let d = r.Request.demand in
-      let weight e = if residual.(e) +. 1e-9 >= d then y.(e) else infinity in
-      match
-        Dijkstra.shortest_path g ~weight ~src:r.Request.src ~dst:r.Request.dst
-      with
-      | Some (dist, path) when dist < infinity -> (
-        let alpha = Request.density r *. dist in
-        match !best with
-        | Some (a, j, _) when a < alpha || (a = alpha && j < i) -> ()
-        | _ -> best := Some (alpha, i, path))
-      | Some _ | None -> ()
-    in
-    List.iter consider !pending;
-    match !best with
-    | Some (alpha, i, path) when alpha <= 1.0 ->
-      let r = Instance.request inst i in
-      List.iter
-        (fun e ->
-          residual.(e) <- residual.(e) -. r.Request.demand;
-          y.(e) <-
-            y.(e) *. exp (eps *. b *. r.Request.demand /. Graph.capacity g e))
-        path;
-      pending := List.filter (fun j -> j <> i) !pending;
-      solution := { Solution.request = i; path } :: !solution
-    | Some _ | None -> continue := false
+    if Selector.is_empty sel then continue := false
+    else begin
+      match Selector.select sel with
+      | Some { Selector.request = i; path; alpha } when alpha <= 1.0 ->
+        let r = Instance.request inst i in
+        List.iter
+          (fun e ->
+            residual.(e) <- residual.(e) -. r.Request.demand;
+            y.(e) <-
+              y.(e) *. exp (eps *. b *. r.Request.demand /. Graph.capacity g e))
+          path;
+        Selector.update_path sel path;
+        Selector.remove sel i;
+        solution := { Solution.request = i; path } :: !solution
+      | Some _ | None -> continue := false
+    end
   done;
   List.rev !solution
 
@@ -130,7 +128,7 @@ let randomized_rounding ?(eps = 0.1) ~seed inst =
   let residual = Array.init (Graph.n_edges g) (fun e -> Graph.capacity g e) in
   let admit acc (i, path) =
     let d = (Instance.request inst i).Request.demand in
-    if List.for_all (fun e -> residual.(e) +. 1e-9 >= d) path then begin
+    if List.for_all (fun e -> residual.(e) +. capacity_slack >= d) path then begin
       List.iter (fun e -> residual.(e) <- residual.(e) -. d) path;
       { Solution.request = i; path } :: acc
     end

@@ -27,12 +27,17 @@ val greedy_by_value : Ufp_instance.Instance.t -> Ufp_instance.Solution.t
 (** Same routing rule, requests in decreasing [v_r] order. *)
 
 val threshold_pd :
-  ?eps:float -> Ufp_instance.Instance.t -> Ufp_instance.Solution.t
+  ?eps:float ->
+  ?selector:Selector.kind ->
+  Ufp_instance.Instance.t ->
+  Ufp_instance.Solution.t
 (** BKV-style primal-dual: duals start at [1/c_e] and grow by
     [exp(eps B d_r / c_e)] along selected paths (as in Algorithm 1);
     the pending request minimising the normalised residual-feasible
     path length is accepted while that length is at most 1. Requires a
-    normalised instance with [B >= 1]; [eps] defaults to [0.1]. *)
+    normalised instance with [B >= 1]; [eps] defaults to [0.1].
+    [selector] picks the {!Selector} engine (default [`Incremental];
+    both engines make identical decisions). *)
 
 val randomized_rounding :
   ?eps:float -> seed:int -> Ufp_instance.Instance.t ->

@@ -3,7 +3,6 @@ let log_src = Logs.Src.create "ufp.bounded-ufp" ~doc:"Algorithm 1 (Bounded-UFP) 
 module Log = (val Logs.src_log log_src)
 
 module Graph = Ufp_graph.Graph
-module Dijkstra = Ufp_graph.Dijkstra
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
@@ -45,36 +44,7 @@ let validate inst ~eps =
   if b < 1.0 then invalid_arg "Bounded_ufp: requires B = min capacity >= 1";
   b
 
-(* Pending requests grouped by source vertex so that each iteration runs
-   one Dijkstra per distinct source rather than one per request. *)
-module Pending = struct
-  type t = { mutable by_source : (int, int list) Hashtbl.t; mutable count : int }
-
-  let create inst =
-    let tbl = Hashtbl.create 16 in
-    let n = Instance.n_requests inst in
-    (* Build lists in decreasing index order so they end up increasing. *)
-    for i = n - 1 downto 0 do
-      let src = (Instance.request inst i).Request.src in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl src) in
-      Hashtbl.replace tbl src (i :: cur)
-    done;
-    { by_source = tbl; count = n }
-
-  let remove t ~src i =
-    let cur = Option.value ~default:[] (Hashtbl.find_opt t.by_source src) in
-    let cur' = List.filter (fun j -> j <> i) cur in
-    if cur' = [] then Hashtbl.remove t.by_source src
-    else Hashtbl.replace t.by_source src cur';
-    t.count <- t.count - 1
-
-  let is_empty t = t.count = 0
-
-  (* Iterate over (source, request indices) groups. *)
-  let iter_groups t f = Hashtbl.iter f t.by_source
-end
-
-let run ?(eps = 0.1) inst =
+let run ?(eps = 0.1) ?(selector = `Incremental) inst =
   let b = validate inst ~eps in
   let g = Instance.graph inst in
   let m = Graph.n_edges g in
@@ -83,34 +53,12 @@ let run ?(eps = 0.1) inst =
   let z = Array.make (Instance.n_requests inst) 0.0 in
   let d1 = ref (float_of_int m) (* sum_e c_e / c_e *) in
   let d2 = ref 0.0 in
-  let pending = Pending.create inst in
-  let weight e = y.(e) in
-  (* The request minimising (d_r / v_r) |p_r|; ties towards the lowest
-     request index. Returns (alpha, request, path). *)
-  let select () =
-    let best = ref None in
-    Pending.iter_groups pending (fun src group ->
-        let tree = Dijkstra.shortest_tree g ~weight ~src in
-        let consider i =
-          let r = Instance.request inst i in
-          let dist = tree.Dijkstra.dist.(r.Request.dst) in
-          if dist < infinity then begin
-            let alpha = Request.density r *. dist in
-            let better =
-              match !best with
-              | None -> true
-              | Some (a, j, _) -> alpha < a || (alpha = a && i < j)
-            in
-            if better then begin
-              let path =
-                Option.get (Dijkstra.path_of_tree g tree ~src ~dst:r.Request.dst)
-              in
-              best := Some (alpha, i, path)
-            end
-          end
-        in
-        List.iter consider group);
-    !best
+  (* The selection step — the request minimising (d_r / v_r) |p_r|,
+     ties towards the lowest request index — is owned by Selector. *)
+  let sel =
+    Selector.create ~kind:selector
+      ~weights:(Selector.Uniform (fun e -> y.(e)))
+      inst
   in
   let solution = ref [] in
   let trace = ref [] in
@@ -119,18 +67,18 @@ let run ?(eps = 0.1) inst =
   let budget_exhausted = ref false in
   let continue = ref true in
   while !continue do
-    if Pending.is_empty pending then continue := false
+    if Selector.is_empty sel then continue := false
     else if !d1 > budget then begin
       budget_exhausted := true;
       continue := false
     end
     else begin
-      match select () with
+      match Selector.select sel with
       | None ->
         (* Remaining requests are unroutable in the graph (disconnected
            source/target); they can never be allocated. *)
         continue := false
-      | Some (alpha, i, path) ->
+      | Some { Selector.request = i; path; alpha } ->
         incr iterations;
         Log.debug (fun m ->
             m "iteration %d: select request %d (alpha %.6g, %d edges)"
@@ -149,9 +97,10 @@ let run ?(eps = 0.1) inst =
             y.(e) <- old *. exp (eps *. b *. r.Request.demand /. c);
             d1 := !d1 +. (c *. (y.(e) -. old)))
           path;
+        Selector.update_path sel path;
         z.(i) <- r.Request.value;
         d2 := !d2 +. r.Request.value;
-        Pending.remove pending ~src:r.Request.src i;
+        Selector.remove sel i;
         solution := { Solution.request = i; path } :: !solution;
         trace :=
           {
@@ -192,4 +141,4 @@ let run ?(eps = 0.1) inst =
     iterations = !iterations;
   }
 
-let solve ?eps inst = (run ?eps inst).solution
+let solve ?eps ?selector inst = (run ?eps ?selector inst).solution

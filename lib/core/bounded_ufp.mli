@@ -41,15 +41,29 @@ type run = {
 val budget : eps:float -> b:float -> float
 (** The stopping threshold [exp(eps (B - 1))]. *)
 
-val run : ?eps:float -> Ufp_instance.Instance.t -> run
+val run :
+  ?eps:float ->
+  ?selector:Selector.kind ->
+  Ufp_instance.Instance.t ->
+  run
 (** Execute the algorithm. [eps] defaults to [0.1] and must lie in
     (0, 1]. The instance must be normalised (all demands in (0, 1],
     see {!Ufp_instance.Instance.normalize}) and have [B = min_e c_e >= 1];
-    raises [Invalid_argument] otherwise. Runs in
-    [O(|R| * (|R| + n log n + m))] time — at most [|R|] iterations of
-    at most one Dijkstra per distinct request source. *)
+    raises [Invalid_argument] otherwise.
 
-val solve : ?eps:float -> Ufp_instance.Instance.t -> Ufp_instance.Solution.t
+    [selector] picks the selection engine (default [`Incremental]);
+    the two engines produce byte-identical traces (see {!Selector}),
+    so the switch only affects running time. With [`Naive] the cost is
+    [O(|R| * (|R| + sources * (m + n log n)))] — one Dijkstra per
+    distinct pending source per iteration; with [`Incremental] only
+    the trees invalidated by the previous dual update are recomputed,
+    and only when a stale candidate surfaces at the heap top. *)
+
+val solve :
+  ?eps:float ->
+  ?selector:Selector.kind ->
+  Ufp_instance.Instance.t ->
+  Ufp_instance.Solution.t
 (** Just the allocation of {!run}. *)
 
 val theorem_ratio : eps:float -> float

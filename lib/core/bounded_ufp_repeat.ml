@@ -4,7 +4,6 @@ let log_src =
 module Log = (val Logs.src_log log_src)
 
 module Graph = Ufp_graph.Graph
-module Dijkstra = Ufp_graph.Dijkstra
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
@@ -18,7 +17,7 @@ type run = {
 
 let theorem_ratio ~eps = 1.0 +. (6.0 *. eps)
 
-let run ?(eps = 0.1) inst =
+let run ?(eps = 0.1) ?(selector = `Incremental) inst =
   if not (eps > 0.0 && eps <= 1.0) then
     invalid_arg "Bounded_ufp_repeat: eps must be in (0, 1]";
   if Instance.n_requests inst = 0 then
@@ -34,42 +33,12 @@ let run ?(eps = 0.1) inst =
   let budget = exp (eps *. (b -. 1.0)) in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
   let d = ref (float_of_int m) in
-  let weight e = y.(e) in
-  (* Group requests by source: every request stays live forever, so the
-     grouping is computed once. *)
-  let by_source = Hashtbl.create 16 in
-  let n_req = Instance.n_requests inst in
-  for i = n_req - 1 downto 0 do
-    let src = (Instance.request inst i).Request.src in
-    let cur = Option.value ~default:[] (Hashtbl.find_opt by_source src) in
-    Hashtbl.replace by_source src (i :: cur)
-  done;
-  let select () =
-    let best = ref None in
-    Hashtbl.iter
-      (fun src group ->
-        let tree = Dijkstra.shortest_tree g ~weight ~src in
-        let consider i =
-          let r = Instance.request inst i in
-          let dist = tree.Dijkstra.dist.(r.Request.dst) in
-          if dist < infinity then begin
-            let alpha = Request.density r *. dist in
-            let better =
-              match !best with
-              | None -> true
-              | Some (a, j, _) -> alpha < a || (alpha = a && i < j)
-            in
-            if better then begin
-              let path =
-                Option.get (Dijkstra.path_of_tree g tree ~src ~dst:r.Request.dst)
-              in
-              best := Some (alpha, i, path)
-            end
-          end
-        in
-        List.iter consider group)
-      by_source;
-    !best
+  (* Every request stays live forever (the with-repetitions problem),
+     so the selector pool is never shrunk. *)
+  let sel =
+    Selector.create ~kind:selector
+      ~weights:(Selector.Uniform (fun e -> y.(e)))
+      inst
   in
   let solution = ref [] in
   let iterations = ref 0 in
@@ -78,9 +47,9 @@ let run ?(eps = 0.1) inst =
   while !continue do
     if !d > budget then continue := false
     else begin
-      match select () with
+      match Selector.select sel with
       | None -> continue := false (* no request is routable at all *)
-      | Some (alpha, i, path) ->
+      | Some { Selector.request = i; path; alpha } ->
         incr iterations;
         let r = Instance.request inst i in
         (* Claim 5.2: y / alpha is feasible for the Figure 5 dual, so
@@ -93,6 +62,7 @@ let run ?(eps = 0.1) inst =
             y.(e) <- old *. exp (eps *. b *. r.Request.demand /. c);
             d := !d +. (c *. (y.(e) -. old)))
           path;
+        Selector.update_path sel path;
         solution := { Solution.request = i; path } :: !solution
     end
   done;
@@ -103,4 +73,4 @@ let run ?(eps = 0.1) inst =
   in
   { solution; final_y = y; certified_upper_bound; iterations = !iterations }
 
-let solve ?eps inst = (run ?eps inst).solution
+let solve ?eps ?selector inst = (run ?eps ?selector inst).solution

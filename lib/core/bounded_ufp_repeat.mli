@@ -20,11 +20,18 @@ type run = {
   iterations : int;
 }
 
-val run : ?eps:float -> Ufp_instance.Instance.t -> run
+val run :
+  ?eps:float -> ?selector:Selector.kind -> Ufp_instance.Instance.t -> run
 (** Same preconditions as {!Bounded_ufp.run}: normalised instance,
-    [B >= 1], [eps] in (0, 1] (default [0.1]). *)
+    [B >= 1], [eps] in (0, 1] (default [0.1]). [selector] picks the
+    {!Selector} engine (default [`Incremental]; both engines make
+    identical decisions). *)
 
-val solve : ?eps:float -> Ufp_instance.Instance.t -> Ufp_instance.Solution.t
+val solve :
+  ?eps:float ->
+  ?selector:Selector.kind ->
+  Ufp_instance.Instance.t ->
+  Ufp_instance.Solution.t
 
 val theorem_ratio : eps:float -> float
 (** The Theorem 5.1 guarantee [(1 + 6 eps)] (Lemma 5.3). *)

@@ -1,7 +1,5 @@
 module Graph = Ufp_graph.Graph
-module Dijkstra = Ufp_graph.Dijkstra
 module Instance = Ufp_instance.Instance
-module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 
 type stop_rule = Budget of float | Threshold of float
@@ -13,6 +11,10 @@ type config = {
   remove_selected : bool;
   respect_residual : bool;
 }
+
+(* Residual-vs-demand comparisons share one slack with the auditor so
+   "fits" means the same thing everywhere. *)
+let capacity_slack = Ufp_prelude.Float_tol.capacity_slack
 
 let algorithm_1 ~eps ~b =
   {
@@ -35,7 +37,7 @@ type run = {
   final_y : float array;
 }
 
-let execute ?(max_iterations = 1_000_000) config inst =
+let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst =
   if not (config.eps > 0.0 && config.eps <= 1.0) then
     invalid_arg "Pd_engine: eps must be in (0, 1]";
   if not (Instance.is_normalized inst) then
@@ -46,45 +48,37 @@ let execute ?(max_iterations = 1_000_000) config inst =
   if b < 1.0 then invalid_arg "Pd_engine: requires B >= 1";
   let m = Graph.n_edges g in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
-  let residual = Array.init m (fun e -> Graph.capacity g e) in
+  (* The residual array exists (and is maintained) only when the config
+     actually filters paths by it; Budget-mode runs skip the dead
+     bookkeeping entirely. *)
+  let weights =
+    if config.respect_residual then begin
+      let residual = Array.init m (fun e -> Graph.capacity g e) in
+      ( Selector.Per_demand
+          (fun ~demand e ->
+            if residual.(e) +. capacity_slack < demand then infinity
+            else y.(e)),
+        fun demand path ->
+          List.iter (fun e -> residual.(e) <- residual.(e) -. demand) path )
+    end
+    else (Selector.Uniform (fun e -> y.(e)), fun _ _ -> ())
+  in
+  let weights, consume_residual = weights in
+  let sel = Selector.create ~kind:selector ~weights inst in
   let d1 = ref (float_of_int m) in
-  let pending = ref (List.init (Instance.n_requests inst) Fun.id) in
   let solution = ref [] in
   let iterations = ref 0 in
   let continue = ref true in
   while !continue do
-    if !pending = [] then continue := false
+    if Selector.is_empty sel then continue := false
     else begin
       (match config.stop with
       | Budget bound -> if !d1 > bound then continue := false
       | Threshold _ -> ());
       if !continue then begin
-        (* Cheapest pending request under the current duals, lowest
-           index first. *)
-        let best = ref None in
-        List.iter
-          (fun i ->
-            let r = Instance.request inst i in
-            let d = r.Request.demand in
-            let weight e =
-              if config.respect_residual && residual.(e) +. 1e-9 < d then
-                infinity
-              else y.(e)
-            in
-            match
-              Dijkstra.shortest_path g ~weight ~src:r.Request.src
-                ~dst:r.Request.dst
-            with
-            | Some (dist, path) when dist < infinity -> (
-              let alpha = Request.density r *. dist in
-              match !best with
-              | Some (a, j, _) when a < alpha || (a = alpha && j < i) -> ()
-              | _ -> best := Some (alpha, i, path))
-            | Some _ | None -> ())
-          !pending;
-        match !best with
+        match Selector.select sel with
         | None -> continue := false
-        | Some (alpha, i, path) ->
+        | Some { Selector.request = i; path; alpha } ->
           let accept =
             match config.stop with
             | Budget _ -> true
@@ -102,12 +96,13 @@ let execute ?(max_iterations = 1_000_000) config inst =
                 let old = y.(e) in
                 y.(e) <-
                   old
-                  *. config.inflation ~b ~demand:r.Request.demand ~capacity:c;
-                d1 := !d1 +. (c *. (y.(e) -. old));
-                residual.(e) <- residual.(e) -. r.Request.demand)
+                  *. config.inflation ~b ~demand:r.Ufp_instance.Request.demand
+                       ~capacity:c;
+                d1 := !d1 +. (c *. (y.(e) -. old)))
               path;
-            if config.remove_selected then
-              pending := List.filter (fun j -> j <> i) !pending;
+            consume_residual r.Ufp_instance.Request.demand path;
+            Selector.update_path sel path;
+            if config.remove_selected then Selector.remove sel i;
             solution := { Solution.request = i; path } :: !solution
           end
       end

@@ -52,11 +52,25 @@ type run = {
   final_y : float array;
 }
 
+val capacity_slack : float
+(** The absolute slack used when comparing residual capacity against a
+    demand ({!Ufp_prelude.Float_tol.capacity_slack}, shared with
+    {!Audit} and {!Baselines}). *)
+
 val execute :
-  ?max_iterations:int -> config -> Ufp_instance.Instance.t -> run
+  ?max_iterations:int ->
+  ?selector:Selector.kind ->
+  config ->
+  Ufp_instance.Instance.t ->
+  run
 (** Run the engine. Requires a normalised instance with [B >= 1]
     (raises [Invalid_argument] otherwise). [max_iterations] (default
     [1_000_000]) guards non-terminating configurations (e.g. a
     repetitions run whose duals never reach the budget); exceeding it
     raises [Failure]. Ties break towards the lowest request index,
-    matching {!Bounded_ufp}. *)
+    matching {!Bounded_ufp}.
+
+    [selector] picks the {!Selector} engine (default [`Incremental];
+    both engines make identical decisions). Residual bookkeeping is
+    only maintained when [respect_residual] is set — Budget-mode runs
+    carry no residual state at all. *)

@@ -1,0 +1,313 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+
+type kind = [ `Naive | `Incremental ]
+
+type weights =
+  | Uniform of (int -> float)
+  | Per_demand of (demand:float -> int -> float)
+
+type choice = { request : int; path : int list; alpha : float }
+
+(* One shortest-path-tree cache group: the pending requests that share
+   a source and (for demand-dependent weights) a demand, i.e. one
+   Dijkstra serves the whole group. *)
+type group = {
+  src : int;
+  weight : int -> float;
+  mutable version : int;  (* bumped on every rebuild *)
+  mutable fresh : bool;  (* dist/parent_edge reflect the current weights *)
+  dist : float array;
+  parent_edge : int array;
+  mutable members : int list;  (* pending request indices, increasing *)
+}
+
+type t = {
+  graph : Graph.t;
+  inst : Instance.t;
+  kind : kind;
+  groups : group array;  (* in order of first appearance by request *)
+  group_of : group array;  (* request index -> its group *)
+  pending : bool array;
+  mutable n_pending : int;
+  (* edge id -> groups whose cached tree used the edge, tagged with the
+     group version at registration (stale tags are dropped lazily). *)
+  deps : (group * int) list array;
+  ws : Dijkstra.workspace;
+  (* Candidate min-heap over (alpha, request, group version), ordered
+     lexicographically by (Float.compare alpha, request index). Lazy
+     deletion: entries for removed requests or outdated versions are
+     discarded / re-scored at pop time. *)
+  mutable hk : float array;
+  mutable hr : int array;
+  mutable hv : int array;
+  mutable hsize : int;
+}
+
+(* --- candidate heap --- *)
+
+let entry_less t i j =
+  let c = Float.compare t.hk.(i) t.hk.(j) in
+  c < 0 || (c = 0 && t.hr.(i) < t.hr.(j))
+
+let entry_swap t i j =
+  let k = t.hk.(i) and r = t.hr.(i) and v = t.hv.(i) in
+  t.hk.(i) <- t.hk.(j);
+  t.hr.(i) <- t.hr.(j);
+  t.hv.(i) <- t.hv.(j);
+  t.hk.(j) <- k;
+  t.hr.(j) <- r;
+  t.hv.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_less t i parent then begin
+      entry_swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.hsize && entry_less t l !smallest then smallest := l;
+  if r < t.hsize && entry_less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    entry_swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let heap_push t key request version =
+  if t.hsize = Array.length t.hk then begin
+    let cap = max 16 (2 * t.hsize) in
+    let hk' = Array.make cap 0.0
+    and hr' = Array.make cap 0
+    and hv' = Array.make cap 0 in
+    Array.blit t.hk 0 hk' 0 t.hsize;
+    Array.blit t.hr 0 hr' 0 t.hsize;
+    Array.blit t.hv 0 hv' 0 t.hsize;
+    t.hk <- hk';
+    t.hr <- hr';
+    t.hv <- hv'
+  end;
+  t.hk.(t.hsize) <- key;
+  t.hr.(t.hsize) <- request;
+  t.hv.(t.hsize) <- version;
+  t.hsize <- t.hsize + 1;
+  sift_up t (t.hsize - 1)
+
+let heap_pop t =
+  if t.hsize = 0 then None
+  else begin
+    let k = t.hk.(0) and r = t.hr.(0) and v = t.hv.(0) in
+    t.hsize <- t.hsize - 1;
+    if t.hsize > 0 then begin
+      t.hk.(0) <- t.hk.(t.hsize);
+      t.hr.(0) <- t.hr.(t.hsize);
+      t.hv.(0) <- t.hv.(t.hsize);
+      sift_down t 0
+    end;
+    Some (k, r, v)
+  end
+
+(* --- construction --- *)
+
+let create ?(kind = `Incremental) ~weights inst =
+  let graph = Instance.graph inst in
+  let n = Graph.n_vertices graph in
+  let m = Graph.n_edges graph in
+  let n_req = Instance.n_requests inst in
+  let tbl : (int * float, group) Hashtbl.t = Hashtbl.create 16 in
+  let rev_order = ref [] in
+  for i = 0 to n_req - 1 do
+    let r = Instance.request inst i in
+    (* Demand only discriminates when the weight function reads it;
+       demands are positive, so 0.0 is a safe uniform sentinel. *)
+    let key =
+      ( r.Request.src,
+        match weights with
+        | Uniform _ -> 0.0
+        | Per_demand _ -> r.Request.demand )
+    in
+    match Hashtbl.find_opt tbl key with
+    | Some grp -> grp.members <- i :: grp.members
+    | None ->
+      let weight =
+        match weights with
+        | Uniform w -> w
+        | Per_demand w -> w ~demand:r.Request.demand
+      in
+      let grp =
+        {
+          src = r.Request.src;
+          weight;
+          version = 0;
+          fresh = false;
+          dist = Array.make n infinity;
+          parent_edge = Array.make n (-1);
+          members = [ i ];
+        }
+      in
+      Hashtbl.add tbl key grp;
+      rev_order := grp :: !rev_order
+  done;
+  let groups = Array.of_list (List.rev !rev_order) in
+  Array.iter (fun grp -> grp.members <- List.rev grp.members) groups;
+  let group_of =
+    if n_req = 0 then [||]
+    else begin
+      let arr = Array.make n_req groups.(0) in
+      Array.iter
+        (fun grp -> List.iter (fun i -> arr.(i) <- grp) grp.members)
+        groups;
+      arr
+    end
+  in
+  let t =
+    {
+      graph;
+      inst;
+      kind;
+      groups;
+      group_of;
+      pending = Array.make (max n_req 1) true;
+      n_pending = n_req;
+      deps = Array.make (max m 1) [];
+      ws = Dijkstra.create_workspace graph;
+      hk = Array.make (max 16 n_req) 0.0;
+      hr = Array.make (max 16 n_req) 0;
+      hv = Array.make (max 16 n_req) 0;
+      hsize = 0;
+    }
+  in
+  (* Seed the lazy heap: every request re-scores on its first pop
+     (neg_infinity sorts before any real score; version -1 never
+     matches, forcing the re-score). *)
+  if kind = `Incremental then
+    for i = 0 to n_req - 1 do
+      heap_push t neg_infinity i (-1)
+    done;
+  t
+
+let n_pending t = t.n_pending
+
+let is_empty t = t.n_pending = 0
+
+(* --- tree maintenance --- *)
+
+let rebuild t grp =
+  Dijkstra.shortest_tree_into t.ws t.graph ~weight:grp.weight ~src:grp.src
+    ~dist:grp.dist ~parent_edge:grp.parent_edge;
+  grp.version <- grp.version + 1;
+  grp.fresh <- true;
+  (* Index every tree edge so a dual update on it invalidates this
+     tree. Only the incremental kind consults the index. *)
+  if t.kind = `Incremental then
+    Array.iter
+      (fun e -> if e >= 0 then t.deps.(e) <- (grp, grp.version) :: t.deps.(e))
+      grp.parent_edge
+
+let update_path t path =
+  List.iter
+    (fun e ->
+      match t.deps.(e) with
+      | [] -> ()
+      | l ->
+        t.deps.(e) <- [];
+        List.iter
+          (fun (grp, ver) ->
+            if ver = grp.version && grp.fresh then grp.fresh <- false)
+          l)
+    path
+
+let remove t i =
+  if i < 0 || i >= Instance.n_requests t.inst then
+    invalid_arg "Selector.remove: request index out of range";
+  (* A second removal of the same request is a no-op: the pending count
+     only moves on an actual state change. *)
+  if t.pending.(i) then begin
+    t.pending.(i) <- false;
+    t.n_pending <- t.n_pending - 1;
+    let grp = t.group_of.(i) in
+    grp.members <- List.filter (fun j -> j <> i) grp.members
+  end
+
+(* --- scoring and selection --- *)
+
+let score t grp i =
+  let r = Instance.request t.inst i in
+  let d = grp.dist.(r.Request.dst) in
+  if d = infinity then infinity else Request.density r *. d
+
+let path_for t grp i =
+  let r = Instance.request t.inst i in
+  Option.get
+    (Dijkstra.path_of_tree t.graph
+       { Dijkstra.dist = grp.dist; parent_edge = grp.parent_edge }
+       ~src:grp.src ~dst:r.Request.dst)
+
+(* Recompute every group with a pending member, scan every pending
+   request — the reference implementation the incremental selector is
+   proven (and property-tested) equivalent to. *)
+let select_naive t =
+  let best = ref None in
+  Array.iter
+    (fun grp ->
+      if grp.members <> [] then begin
+        rebuild t grp;
+        List.iter
+          (fun i ->
+            let alpha = score t grp i in
+            if alpha < infinity then begin
+              let better =
+                match !best with
+                | None -> true
+                | Some (a, j, _) ->
+                  let c = Float.compare alpha a in
+                  c < 0 || (c = 0 && i < j)
+              in
+              if better then best := Some (alpha, i, grp)
+            end)
+          grp.members
+      end)
+    t.groups;
+  match !best with
+  | None -> None
+  | Some (alpha, i, grp) -> Some { request = i; path = path_for t grp i; alpha }
+
+let select_incremental t =
+  let rec loop () =
+    match heap_pop t with
+    | None -> None
+    | Some (a, i, ver) ->
+      if not t.pending.(i) then loop ()
+      else begin
+        let grp = t.group_of.(i) in
+        if grp.fresh && ver = grp.version then begin
+          (* The popped entry's score is current. Weights only grow, so
+             every other pending entry's key is a lower bound on its
+             current score: this is the true (alpha, index) minimum.
+             Re-push so the request stays a candidate (it is removed
+             separately when selection consumes it). *)
+          heap_push t a i ver;
+          Some { request = i; path = path_for t grp i; alpha = a }
+        end
+        else begin
+          if not grp.fresh then rebuild t grp;
+          let alpha = score t grp i in
+          (* An unroutable request stays unroutable under nondecreasing
+             weights: drop it from the heap entirely. *)
+          if alpha < infinity then heap_push t alpha i grp.version;
+          loop ()
+        end
+      end
+  in
+  loop ()
+
+let select t =
+  match t.kind with
+  | `Naive -> select_naive t
+  | `Incremental -> select_incremental t

@@ -22,8 +22,11 @@ let run ?(quick = false) () =
   let rr_trials = if quick then 10 else 30 in
   let ufp_algos =
     [
-      ("bounded-ufp", Bounded_ufp.solve ~eps, trials, false);
-      ("threshold-pd", Baselines.threshold_pd ~eps, trials, false);
+      ("bounded-ufp", (fun inst -> Bounded_ufp.solve ~eps inst), trials, false);
+      ( "threshold-pd",
+        (fun inst -> Baselines.threshold_pd ~eps inst),
+        trials,
+        false );
       ("greedy-density", Baselines.greedy_by_density, trials, false);
       ("greedy-value", Baselines.greedy_by_value, trials, false);
       ( "rand-rounding (non-truthful)",

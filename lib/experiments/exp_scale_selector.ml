@@ -1,0 +1,52 @@
+module Table = Ufp_prelude.Table
+module Graph = Ufp_graph.Graph
+module Instance = Ufp_instance.Instance
+module Bounded_ufp = Ufp_core.Bounded_ufp
+
+(* Same run twice — once per selection engine — on identical instances.
+   Besides the wall-clock comparison, the traces are checked for full
+   structural equality: the incremental engine is only admissible
+   because it makes byte-identical decisions (see Selector). *)
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-SCALE-SELECTOR: naive vs incremental request selection in \
+         Bounded-UFP"
+      ~columns:
+        [
+          "grid"; "m"; "|R|"; "iterations"; "naive (s)"; "incremental (s)";
+          "speedup"; "traces equal";
+        ]
+  in
+  let eps = 0.3 in
+  let configs =
+    if quick then [ (6, 6, 200) ]
+    else [ (6, 6, 200); (8, 8, 400); (10, 10, 800); (14, 14, 1600) ]
+  in
+  List.iter
+    (fun (rows, cols, count) ->
+      let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+      let capacity = Harness.capacity_for ~m ~eps in
+      let inst = Harness.grid_instance ~seed:1 ~rows ~cols ~capacity ~count in
+      let naive, t_naive =
+        Harness.time_it (fun () -> Bounded_ufp.run ~eps ~selector:`Naive inst)
+      in
+      let incr, t_incr =
+        Harness.time_it (fun () ->
+            Bounded_ufp.run ~eps ~selector:`Incremental inst)
+      in
+      let equal = naive.Bounded_ufp.trace = incr.Bounded_ufp.trace in
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" rows cols;
+          Table.cell_i (Graph.n_edges (Instance.graph inst));
+          Table.cell_i count;
+          Table.cell_i incr.Bounded_ufp.iterations;
+          Table.cell_f t_naive;
+          Table.cell_f t_incr;
+          Table.cell_f (t_naive /. Float.max t_incr 1e-9);
+          (if equal then "yes" else "NO");
+        ])
+    configs;
+  [ table ]

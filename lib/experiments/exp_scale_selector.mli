@@ -1,0 +1,13 @@
+(** EXP-SCALE-SELECTOR — the incremental selection engine at scale.
+
+    Runs [Bounded-UFP] twice on identical grid instances, once with the
+    [`Naive] selector (every pending source re-solved with Dijkstra on
+    every iteration) and once with the [`Incremental] one (cached
+    shortest-path trees with edge-level invalidation plus a
+    lazy-deletion candidate heap — see {!Ufp_core.Selector}). Reports
+    wall time for both, the speedup, and whether the two traces are
+    structurally equal — they must be, since the incremental engine is
+    only admissible because it reproduces the naive decisions
+    byte-for-byte. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

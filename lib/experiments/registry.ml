@@ -86,6 +86,14 @@ let all =
       run = Exp_perf.run;
     };
     {
+      id = "EXP-SCALE-SELECTOR";
+      paper_artifact = "Section 3.2 remark";
+      description =
+        "naive vs incremental request selection: cached Dijkstra trees + lazy \
+         candidate heap, identical traces";
+      run = Exp_scale_selector.run;
+    };
+    {
       id = "EXP-GAP";
       paper_artifact = "Section 1 motivation";
       description = "integrality gap OPT_LP/OPT_ILP collapses to 1 as B grows";

@@ -1,29 +1,116 @@
 type tree = { dist : float array; parent_edge : int array }
 
-let shortest_tree g ~weight ~src =
+(* Reusable scratch state: the settled marks and the binary heap. The
+   heap is kept out of Ufp_prelude.Heap because Dijkstra needs a
+   lexicographic (key, vertex-id) order — see the determinism note in
+   the interface — while the prelude heap breaks float ties by
+   insertion history. *)
+type workspace = {
+  ws_n : int;
+  ws_settled : bool array;
+  mutable ws_keys : float array;
+  mutable ws_verts : int array;
+  mutable ws_size : int;
+}
+
+let create_workspace g =
   let n = Graph.n_vertices g in
-  if src < 0 || src >= n then invalid_arg "Dijkstra.shortest_tree: bad source";
-  let dist = Array.make n infinity in
-  let parent_edge = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Ufp_prelude.Heap.create ~capacity:(max 16 n) () in
+  {
+    ws_n = n;
+    ws_settled = Array.make (max n 1) false;
+    ws_keys = Array.make (max 16 n) 0.0;
+    ws_verts = Array.make (max 16 n) 0;
+    ws_size = 0;
+  }
+
+(* (key, vertex) lexicographic order; keys are never NaN here. *)
+let entry_less ws i j =
+  let c = Float.compare ws.ws_keys.(i) ws.ws_keys.(j) in
+  c < 0 || (c = 0 && ws.ws_verts.(i) < ws.ws_verts.(j))
+
+let swap ws i j =
+  let k = ws.ws_keys.(i) and v = ws.ws_verts.(i) in
+  ws.ws_keys.(i) <- ws.ws_keys.(j);
+  ws.ws_verts.(i) <- ws.ws_verts.(j);
+  ws.ws_keys.(j) <- k;
+  ws.ws_verts.(j) <- v
+
+let rec sift_up ws i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_less ws i parent then begin
+      swap ws i parent;
+      sift_up ws parent
+    end
+  end
+
+let rec sift_down ws i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < ws.ws_size && entry_less ws l !smallest then smallest := l;
+  if r < ws.ws_size && entry_less ws r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap ws i !smallest;
+    sift_down ws !smallest
+  end
+
+let heap_push ws key v =
+  if ws.ws_size = Array.length ws.ws_keys then begin
+    let cap = 2 * ws.ws_size in
+    let keys' = Array.make cap 0.0 and verts' = Array.make cap 0 in
+    Array.blit ws.ws_keys 0 keys' 0 ws.ws_size;
+    Array.blit ws.ws_verts 0 verts' 0 ws.ws_size;
+    ws.ws_keys <- keys';
+    ws.ws_verts <- verts'
+  end;
+  ws.ws_keys.(ws.ws_size) <- key;
+  ws.ws_verts.(ws.ws_size) <- v;
+  ws.ws_size <- ws.ws_size + 1;
+  sift_up ws (ws.ws_size - 1)
+
+let heap_pop ws =
+  if ws.ws_size = 0 then None
+  else begin
+    let k = ws.ws_keys.(0) and v = ws.ws_verts.(0) in
+    ws.ws_size <- ws.ws_size - 1;
+    if ws.ws_size > 0 then begin
+      ws.ws_keys.(0) <- ws.ws_keys.(ws.ws_size);
+      ws.ws_verts.(0) <- ws.ws_verts.(ws.ws_size);
+      sift_down ws 0
+    end;
+    Some (k, v)
+  end
+
+let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
+  let n = Graph.n_vertices g in
+  if ws.ws_n <> n then
+    invalid_arg "Dijkstra.shortest_tree_into: workspace built for another graph";
+  if src < 0 || src >= n then
+    invalid_arg "Dijkstra.shortest_tree_into: bad source";
+  if Array.length dist <> n || Array.length parent_edge <> n then
+    invalid_arg "Dijkstra.shortest_tree_into: output arrays must have length n";
+  Array.fill dist 0 n infinity;
+  Array.fill parent_edge 0 n (-1);
+  Array.fill ws.ws_settled 0 n false;
+  ws.ws_size <- 0;
   dist.(src) <- 0.0;
-  Ufp_prelude.Heap.push heap 0.0 src;
+  heap_push ws 0.0 src;
   let rec loop () =
-    match Ufp_prelude.Heap.pop_min heap with
+    match heap_pop ws with
     | None -> ()
     | Some (d, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
+      if not ws.ws_settled.(u) then begin
+        ws.ws_settled.(u) <- true;
         let relax (eid, v) =
-          if not settled.(v) then begin
+          if not ws.ws_settled.(v) then begin
             let w = weight eid in
+            if Float.is_nan w then invalid_arg "Dijkstra: NaN edge weight";
             if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
             let d' = d +. w in
             if d' < dist.(v) then begin
               dist.(v) <- d';
               parent_edge.(v) <- eid;
-              Ufp_prelude.Heap.push heap d' v
+              heap_push ws d' v
             end
           end
         in
@@ -31,7 +118,15 @@ let shortest_tree g ~weight ~src =
       end;
       loop ()
   in
-  loop ();
+  loop ()
+
+let shortest_tree g ~weight ~src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.shortest_tree: bad source";
+  let ws = create_workspace g in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  shortest_tree_into ws g ~weight ~src ~dist ~parent_edge;
   { dist; parent_edge }
 
 let path_of_tree g tree ~src ~dst =

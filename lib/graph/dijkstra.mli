@@ -7,27 +7,65 @@
     edge id so the solver can pass its dual array directly.
 
     With strictly positive weights the returned paths are automatically
-    simple, as required by the path set [S_r] of the LP in Figure 1. *)
+    simple, as required by the path set [S_r] of the LP in Figure 1.
+
+    {b Determinism.} Heap ties are broken lexicographically by
+    [(distance, vertex id)], and a vertex's parent is the first settled
+    in-neighbour that reaches its final distance. With strictly
+    positive weights this makes the returned tree a pure function of
+    the weight vector — independent of computation history. In
+    particular, if every weight is nondecreasing over time and no edge
+    {e used by} a previously computed tree changed, recomputing yields
+    the byte-identical tree. {!Ufp_core.Selector} relies on exactly
+    this property for its cache-invalidation rule. *)
 
 type tree = {
   dist : float array;  (** [dist.(v)] = distance from the source, [infinity] if unreachable *)
   parent_edge : int array;  (** edge id used to enter [v] on a shortest path, [-1] at the source / unreachable vertices *)
 }
 
+type workspace
+(** Reusable scratch state (settled marks + heap) for repeated
+    single-source computations on one graph. A workspace is not
+    thread-safe; it is meant to be threaded through a solver loop so
+    repeated solves allocate nothing per call. *)
+
+val create_workspace : Graph.t -> workspace
+(** Allocate scratch state sized for [g]. The workspace is tied to the
+    vertex count of [g]; using it with a graph of a different size
+    raises [Invalid_argument]. *)
+
+val shortest_tree_into :
+  workspace ->
+  Graph.t ->
+  weight:(int -> float) ->
+  src:int ->
+  dist:float array ->
+  parent_edge:int array ->
+  unit
+(** [shortest_tree_into ws g ~weight ~src ~dist ~parent_edge] runs a
+    full Dijkstra from [src], overwriting the caller-provided [dist]
+    and [parent_edge] arrays (both of length [n_vertices g]). Performs
+    no allocation beyond (amortised) heap growth inside [ws]. Raises
+    [Invalid_argument] on a traversed edge with negative or NaN
+    weight, on bad [src], or on mis-sized arrays. *)
+
 val shortest_tree : Graph.t -> weight:(int -> float) -> src:int -> tree
-(** Full Dijkstra tree from [src]. Raises [Invalid_argument] if any
-    traversed edge has a negative weight. *)
+(** Full Dijkstra tree from [src], allocating fresh arrays (a
+    convenience wrapper over {!shortest_tree_into}). Raises
+    [Invalid_argument] if any traversed edge has a negative or NaN
+    weight. *)
 
 val path_of_tree : Graph.t -> tree -> src:int -> dst:int -> int list option
 (** Reconstruct the edge-id path [src -> dst] from a tree, or [None]
-    when [dst] is unreachable. *)
+    when [dst] is unreachable. [Some []] when [src = dst]. *)
 
 val shortest_path :
   Graph.t -> weight:(int -> float) -> src:int -> dst:int ->
   (float * int list) option
 (** [shortest_path g ~weight ~src ~dst] is [Some (length, edges)] for a
     minimum-weight path, [None] if [dst] is unreachable. Ties are
-    broken deterministically by heap order. *)
+    broken deterministically by [(distance, vertex id)] order. *)
 
 val reachable : Graph.t -> src:int -> dst:int -> bool
 (** Unweighted reachability (BFS). *)

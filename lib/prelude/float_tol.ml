@@ -1,5 +1,7 @@
 let default_eps = 1e-9
 
+let capacity_slack = 1e-9
+
 let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
 let approx_eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps *. scale a b

@@ -8,6 +8,13 @@
 val default_eps : float
 (** [1e-9], suitable for values of magnitude around 1. *)
 
+val capacity_slack : float
+(** [1e-9]: the absolute slack used whenever residual capacity is
+    compared against a demand (edge filtering in the residual-aware
+    primal-dual rules, feasibility repair, audit bookkeeping). One
+    shared constant so the solvers and the auditor agree on what
+    "fits" means. *)
+
 val approx_eq : ?eps:float -> float -> float -> bool
 (** [approx_eq a b] holds when [|a - b| <= eps * max(1, |a|, |b|)]
     (relative for large magnitudes, absolute near zero). *)

@@ -612,6 +612,63 @@ let test_engine_iteration_guard () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected the iteration guard to fire"
 
+(* --- Selector --- *)
+
+module Selector = Ufp_core.Selector
+
+let test_selector_remove_is_idempotent () =
+  (* Removing an already-removed request must not decrement the pending
+     count a second time (the historical Pending.remove bug). *)
+  let inst = grid_instance ~rows:3 ~cols:3 ~capacity:12.0 ~count:5 1 in
+  let sel = Selector.create ~weights:(Selector.Uniform (fun _ -> 1.0)) inst in
+  Alcotest.(check int) "all pending" 5 (Selector.n_pending sel);
+  Selector.remove sel 2;
+  Alcotest.(check int) "one removed" 4 (Selector.n_pending sel);
+  Selector.remove sel 2;
+  Selector.remove sel 2;
+  Alcotest.(check int) "double remove is a no-op" 4 (Selector.n_pending sel);
+  List.iter (Selector.remove sel) [ 0; 1; 3; 4 ];
+  Alcotest.(check bool) "empty after removing all" true (Selector.is_empty sel);
+  Selector.remove sel 0;
+  Alcotest.(check int) "still zero, not negative" 0 (Selector.n_pending sel)
+
+let test_selector_remove_out_of_range () =
+  let inst = grid_instance ~rows:3 ~cols:3 ~capacity:12.0 ~count:3 1 in
+  let sel = Selector.create ~weights:(Selector.Uniform (fun _ -> 1.0)) inst in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Selector.remove: request index out of range") (fun () ->
+      Selector.remove sel 3);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Selector.remove: request index out of range") (fun () ->
+      Selector.remove sel (-1))
+
+let test_selector_kinds_agree_on_bounded_ufp () =
+  for seed = 1 to 6 do
+    let inst = grid_instance ~rows:4 ~cols:4 ~capacity:20.0 ~count:30 seed in
+    let eps = 0.3 in
+    let naive = Bounded_ufp.run ~eps ~selector:`Naive inst in
+    let incr = Bounded_ufp.run ~eps ~selector:`Incremental inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "identical traces seed %d" seed)
+      true
+      (naive.Bounded_ufp.trace = incr.Bounded_ufp.trace);
+    Array.iteri
+      (fun e ye ->
+        Alcotest.(check (float 0.0)) "identical final duals" ye
+          incr.Bounded_ufp.final_y.(e))
+      naive.Bounded_ufp.final_y
+  done
+
+let test_selector_kinds_agree_on_threshold_pd () =
+  for seed = 1 to 5 do
+    let inst = grid_instance ~rows:3 ~cols:3 ~capacity:12.0 ~count:15 seed in
+    let naive = Baselines.threshold_pd ~eps:0.3 ~selector:`Naive inst in
+    let incr = Baselines.threshold_pd ~eps:0.3 ~selector:`Incremental inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "identical solutions seed %d" seed)
+      true (naive = incr)
+  done
+
 (* --- Audit --- *)
 
 module Audit = Ufp_core.Audit
@@ -858,6 +915,17 @@ let () =
             test_engine_reproduces_threshold_pd;
           Alcotest.test_case "validation" `Quick test_engine_validation;
           Alcotest.test_case "iteration guard" `Quick test_engine_iteration_guard;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "remove idempotent" `Quick
+            test_selector_remove_is_idempotent;
+          Alcotest.test_case "remove out of range" `Quick
+            test_selector_remove_out_of_range;
+          Alcotest.test_case "kinds agree on Bounded-UFP" `Quick
+            test_selector_kinds_agree_on_bounded_ufp;
+          Alcotest.test_case "kinds agree on threshold-PD" `Quick
+            test_selector_kinds_agree_on_threshold_pd;
         ] );
       ( "audit",
         [

@@ -146,6 +146,51 @@ let test_dijkstra_negative_raises () =
     (Invalid_argument "Dijkstra: negative edge weight") (fun () ->
       ignore (Dijkstra.shortest_tree g ~weight:(fun _ -> -1.0) ~src:0))
 
+let test_dijkstra_nan_raises () =
+  let g = Graph.create ~directed:true ~n:2 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  Alcotest.check_raises "nan weight"
+    (Invalid_argument "Dijkstra: NaN edge weight") (fun () ->
+      ignore (Dijkstra.shortest_tree g ~weight:(fun _ -> nan) ~src:0))
+
+let test_dijkstra_src_eq_dst () =
+  (* Self-loop edges cannot exist (Graph.add_edge rejects them), so the
+     src = dst case must come out as the empty path, not a cycle. *)
+  let g, _, _, _, _, _ = diamond () in
+  (match Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:2 ~dst:2 with
+  | Some (len, path) ->
+    check_float "zero length" 0.0 len;
+    Alcotest.(check (list int)) "empty path" [] path
+  | None -> Alcotest.fail "src = dst must be reachable");
+  let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src:2 in
+  Alcotest.(check (option (list int))) "path_of_tree src=dst" (Some [])
+    (Dijkstra.path_of_tree g tree ~src:2 ~dst:2)
+
+let test_dijkstra_path_of_tree_disconnected () =
+  let g = Graph.create ~directed:true ~n:4 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src:0 in
+  Alcotest.(check (option (list int))) "disconnected pair" None
+    (Dijkstra.path_of_tree g tree ~src:0 ~dst:3);
+  Alcotest.(check bool) "shortest_path agrees" true
+    (Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:0 ~dst:3 = None);
+  check_float "infinite distance" infinity tree.Dijkstra.dist.(3)
+
+let test_dijkstra_tie_break_deterministic () =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3 tie at length 2; the (dist, vertex id)
+     rule settles vertex 1 before vertex 2, so the parent of 3 is fixed
+     as e13. The Selector's cache-invalidation argument leans on this
+     being a pure function of the weights. *)
+  let g, e01, e13, e02, e23, e03 = diamond () in
+  let w = Array.make 5 1.0 in
+  w.(e03) <- 10.0;
+  (match Dijkstra.shortest_path g ~weight:(fun e -> w.(e)) ~src:0 ~dst:3 with
+  | Some (len, path) ->
+    check_float "tied length" 2.0 len;
+    Alcotest.(check (list int)) "lower-id branch wins" [ e01; e13 ] path
+  | None -> Alcotest.fail "expected a path");
+  ignore (e02, e23)
+
 let test_dijkstra_tree_distances () =
   let g = Gen.grid ~rows:3 ~cols:3 ~capacity:1.0 in
   let tree = Dijkstra.shortest_tree g ~weight:(fun _ -> 1.0) ~src:0 in
@@ -618,6 +663,29 @@ let qcheck_dijkstra_optimal_vs_enumeration =
         !ok
       end)
 
+let qcheck_workspace_matches_allocating =
+  QCheck.Test.make ~name:"workspace dijkstra equals allocating dijkstra"
+    ~count:100
+    QCheck.(pair small_int (int_bound 11))
+    (fun (seed, src) ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed + 13) in
+      let w =
+        Array.init (max 1 (Graph.n_edges g)) (fun _ -> Rng.float_in rng 0.1 3.0)
+      in
+      let weight e = w.(e) in
+      let fresh = Dijkstra.shortest_tree g ~weight ~src in
+      let n = Graph.n_vertices g in
+      let ws = Dijkstra.create_workspace g in
+      let dist = Array.make n nan in
+      let parent_edge = Array.make n min_int in
+      (* Run twice through the same workspace: results must match the
+         allocating version byte for byte, including on reuse. *)
+      Dijkstra.shortest_tree_into ws g ~weight ~src:(11 - src) ~dist
+        ~parent_edge;
+      Dijkstra.shortest_tree_into ws g ~weight ~src ~dist ~parent_edge;
+      dist = fresh.Dijkstra.dist && parent_edge = fresh.Dijkstra.parent_edge)
+
 let qcheck_enumerate_simple =
   QCheck.Test.make ~name:"enumerated paths are simple and distinct" ~count:50
     QCheck.small_int (fun seed ->
@@ -650,6 +718,12 @@ let () =
           Alcotest.test_case "orientation" `Quick
             test_dijkstra_directed_respects_orientation;
           Alcotest.test_case "negative raises" `Quick test_dijkstra_negative_raises;
+          Alcotest.test_case "nan raises" `Quick test_dijkstra_nan_raises;
+          Alcotest.test_case "src = dst" `Quick test_dijkstra_src_eq_dst;
+          Alcotest.test_case "path_of_tree disconnected" `Quick
+            test_dijkstra_path_of_tree_disconnected;
+          Alcotest.test_case "tie break deterministic" `Quick
+            test_dijkstra_tie_break_deterministic;
           Alcotest.test_case "grid distances" `Quick test_dijkstra_tree_distances;
           Alcotest.test_case "undirected both ways" `Quick
             test_dijkstra_undirected_both_ways;
@@ -704,6 +778,7 @@ let () =
           [
             qcheck_dijkstra_path_length;
             qcheck_dijkstra_optimal_vs_enumeration;
+            qcheck_workspace_matches_allocating;
             qcheck_enumerate_simple;
             qcheck_maxflow_bounded_by_cut;
             qcheck_maxflow_equals_mincut;

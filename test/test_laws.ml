@@ -12,6 +12,7 @@ module Instance = Ufp_instance.Instance
 module Solution = Ufp_instance.Solution
 module Workloads = Ufp_instance.Workloads
 module Bounded_ufp = Ufp_core.Bounded_ufp
+module Pd_engine = Ufp_core.Pd_engine
 module Baselines = Ufp_core.Baselines
 module Online = Ufp_core.Online
 module Exact = Ufp_lp.Exact
@@ -260,6 +261,46 @@ let qcheck_gk_upper_bound_improves =
       let _, fine = Mcf.fractional_opt_interval ~eps:0.1 inst in
       fine <= coarse +. 1e-6)
 
+(* --- Law 11: selection-engine equivalence (the Selector contract).
+
+   The incremental selector (cached Dijkstra trees + lazy-deletion
+   candidate heap) must reproduce the naive recompute-everything
+   selection byte for byte: same request, same path, same alpha, in
+   every iteration. Full structural equality of the traces — not just
+   the winner sets — so a divergence in tie-breaking or invalidation
+   shows up immediately. *)
+let qcheck_selector_trace_equivalence =
+  QCheck.Test.make ~name:"naive and incremental selectors yield identical traces"
+    ~count:40
+    QCheck.(pair small_int (int_range 5 25))
+    (fun (seed, count) ->
+      let inst = grid_instance ~rows:4 ~cols:4 ~capacity:20.0 ~count (seed + 17) in
+      let naive = Bounded_ufp.run ~eps:0.3 ~selector:`Naive inst in
+      let incr = Bounded_ufp.run ~eps:0.3 ~selector:`Incremental inst in
+      naive.Bounded_ufp.trace = incr.Bounded_ufp.trace
+      && naive.Bounded_ufp.final_y = incr.Bounded_ufp.final_y)
+
+(* --- Law 12: the same equivalence across the Pd_engine design space,
+   including the residual-filtered (Per_demand weights) threshold rule
+   and the with-repetitions pool. *)
+let qcheck_selector_engine_equivalence =
+  QCheck.Test.make
+    ~name:"selector engines agree across the Pd_engine design space" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:12.0 ~count:10 (seed + 41) in
+      let b = Graph.min_capacity (Instance.graph inst) in
+      List.for_all
+        (fun config ->
+          let naive = Pd_engine.execute ~selector:`Naive config inst in
+          let incr = Pd_engine.execute ~selector:`Incremental config inst in
+          naive.Pd_engine.solution = incr.Pd_engine.solution
+          && naive.Pd_engine.final_y = incr.Pd_engine.final_y)
+        [
+          Pd_engine.algorithm_1 ~eps:0.3 ~b;
+          Pd_engine.algorithm_3 ~eps:0.3 ~b;
+          Pd_engine.threshold_rule ~eps:0.3 ~b;
+        ])
+
 let () =
   Alcotest.run "laws"
     [
@@ -276,5 +317,7 @@ let () =
             qcheck_exact_solvers_agree;
             qcheck_solution_io_preserves_feasibility;
             qcheck_gk_upper_bound_improves;
+            qcheck_selector_trace_equivalence;
+            qcheck_selector_engine_equivalence;
           ] );
     ]
