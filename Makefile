@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples doc clean
+.PHONY: all build test lint bench bench-quick examples doc clean
 
 all: build
 
@@ -9,6 +9,10 @@ build:
 
 test:
 	dune runtest
+
+# Float-discipline / determinism linter (see docs/LINTING.md).
+lint:
+	dune build @lint
 
 bench:
 	dune exec bench/main.exe

@@ -22,6 +22,7 @@ module Bounded_ufp = Ufp_core.Bounded_ufp
 module Bounded_muca = Ufp_auction.Bounded_muca
 module Reasonable = Ufp_core.Reasonable
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 (* --- bechamel micro-benchmarks: one per computational kernel --- *)
 
@@ -113,7 +114,7 @@ let micro_tests () =
     Test.make ~name:"critical-value-bisection-3x3-8req"
       (Staged.stage (fun () ->
            ignore
-             (Ufp_mech.Single_param.critical_value ~rel_tol:1e-4 pay_model
+             (Ufp_mech.Single_param.critical_value ~rel_tol:Float_tol.coarse_slack pay_model
                 pay_inst ~agent:0)))
   in
   [

@@ -25,6 +25,7 @@ module Registry = Ufp_experiments.Registry
 module Rng = Ufp_prelude.Rng
 
 open Cmdliner
+module Float_tol = Ufp_prelude.Float_tol
 
 let load_instance path =
   match Io.load path with
@@ -205,7 +206,7 @@ let payments path eps =
   warn_premise inst ~eps;
   let algo = Bounded_ufp.solve ~eps in
   let won = Ufp_mechanism.winners algo inst in
-  let pay = Ufp_mechanism.payments ~rel_tol:1e-6 algo inst in
+  let pay = Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol algo inst in
   Printf.printf "truthful mechanism: Bounded-UFP(%.2f) + critical-value payments\n"
     eps;
   Printf.printf "%-8s %-10s %-10s %-6s %-12s\n" "request" "demand" "value" "wins"

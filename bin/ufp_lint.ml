@@ -1,0 +1,70 @@
+(* ufp-lint: repo-specific float-discipline and determinism linter.
+
+   Walks .ml/.mli sources and enforces the rules documented in
+   docs/LINTING.md (R1 inline-tolerance, R2 poly-float-compare,
+   R3 poly-hash, R4 bare-abort).  Exit codes: 0 clean, 1 violations,
+   2 driver errors (unreadable or unparsable file). *)
+
+module Finding = Ufp_lint.Finding
+module Driver = Ufp_lint.Driver
+
+open Cmdliner
+
+let roots_arg =
+  let doc = "Source roots (directories or files) to lint." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench"; "test" ]
+       & info [] ~docv:"PATH" ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", Driver.Text); ("json", Driver.Json) ]) Driver.Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let rules_arg =
+  let parse s =
+    match Finding.rule_of_string s with
+    | Some r -> Ok r
+    | None -> Error (`Msg (Printf.sprintf "unknown rule %S" s))
+  in
+  let print ppf r = Format.pp_print_string ppf (Finding.rule_id r) in
+  let rule_conv = Arg.conv (parse, print) in
+  let doc =
+    "Comma-separated rules to enforce (ids or slugs); default: all."
+  in
+  Arg.(
+    value
+    & opt (list rule_conv) Finding.all_rules
+    & info [ "r"; "rules" ] ~docv:"RULES" ~doc)
+
+let list_rules_arg =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"List rules and exit.")
+
+let main roots format rules list_rules =
+  if list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%s %-20s %s\n" (Finding.rule_id r)
+          (Finding.rule_name r) (Finding.rule_doc r))
+      Finding.all_rules;
+    0
+  end
+  else Driver.run ~format ~rules ~roots ()
+
+let cmd =
+  let doc = "float-discipline and determinism linter for the UFP repo" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Enforces the tolerance and comparison discipline that the \
+         truthfulness argument (Theorem 2.3) depends on.  See \
+         docs/LINTING.md for rules and the [@lint.allow] escape hatch.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ufp-lint" ~doc ~man)
+    Term.(const main $ roots_arg $ format_arg $ rules_arg $ list_rules_arg)
+
+let () = exit (Cmd.eval' cmd)

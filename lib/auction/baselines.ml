@@ -1,3 +1,5 @@
+module Float_tol = Ufp_prelude.Float_tol
+
 let route_in_order auction order =
   let residual =
     Array.init (Auction.n_items auction) (fun u -> Auction.multiplicity auction u)
@@ -71,7 +73,7 @@ let exact ?(max_bids = 64) auction =
   let best_counts = ref (Array.make n_groups 0) in
   let counts = Array.make n_groups 0 in
   let rec branch k acc =
-    if acc +. suffix.(k) <= !best_value +. 1e-12 then ()
+    if acc +. suffix.(k) <= !best_value +. Float_tol.greedy_prune_tol then ()
     else if k = n_groups then begin
       if acc > !best_value then begin
         best_value := acc;

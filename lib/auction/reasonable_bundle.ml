@@ -1,4 +1,5 @@
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 type state = { auction : Auction.t; loads : int array }
 
@@ -54,7 +55,7 @@ let run ~priority ~tie_break auction =
       (fun u -> st.loads.(u) + 1 <= Auction.multiplicity auction u)
       bid.Auction.bundle
   in
-  let tie_rel = 1e-9 in
+  let tie_rel = Float_tol.tie_rel in
   let allocation = ref [] in
   let iterations = ref 0 in
   let continue = ref true in

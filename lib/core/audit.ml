@@ -3,6 +3,7 @@ module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Duality = Ufp_lp.Duality
+module Float_tol = Ufp_prelude.Float_tol
 
 let slack = Ufp_prelude.Float_tol.capacity_slack
 
@@ -65,14 +66,14 @@ let bounded_ufp_run inst (run : Bounded_ufp.run) =
     add
       (finding "d1-consistency"
          (Float.abs (recomputed -. last.Bounded_ufp.d1)
-         <= 1e-6 *. Float.max 1.0 recomputed)
+         <= Float_tol.loose_check_eps *. Float.max 1.0 recomputed)
          (Printf.sprintf "recomputed %.6g vs tracked %.6g" recomputed
             last.Bounded_ufp.d1)));
   (* 6. Weak duality against the certificate. *)
   let value = Solution.value inst run.Bounded_ufp.solution in
   add
     (finding "weak-duality"
-       (value <= run.Bounded_ufp.certified_upper_bound +. 1e-6)
+       (value <= run.Bounded_ufp.certified_upper_bound +. Float_tol.loose_check_eps)
        (Printf.sprintf "P = %.6g <= D = %.6g" value
           run.Bounded_ufp.certified_upper_bound));
   (* 7. The Claim 3.6 scaled dual is feasible for the Figure 1 dual. *)
@@ -86,7 +87,7 @@ let bounded_ufp_run inst (run : Bounded_ufp.run) =
       let y = Array.map (fun v -> v /. alpha) run.Bounded_ufp.final_y in
       add
         (finding "scaled-dual"
-           (Duality.dual_feasible ~eps:1e-6 inst ~y ~z:run.Bounded_ufp.final_z)
+           (Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y ~z:run.Bounded_ufp.final_z)
            (Printf.sprintf "(y/%.6g, z) satisfies the Figure 1 dual" alpha))
     end);
   let findings = List.rev !findings in

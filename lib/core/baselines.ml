@@ -35,12 +35,12 @@ let sorted_indices inst cmp =
 
 let greedy_by_density inst =
   let by_density a b =
-    compare (b.Request.value /. b.Request.demand) (a.Request.value /. a.Request.demand)
+    Float.compare (b.Request.value /. b.Request.demand) (a.Request.value /. a.Request.demand)
   in
   route_in_order inst (sorted_indices inst by_density)
 
 let greedy_by_value inst =
-  let by_value a b = compare b.Request.value a.Request.value in
+  let by_value a b = Float.compare b.Request.value a.Request.value in
   route_in_order inst (sorted_indices inst by_value)
 
 let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
@@ -115,7 +115,9 @@ let randomized_rounding ?(eps = 0.1) ~seed inst =
         (* Draw a path proportionally to its fractional amount. *)
         let u = Rng.float rng x_r in
         let rec draw acc = function
-          | [] -> assert false
+          | [] ->
+            ((assert false)
+            [@lint.allow "R4" "unreachable: u < x_r, the sum of path amounts"])
           | [ (p, _) ] -> p
           | (p, a) :: rest -> if u < acc +. a then p else draw (acc +. a) rest
         in

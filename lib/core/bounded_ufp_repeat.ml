@@ -69,7 +69,7 @@ let run ?(eps = 0.1) ?(selector = `Incremental) inst =
   let solution = List.rev !solution in
   Log.info (fun m -> m "done: %d iterations (with repetitions)" !iterations);
   let certified_upper_bound =
-    if !best_bound = infinity then Solution.value inst solution else !best_bound
+    if Float.equal !best_bound infinity then Solution.value inst solution else !best_bound
   in
   { solution; final_y = y; certified_upper_bound; iterations = !iterations }
 

@@ -3,6 +3,7 @@ module Dijkstra = Ufp_graph.Dijkstra
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
+module Float_tol = Ufp_prelude.Float_tol
 
 type event = { request : int; accepted : bool; cost : float }
 
@@ -45,7 +46,7 @@ let route ?(eps = 0.1) ?order inst =
     let r = Instance.request inst i in
     let d = r.Request.demand in
     let weight e =
-      if flow.(e) +. d <= Graph.capacity g e +. 1e-9 then price e else infinity
+      if flow.(e) +. d <= Graph.capacity g e +. Float_tol.capacity_slack then price e else infinity
     in
     let outcome =
       match

@@ -88,7 +88,10 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
           else begin
             incr iterations;
             if !iterations > max_iterations then
-              failwith "Pd_engine: iteration budget exceeded";
+              (failwith "Pd_engine: iteration budget exceeded"
+              [@lint.allow "R4"
+                "defensive budget: each iteration permanently allocates one \
+                 request, so this needs > n_requests iterations to fire"]);
             let r = Instance.request inst i in
             List.iter
               (fun e ->

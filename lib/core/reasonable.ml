@@ -5,6 +5,7 @@ module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 type state = { graph : Graph.t; flow : float array }
 
@@ -119,10 +120,10 @@ let run ?(max_paths = 20000) ~priority ~tie_break inst =
     | Some l -> l := i :: !l
     | None -> Hashtbl.add groups key (ref [ i ])
   done;
-  let tie_rel = 1e-9 in
+  let tie_rel = Float_tol.tie_rel in
   let feasible d path =
     List.for_all
-      (fun e -> st.flow.(e) +. d <= Graph.capacity g e +. 1e-9)
+      (fun e -> st.flow.(e) +. d <= Graph.capacity g e +. Float_tol.capacity_slack)
       path
   in
   (* One iteration: gather the minimum-priority feasible candidates. *)

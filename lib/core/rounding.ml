@@ -4,6 +4,7 @@ module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Mcf = Ufp_lp.Mcf
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 type trial = {
   tentative_value : float;
@@ -34,7 +35,9 @@ let round_flow ~flow ?(eps = 0.1) ~seed inst =
       if x_r > 0.0 && Rng.float rng 1.0 < (1.0 -. eps) *. x_r then begin
         let u = Rng.float rng x_r in
         let rec draw acc = function
-          | [] -> assert false
+          | [] ->
+            ((assert false)
+            [@lint.allow "R4" "unreachable: u < x_r, the sum of path amounts"])
           | [ (p, _) ] -> p
           | (p, a) :: rest -> if u < acc +. a then p else draw (acc +. a) rest
         in
@@ -50,7 +53,7 @@ let round_flow ~flow ?(eps = 0.1) ~seed inst =
   let residual = Array.init (Graph.n_edges g) (fun e -> Graph.capacity g e) in
   let admit acc (a : Solution.allocation) =
     let d = (Instance.request inst a.Solution.request).Request.demand in
-    if List.for_all (fun e -> residual.(e) +. 1e-9 >= d) a.Solution.path then begin
+    if List.for_all (fun e -> residual.(e) +. Float_tol.capacity_slack >= d) a.Solution.path then begin
       List.iter (fun e -> residual.(e) <- residual.(e) -. d) a.Solution.path;
       a :: acc
     end
@@ -92,6 +95,6 @@ let success_probability ?(eps = 0.1) ~trials ~seed inst =
     if t.tentative_feasible then incr feasible;
     value_sum := !value_sum +. t.value
   done;
-  let denom = Float.max lp.Mcf.upper_bound 1e-12 in
+  let denom = Float.max lp.Mcf.upper_bound Float_tol.tight_eps in
   ( float_of_int !feasible /. float_of_int trials,
     !value_sum /. float_of_int trials /. denom )

@@ -240,7 +240,7 @@ let remove t i =
 let score t grp i =
   let r = Instance.request t.inst i in
   let d = grp.dist.(r.Request.dst) in
-  if d = infinity then infinity else Request.density r *. d
+  if Float.equal d infinity then infinity else Request.density r *. d
 
 let path_for t grp i =
   let r = Instance.request t.inst i in

@@ -4,6 +4,7 @@ module Instance = Ufp_instance.Instance
 module Solution = Ufp_instance.Solution
 module Bounded_ufp = Ufp_core.Bounded_ufp
 module Exact = Ufp_lp.Exact
+module Float_tol = Ufp_prelude.Float_tol
 
 let run ?(quick = false) () =
   let table =
@@ -25,7 +26,7 @@ let run ?(quick = false) () =
         let v = Solution.value inst (Bounded_ufp.solve ~eps inst) in
         if v > 0.0 then begin
           ratios := (opt /. v) :: !ratios;
-          if opt /. v <= 1.0 +. 1e-9 then incr optimal
+          if opt /. v <= 1.0 +. Float_tol.check_eps then incr optimal
         end
       done;
       let arr = Array.of_list !ratios in

@@ -6,6 +6,7 @@ module Duality = Ufp_lp.Duality
 module Mcf = Ufp_lp.Mcf
 module Exact = Ufp_lp.Exact
 module Path_lp = Ufp_lp.Path_lp
+module Float_tol = Ufp_prelude.Float_tol
 
 let run ?(quick = false) () =
   let table =
@@ -37,7 +38,7 @@ let run ?(quick = false) () =
         | last :: _ ->
           let alpha = last.Bounded_ufp.alpha in
           alpha > 0.0
-          && Duality.dual_feasible ~eps:1e-6 inst
+          && Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst
                ~y:(Array.map (fun v -> v /. alpha) run.Bounded_ufp.final_y)
                ~z:run.Bounded_ufp.final_z
       in
@@ -50,20 +51,20 @@ let run ?(quick = false) () =
         Float.abs
           (Duality.dual_objective inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z
           -. lp.Path_lp.opt)
-        < 1e-6
-        && Duality.dual_feasible ~eps:1e-6 inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z
+        < Float_tol.loose_check_eps
+        && Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z
       in
       Table.add_row table
         [
           Table.cell_i seed;
           Table.cell_f p;
           Table.cell_f d;
-          (if p <= d +. 1e-6 then "yes" else "NO");
+          (if p <= d +. Float_tol.loose_check_eps then "yes" else "NO");
           (if scaled_ok then "yes" else "NO");
           Table.cell_f lp.Path_lp.opt;
           Printf.sprintf "[%.2f, %.2f]" lo hi;
-          (if lo <= lp.Path_lp.opt +. 1e-6 && lp.Path_lp.opt <= hi +. 1e-6
-             && opt <= lp.Path_lp.opt +. 1e-6
+          (if lo <= lp.Path_lp.opt +. Float_tol.loose_check_eps && lp.Path_lp.opt <= hi +. Float_tol.loose_check_eps
+             && opt <= lp.Path_lp.opt +. Float_tol.loose_check_eps
            then "yes"
            else "NO");
           (if strong then "yes" else "NO");

@@ -4,6 +4,7 @@ module Instance = Ufp_instance.Instance
 module Solution = Ufp_instance.Solution
 module Workloads = Ufp_instance.Workloads
 module Reasonable = Ufp_core.Reasonable
+module Float_tol = Ufp_prelude.Float_tol
 
 let fraction ~levels ~b =
   let sc = Gen.staircase ~levels ~capacity:(float_of_int b) in
@@ -87,7 +88,7 @@ let run ?(quick = false) () =
           Table.cell_i b;
           Table.cell_i (Ufp_graph.Graph.n_edges sc.Gen.s_graph);
           Table.cell_f f;
-          (if f < 1.0 -. 1e-9 then "yes" else "NO");
+          (if f < 1.0 -. Float_tol.check_eps then "yes" else "NO");
         ])
     stretched_configs;
   (* The barrier binds the FAMILY, not the instance: a (non-monotone)

@@ -2,6 +2,7 @@ module Table = Ufp_prelude.Table
 module Auction = Ufp_auction.Auction
 module Lower_bound = Ufp_auction.Lower_bound
 module Reasonable_bundle = Ufp_auction.Reasonable_bundle
+module Float_tol = Ufp_prelude.Float_tol
 
 let run ?(quick = false) () =
   let table =
@@ -35,7 +36,7 @@ let run ?(quick = false) () =
       assert (Auction.Allocation.is_feasible a witness);
       assert (
         Float.abs (Auction.Allocation.value a witness -. lb.Lower_bound.opt_value)
-        < 1e-9);
+        < Float_tol.check_eps);
       Table.add_row table
         [
           Table.cell_i p;

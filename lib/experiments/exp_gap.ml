@@ -6,6 +6,7 @@ module Instance = Ufp_instance.Instance
 module Workloads = Ufp_instance.Workloads
 module Exact = Ufp_lp.Exact
 module Path_lp = Ufp_lp.Path_lp
+module Float_tol = Ufp_prelude.Float_tol
 
 (* Integrality gap of one instance; requires both exact solvers to be
    tractable, hence the tiny sizes. *)
@@ -41,7 +42,7 @@ let run ?(quick = false) () =
       done;
       let arr = Array.of_list !gaps in
       let gap_free =
-        Array.fold_left (fun n g -> if g <= 1.0 +. 1e-6 then n + 1 else n) 0 arr
+        Array.fold_left (fun n g -> if g <= 1.0 +. Float_tol.loose_check_eps then n + 1 else n) 0 arr
       in
       Table.add_row table
         [

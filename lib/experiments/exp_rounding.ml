@@ -5,6 +5,7 @@ module Gen = Ufp_graph.Generators
 module Instance = Ufp_instance.Instance
 module Workloads = Ufp_instance.Workloads
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 (* The interesting regime rounds a TIGHT fractional solution (edge
    loads at capacity), which only the exact path LP provides — the
@@ -50,7 +51,7 @@ let run ?(quick = false) () =
           Harness.pct (float_of_int !feasible /. float_of_int trials);
           Harness.pct
             (value_sum.contents /. float_of_int trials
-            /. Float.max lp.Path_lp.opt 1e-12);
+            /. Float.max lp.Path_lp.opt Float_tol.tight_eps);
         ])
     bs;
   [ table ]

@@ -2,6 +2,7 @@ module Table = Ufp_prelude.Table
 module Graph = Ufp_graph.Graph
 module Instance = Ufp_instance.Instance
 module Bounded_ufp = Ufp_core.Bounded_ufp
+module Float_tol = Ufp_prelude.Float_tol
 
 (* Same run twice — once per selection engine — on identical instances.
    Besides the wall-clock comparison, the traces are checked for full
@@ -45,7 +46,7 @@ let run ?(quick = false) () =
           Table.cell_i incr.Bounded_ufp.iterations;
           Table.cell_f t_naive;
           Table.cell_f t_incr;
-          Table.cell_f (t_naive /. Float.max t_incr 1e-9);
+          Table.cell_f (t_naive /. Float.max t_incr Float_tol.div_guard);
           (if equal then "yes" else "NO");
         ])
     configs;

@@ -7,6 +7,7 @@ module Single_param = Ufp_mech.Single_param
 module Bounded_muca = Ufp_auction.Bounded_muca
 module Auction = Ufp_auction.Auction
 module Muca_mechanism = Ufp_mech.Muca_mechanism
+module Float_tol = Ufp_prelude.Float_tol
 
 let run ?(quick = false) () =
   let eps = 0.3 in
@@ -30,7 +31,7 @@ let run ?(quick = false) () =
     ]
   in
   let outcomes, truthful =
-    Ufp_mechanism.truthfulness_table ~rel_tol:1e-6 algo inst ~agent ~misreports
+    Ufp_mechanism.truthfulness_table ~rel_tol:Float_tol.payment_rel_tol algo inst ~agent ~misreports
   in
   let table =
     Table.create
@@ -51,7 +52,7 @@ let run ?(quick = false) () =
           Table.cell_f dv;
           (if o.Ufp_mechanism.won then "yes" else "no");
           Table.cell_f o.Ufp_mechanism.outcome_utility;
-          (if o.Ufp_mechanism.outcome_utility > truthful +. 1e-3 then "VIOLATION"
+          (if o.Ufp_mechanism.outcome_utility > truthful +. Float_tol.report_slack then "VIOLATION"
            else "no");
         ])
     outcomes;
@@ -80,7 +81,7 @@ let run ?(quick = false) () =
         incr shown;
         let v = (Auction.bid a i).Auction.value in
         let p =
-          match Single_param.critical_value ~rel_tol:1e-6 model a ~agent:i with
+          match Single_param.critical_value ~rel_tol:Float_tol.payment_rel_tol model a ~agent:i with
           | Some c -> Float.min c v
           | None -> v
         in
@@ -89,7 +90,7 @@ let run ?(quick = false) () =
             Table.cell_i i;
             Table.cell_f v;
             Table.cell_f p;
-            (if p <= v +. 1e-4 then "yes" else "NO");
+            (if p <= v +. Float_tol.coarse_slack then "yes" else "NO");
           ]
       end)
     won;

@@ -130,7 +130,7 @@ let shortest_tree g ~weight ~src =
   { dist; parent_edge }
 
 let path_of_tree g tree ~src ~dst =
-  if tree.dist.(dst) = infinity then None
+  if Float.equal tree.dist.(dst) infinity then None
   else begin
     let rec walk v acc =
       if v = src then acc

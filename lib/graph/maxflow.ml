@@ -1,3 +1,5 @@
+module Float_tol = Ufp_prelude.Float_tol
+
 type result = { value : float; flow : float array }
 
 (* Residual network: arcs in pairs, arc [a] and its reverse [a lxor 1]. *)
@@ -11,7 +13,7 @@ type residual = {
   orig : int array;
 }
 
-let eps = 1e-12
+let eps = Float_tol.maxflow_eps
 
 let build g ~extra_vertices ~extra_arcs =
   let n = Graph.n_vertices g + extra_vertices in

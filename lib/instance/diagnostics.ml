@@ -1,6 +1,7 @@
 module Graph = Ufp_graph.Graph
 module Dijkstra = Ufp_graph.Dijkstra
 module Maxflow = Ufp_graph.Maxflow
+module Float_tol = Ufp_prelude.Float_tol
 
 type report = {
   n_vertices : int;
@@ -90,4 +91,4 @@ let pp ppf r =
     r.n_vertices r.n_edges r.min_capacity r.max_capacity r.bound r.n_requests
     r.routable_requests r.total_demand r.total_value r.splittable_throughput
     r.contention
-    (if r.contention > 1.0 +. 1e-9 then "  (overloaded)" else "")
+    (if r.contention > 1.0 +. Float_tol.contention_tol then "  (overloaded)" else "")

@@ -1,0 +1,55 @@
+open Ppxlib
+
+type allow = { rules : string list; reason : string }
+
+(* The payload ["R1" "reason"] parses as the application of one string
+   constant to another; a lone ["R1"] is just a constant.  Flatten
+   whatever expression shape we get into its string constants, in
+   source order, and interpret the first as the rule selector. *)
+let rec strings_of_expr e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+  | Pexp_apply (f, args) ->
+    strings_of_expr f
+    @ List.concat_map (fun (_, a) -> strings_of_expr a) args
+  | Pexp_tuple es -> List.concat_map strings_of_expr es
+  | Pexp_sequence (a, b) -> strings_of_expr a @ strings_of_expr b
+  | _ -> []
+
+let strings_of_payload = function
+  | PStr items ->
+    List.concat_map
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_eval (e, _) -> strings_of_expr e
+        | _ -> [])
+      items
+  | _ -> []
+
+let of_attributes attrs =
+  List.filter_map
+    (fun attr ->
+      if String.equal attr.attr_name.txt "lint.allow" then
+        match strings_of_payload attr.attr_payload with
+        | [] -> Some { rules = [ "*" ]; reason = "" }
+        | rule :: rest ->
+          Some
+            {
+              rules = [ String.lowercase_ascii rule ];
+              reason = String.concat " " rest;
+            }
+      else None)
+    attrs
+
+let matches rule allow =
+  List.exists
+    (fun r ->
+      String.equal r "*"
+      ||
+      match Finding.rule_of_string r with
+      | Some r' -> r' = rule
+      | None -> false)
+    allow.rules
+
+let permits stack rule =
+  List.exists (fun allows -> List.exists (matches rule) allows) stack

@@ -1,0 +1,22 @@
+(** The per-site escape hatch: [[@lint.allow "RULE" "reason"]].
+
+    An allow attribute suppresses a rule for the expression (or value
+    binding / structure item) it is attached to and everything nested
+    inside it.  The rule may be an id ("R1"), a slug
+    ("inline-tolerance"), or ["*"] to silence every rule at that site;
+    the trailing string is a free-form justification, which is the
+    whole point — suppressions must say {e why}. *)
+
+type allow = {
+  rules : string list;  (** lowercased rule ids/slugs, or [["*"]] *)
+  reason : string;
+}
+
+val of_attributes : Ppxlib.attribute list -> allow list
+(** Extracts every [lint.allow] attribute.  Both
+    [[@lint.allow "R1" "reason"]] and [[@lint.allow "R1"]] parse; an
+    empty payload yields a wildcard allow. *)
+
+val permits : allow list list -> Finding.rule -> bool
+(** [permits stack rule] holds when any allow on the enclosing-scope
+    stack names [rule] (or is a wildcard). *)

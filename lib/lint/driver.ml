@@ -1,0 +1,77 @@
+type format = Text | Json
+
+type error = { err_path : string; detail : string }
+
+let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let collect_files roots =
+  let acc = ref [] in
+  let rec walk path =
+    match (Sys.file_exists path, Sys.is_directory path) with
+    | false, _ -> ()
+    | true, false -> if is_source path then acc := path :: !acc
+    | true, true ->
+      if not (List.mem (Filename.basename path) skip_dirs) then
+        Array.iter
+          (fun entry -> walk (Filename.concat path entry))
+          (Sys.readdir path)
+    | exception Sys_error _ -> ()
+  in
+  List.iter walk roots;
+  List.sort_uniq String.compare !acc
+
+let parse_error_detail exn =
+  match Ppxlib.Location.Error.of_exn exn with
+  | Some err -> Ppxlib.Location.Error.message err
+  | None -> Printexc.to_string exn
+
+let lint_string ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match
+    if Filename.check_suffix path ".mli" then
+      Rules.check_signature ~path (Ppxlib.Parse.interface lexbuf)
+    else Rules.check_structure ~path (Ppxlib.Parse.implementation lexbuf)
+  with
+  | findings -> Ok findings
+  | exception exn -> Error { err_path = path; detail = parse_error_detail exn }
+
+let lint_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> lint_string ~path source
+  | exception Sys_error msg -> Error { err_path = path; detail = msg }
+
+let lint_paths ?(rules = Finding.all_rules) roots =
+  let findings = ref [] and errors = ref [] in
+  List.iter
+    (fun path ->
+      match lint_file path with
+      | Ok fs ->
+        findings :=
+          List.filter (fun f -> List.mem f.Finding.rule rules) fs :: !findings
+      | Error e -> errors := e :: !errors)
+    (collect_files roots);
+  (List.sort Finding.compare (List.concat !findings), List.rev !errors)
+
+let run ?(format = Text) ?rules ~roots () =
+  let findings, errors = lint_paths ?rules roots in
+  (match format with
+  | Text ->
+    List.iter
+      (fun f -> Format.printf "%a@." Finding.pp_human f)
+      findings
+  | Json -> print_endline (Finding.to_json findings));
+  List.iter
+    (fun e -> Format.eprintf "ufp-lint: error: %s: %s@." e.err_path e.detail)
+    errors;
+  if errors <> [] then 2
+  else if findings <> [] then begin
+    if format = Text then
+      Format.printf "ufp-lint: %d violation%s@." (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+    1
+  end
+  else 0

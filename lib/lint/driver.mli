@@ -1,0 +1,41 @@
+(** File discovery, parsing and reporting for [ufp-lint].
+
+    The driver walks source roots (skipping [_build], [.git] and
+    editor droppings), parses each [.ml]/[.mli] with the ppxlib
+    parser, runs {!Rules} over the parsetree, and renders the sorted
+    findings either as [file:line:col: [Rn name] message] lines or as
+    a JSON array for machine consumption. *)
+
+type format = Text | Json
+
+type error = { err_path : string; detail : string }
+(** A file the driver could not read or parse.  Parse errors are
+    reported (exit code 2) rather than silently skipped: an unparsable
+    file is an unlinted file. *)
+
+val lint_string : path:string -> string -> (Finding.t list, error) result
+(** Lint source text as if it lived at [path] ([.mli] paths get the
+    interface parser, everything else the implementation parser).
+    This is the unit-test entry point. *)
+
+val lint_file : string -> (Finding.t list, error) result
+
+val collect_files : string list -> string list
+(** Recursively gather [.ml]/[.mli] files under each root (a root may
+    itself be a file); sorted and deduplicated. *)
+
+val lint_paths :
+  ?rules:Finding.rule list ->
+  string list ->
+  Finding.t list * error list
+(** Lint every file under the given roots, keeping only [rules]
+    (default: all). *)
+
+val run :
+  ?format:format ->
+  ?rules:Finding.rule list ->
+  roots:string list ->
+  unit ->
+  int
+(** Full CLI behaviour: print findings/errors to stdout/stderr and
+    return the exit code — 0 clean, 1 findings, 2 driver errors. *)

@@ -1,0 +1,87 @@
+type rule = R1 | R2 | R3 | R4
+
+let all_rules = [ R1; R2; R3; R4 ]
+
+let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+
+let rule_name = function
+  | R1 -> "inline-tolerance"
+  | R2 -> "poly-float-compare"
+  | R3 -> "poly-hash"
+  | R4 -> "bare-abort"
+
+let rule_doc = function
+  | R1 ->
+    "float tolerance literals (1e-N and friends) must be named Float_tol \
+     constants; inline magic epsilons drift independently and break \
+     bitwise-deterministic selection"
+  | R2 ->
+    "polymorphic =, <>, compare, min, max on float-bearing operands in \
+     lib/core, lib/graph, lib/lp; use Float.compare / Float.equal / \
+     Float.min / Float.max so NaN and -0. handling is explicit"
+  | R3 ->
+    "polymorphic Hashtbl.hash over keys that may contain floats; use a \
+     structural hash so iteration order cannot depend on float bit patterns"
+  | R4 ->
+    "assert false / failwith on lib/core and lib/mech selection paths needs \
+     a [@lint.allow \"R4\" \"why it is unreachable\"] justification"
+
+let rule_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "r1" | "inline-tolerance" -> Some R1
+  | "r2" | "poly-float-compare" -> Some R2
+  | "r3" | "poly-hash" -> Some R3
+  | "r4" | "bare-abort" -> Some R4
+  | _ -> None
+
+type t = {
+  rule : rule;
+  path : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else Int.compare (rule_rank a.rule) (rule_rank b.rule)
+
+let pp_human ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s %s] %s" f.path f.line f.col
+    (rule_id f.rule) (rule_name f.rule) f.message
+
+(* Minimal JSON string escaping: enough for file paths and our own
+   messages (ASCII plus the occasional quote). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let one f =
+    Printf.sprintf
+      "  {\"rule\": \"%s\", \"name\": \"%s\", \"path\": \"%s\", \"line\": %d, \
+       \"col\": %d, \"message\": \"%s\"}"
+      (rule_id f.rule) (rule_name f.rule) (json_escape f.path) f.line f.col
+      (json_escape f.message)
+  in
+  "[\n" ^ String.concat ",\n" (List.map one findings) ^ "\n]"

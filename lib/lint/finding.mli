@@ -1,0 +1,47 @@
+(** Lint findings and rule identities for [ufp-lint].
+
+    The linter enforces the float discipline that Theorem 2.3's
+    truthfulness argument rests on: every tolerance is a named,
+    documented {!Ufp_prelude.Float_tol} constant, every float
+    comparison is explicit, and every hash over float-bearing keys is
+    structural.  See [docs/LINTING.md] for the full rationale. *)
+
+type rule =
+  | R1  (** inline-tolerance: magic epsilon literal outside [Float_tol]. *)
+  | R2  (** poly-float-compare: polymorphic [=]/[<>]/[compare]/[min]/[max]
+            on a syntactically float-bearing operand. *)
+  | R3  (** poly-hash: [Hashtbl.hash]-family polymorphic hashing. *)
+  | R4  (** bare-abort: [assert false]/[failwith] on a selection path
+            without a justification attribute. *)
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** ["R1"] .. ["R4"]. *)
+
+val rule_name : rule -> string
+(** Mnemonic slug, e.g. ["inline-tolerance"]. *)
+
+val rule_doc : rule -> string
+(** One-line description, used by [--list-rules]. *)
+
+val rule_of_string : string -> rule option
+(** Accepts either the id or the slug, case-insensitively. *)
+
+type t = {
+  rule : rule;
+  path : string;  (** path as given to the driver *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Orders by [(path, line, col, rule)] for stable reports. *)
+
+val pp_human : Format.formatter -> t -> unit
+(** [path:line:col: [R1 inline-tolerance] message]. *)
+
+val to_json : t list -> string
+(** A JSON array of [{rule, name, path, line, col, message}] objects;
+    self-contained (no external JSON dependency). *)

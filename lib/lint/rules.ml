@@ -1,0 +1,206 @@
+open Ppxlib
+
+type scope = { in_float_tol : bool; r2_active : bool; r4_active : bool }
+
+let has_dir path dir =
+  let p = "/" ^ String.map (fun c -> if c = '\\' then '/' else c) path in
+  let needle = "/" ^ dir ^ "/" in
+  let np = String.length needle and pp = String.length p in
+  let rec at i = i + np <= pp && (String.sub p i np = needle || at (i + 1)) in
+  at 0
+
+let scope_of_path path =
+  let base = Filename.basename path in
+  {
+    in_float_tol =
+      has_dir path "lib/prelude"
+      && (base = "float_tol.ml" || base = "float_tol.mli");
+    r2_active =
+      has_dir path "lib/core" || has_dir path "lib/graph"
+      || has_dir path "lib/lp";
+    r4_active = has_dir path "lib/core" || has_dir path "lib/mech";
+  }
+
+(* R1: a float literal counts as a tolerance when it is positive and
+   at most 1e-3 — the repo's slacks live in [1e-12, 1e-3], while
+   legitimate inline literals (eps defaults 0.1, probabilities,
+   weights) all sit well above. *)
+let tolerance_ceiling =
+  (1e-3 [@lint.allow "R1" "the R1 classification threshold itself"])
+
+let is_tolerance_literal lit =
+  match
+    float_of_string_opt (String.concat "" (String.split_on_char '_' lit))
+  with
+  | Some v -> v > 0.0 && v <= tolerance_ceiling
+  | None -> false
+
+let rec lident_last = function
+  | Lident s -> s
+  | Ldot (_, s) -> s
+  | Lapply (_, l) -> lident_last l
+
+let float_idents =
+  [
+    "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
+    "min_float"; "float_of_int"; "float_of_string"; "+."; "-."; "*."; "/.";
+    "**"; "~-.";
+  ]
+
+(* Record fields that are floats everywhere in this codebase (demands,
+   capacities, dual values, ...).  Purely a heuristic whitelist for R2;
+   extend it as new float-bearing records appear. *)
+let float_fields =
+  [
+    "value"; "demand"; "capacity"; "alpha"; "cost"; "weight"; "density";
+    "eps"; "dist"; "objective"; "priority";
+  ]
+
+exception Found
+
+let floaty_expr e =
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_constant (Pconst_float _) -> raise Found
+        | Pexp_ident { txt = Lident id; _ } when List.mem id float_idents ->
+          raise Found
+        | Pexp_ident { txt = Ldot (Lident "Float", _); _ } -> raise Found
+        | Pexp_field (_, { txt; _ })
+          when List.mem (lident_last txt) float_fields ->
+          raise Found
+        | _ -> ());
+        super#expression e
+    end
+  in
+  try
+    it#expression e;
+    false
+  with Found -> true
+
+let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+let is_poly_hash = function
+  | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash" | "hash_param"))
+  | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), ("hash" | "seeded_hash" | "hash_param")) ->
+    true
+  | _ -> false
+
+let collector ~scope ~path ~findings =
+  object (self)
+    inherit Ast_traverse.iter as super
+
+    (* Allows from enclosing nodes; pushed/popped around each visit. *)
+    val mutable allow_stack : Allowlist.allow list list = []
+
+    (* Allows from floating [@@@lint.allow] attributes: file-wide. *)
+    val mutable persistent : Allowlist.allow list = []
+
+    method private report rule loc message =
+      if
+        not
+          (Allowlist.permits (persistent :: allow_stack) rule)
+      then
+        findings :=
+          {
+            Finding.rule;
+            path;
+            line = loc.loc_start.Lexing.pos_lnum;
+            col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol;
+            message;
+          }
+          :: !findings
+
+    method private scoped attrs f =
+      allow_stack <- Allowlist.of_attributes attrs :: allow_stack;
+      f ();
+      allow_stack <- List.tl allow_stack
+
+    method private check_expression e =
+      (match e.pexp_desc with
+      | Pexp_constant (Pconst_float (lit, _))
+        when (not scope.in_float_tol) && is_tolerance_literal lit ->
+        self#report R1 e.pexp_loc
+          (Printf.sprintf
+             "inline float tolerance literal %s; name it as an \
+              Ufp_prelude.Float_tol constant"
+             lit)
+      | _ -> ());
+      (match e.pexp_desc with
+      | Pexp_apply
+          ({ pexp_desc = Pexp_ident { txt = Lident op; _ }; _ }, args)
+        when scope.r2_active
+             && List.mem op poly_compare_ops
+             && List.exists (fun (_, a) -> floaty_expr a) args ->
+        self#report R2 e.pexp_loc
+          (Printf.sprintf
+             "polymorphic %s on a float-bearing operand; use Float.%s (or a \
+              module-specific compare) so NaN and -0. are handled \
+              deterministically"
+             op
+             (match op with
+             | "=" -> "equal"
+             | "<>" -> "equal (negated)"
+             | other -> other))
+      | _ -> ());
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } when is_poly_hash txt ->
+        self#report R3 e.pexp_loc
+          "polymorphic Hashtbl.hash; hash the key structurally (raw float \
+           bits must never drive table iteration order)"
+      | _ -> ());
+      if scope.r4_active then
+        match e.pexp_desc with
+        | Pexp_assert
+            {
+              pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None);
+              _;
+            } ->
+          self#report R4 e.pexp_loc
+            "bare `assert false' on a selection path; add [@lint.allow \
+             \"R4\" \"why this is unreachable\"] or return a typed error"
+        | Pexp_ident { txt = Lident "failwith"; _ } ->
+          self#report R4 e.pexp_loc
+            "bare `failwith' on a selection path; add [@lint.allow \"R4\" \
+             \"justification\"] or raise a documented exception"
+        | _ -> ()
+
+    method! expression e =
+      self#scoped e.pexp_attributes (fun () ->
+          self#check_expression e;
+          super#expression e)
+
+    method! value_binding vb =
+      self#scoped vb.pvb_attributes (fun () -> super#value_binding vb)
+
+    method! structure_item item =
+      match item.pstr_desc with
+      | Pstr_attribute attr ->
+        persistent <- persistent @ Allowlist.of_attributes [ attr ];
+        super#structure_item item
+      | Pstr_eval (_, attrs) ->
+        self#scoped attrs (fun () -> super#structure_item item)
+      | _ -> super#structure_item item
+
+    method! signature_item item =
+      match item.psig_desc with
+      | Psig_attribute attr ->
+        persistent <- persistent @ Allowlist.of_attributes [ attr ];
+        super#signature_item item
+      | _ -> super#signature_item item
+  end
+
+let run_collect ~path visit =
+  let findings = ref [] in
+  let scope = scope_of_path path in
+  visit (collector ~scope ~path ~findings);
+  List.sort_uniq Finding.compare !findings
+
+let check_structure ~path items =
+  run_collect ~path (fun c -> List.iter c#structure_item items)
+
+let check_signature ~path items =
+  run_collect ~path (fun c -> List.iter c#signature_item items)

@@ -1,0 +1,32 @@
+(** The four ufp-lint rules, implemented as a single
+    {!Ppxlib.Ast_traverse.iter} pass over the parsetree.
+
+    Rules are purely syntactic (the linter never typechecks), so R2
+    uses a conservative "syntactically float-bearing" heuristic: an
+    operand counts as floaty when its subtree contains a float
+    literal, float arithmetic ([+.], [*.], ...), a [Float.]-qualified
+    identifier, [infinity]/[nan]/friends, [float_of_int], or a record
+    field from a known float-field list ([demand], [capacity],
+    [alpha], ...).  False negatives are possible; false positives can
+    be silenced with [[@lint.allow]]. *)
+
+type scope = {
+  in_float_tol : bool;
+      (** [lib/prelude/float_tol.ml(i)] — the one place inline
+          tolerance literals are legal (R1 off). *)
+  r2_active : bool;  (** path under [lib/core], [lib/graph], [lib/lp]. *)
+  r4_active : bool;  (** path under [lib/core], [lib/mech]. *)
+}
+
+val scope_of_path : string -> scope
+(** Derives rule applicability from the (normalized) path. *)
+
+val check_structure :
+  path:string -> Ppxlib.structure_item list -> Finding.t list
+(** Lint one [.ml] parsetree.  Findings come back sorted. *)
+
+val check_signature :
+  path:string -> Ppxlib.signature_item list -> Finding.t list
+(** Lint one [.mli] parsetree (R1/R3 can fire in attribute payloads
+    and default-value documentation stays comment-only, so this is
+    mostly a completeness pass). *)

@@ -47,7 +47,7 @@ let min_constraint_slack inst ~y ~z =
   let dist = distances inst ~y in
   let slack i (r : Request.t) =
     let d = dist r in
-    if d = infinity then infinity
+    if Float.equal d infinity then infinity
     else z.(i) +. (r.Request.demand *. d) -. r.Request.value
   in
   let best = ref infinity in
@@ -84,6 +84,6 @@ let scaled_dual_bound inst ~y ~z =
           alpha_star := Float.min !alpha_star (r.Request.demand *. d /. residual)
       end)
     (Instance.requests inst);
-  if !alpha_star = infinity then d2 (* z alone covers every constraint *)
+  if Float.equal !alpha_star infinity then d2 (* z alone covers every constraint *)
   else if !alpha_star <= 0.0 then infinity
   else (d1 /. !alpha_star) +. d2

@@ -3,6 +3,7 @@ module Enumerate = Ufp_graph.Enumerate
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
+module Float_tol = Ufp_prelude.Float_tol
 
 exception Too_large of string
 
@@ -15,7 +16,7 @@ let solve ?(max_paths_per_request = 2000) inst =
   let order = Array.init n_req Fun.id in
   Array.sort
     (fun a b ->
-      compare requests.(b).Request.value requests.(a).Request.value)
+      Float.compare requests.(b).Request.value requests.(a).Request.value)
     order;
   let paths =
     Array.map
@@ -39,7 +40,7 @@ let solve ?(max_paths_per_request = 2000) inst =
     suffix_value.(k) <- suffix_value.(k + 1) +. requests.(order.(k)).Request.value
   done;
   let residual = Array.init (Graph.n_edges g) (fun e -> Graph.capacity g e) in
-  let tol = 1e-12 in
+  let tol = Float_tol.lp_exact_tol in
   let best_value = ref (-1.0) in
   let best_solution = ref [] in
   let current = ref [] in

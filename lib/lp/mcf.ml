@@ -16,13 +16,17 @@ type result = {
   iterations : int;
 }
 
-(* Accumulated raw flow, keyed by (request, path). *)
+(* Accumulated raw flow, keyed by (request, path).  The key is
+   float-free, and both operations are structural: the table must
+   iterate identically across runs for the solver's flow output to be
+   deterministic (ufp-lint R3). *)
 module Key = struct
   type t = int * int list
 
-  let equal = ( = )
+  let equal (r1, p1) (r2, p2) = Int.equal r1 r2 && List.equal Int.equal p1 p2
 
-  let hash = Hashtbl.hash
+  let hash (r, p) =
+    List.fold_left (fun acc e -> (31 * acc) + e + 1) (r + 1) p land max_int
 end
 
 module Flow_table = Hashtbl.Make (Key)
@@ -138,7 +142,7 @@ let solve ?(eps = 0.1) inst =
     in
     let feasible_value = !raw_value /. scale in
     let upper_bound =
-      if !upper = infinity then
+      if Float.equal !upper infinity then
         (* No routable request: OPT_LP = 0. *)
         0.0
       else !upper

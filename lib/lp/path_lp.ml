@@ -3,6 +3,7 @@ module Dijkstra = Ufp_graph.Dijkstra
 module Enumerate = Ufp_graph.Enumerate
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
+module Float_tol = Ufp_prelude.Float_tol
 
 type t = {
   opt : float;
@@ -59,7 +60,7 @@ let solve_columns inst cols =
       let flow = ref [] in
       Array.iteri
         (fun j x ->
-          if x > 1e-9 then begin
+          if x > Float_tol.lp_support_eps then begin
             let i, p = cols.(j) in
             flow := (i, p, x) :: !flow
           end)
@@ -115,7 +116,7 @@ let solve_colgen ?(max_rounds = 200) inst =
     | Some (_, path) -> ignore (add_column (i, path))
     | None -> ()
   done;
-  let price_tol = 1e-7 in
+  let price_tol = Float_tol.lp_price_tol in
   let rec rounds k =
     if k > max_rounds then
       raise

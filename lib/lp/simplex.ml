@@ -1,3 +1,5 @@
+module Float_tol = Ufp_prelude.Float_tol
+
 type solution = {
   objective : float;
   primal : float array;
@@ -8,7 +10,7 @@ type outcome = Optimal of solution | Unbounded
 
 exception Iteration_limit
 
-let eps = 1e-9
+let eps = Float_tol.lp_pivot_eps
 
 (* Tableau layout: m constraint rows over n structural + m slack
    columns, plus the right-hand side; a separate cost row holds the

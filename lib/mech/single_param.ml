@@ -1,3 +1,5 @@
+module Float_tol = Ufp_prelude.Float_tol
+
 type 'inst model = {
   n_agents : 'inst -> int;
   get_value : 'inst -> int -> float;
@@ -15,7 +17,7 @@ let default_v_hi model inst =
   done;
   4.0 *. Float.max !total 1.0
 
-let critical_value ?v_hi ?(rel_tol = 1e-6) model inst ~agent =
+let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agent =
   let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
   let wins v = is_winner model (model.set_value inst agent v) agent in
   if not (wins v_hi) then None
@@ -64,7 +66,7 @@ type spot_check = {
   best_misreport : float option;
 }
 
-let spot_check_truthfulness ?v_hi ?rel_tol ?(slack = 1e-5) model inst ~agent
+let spot_check_truthfulness ?v_hi ?rel_tol ?(slack = Float_tol.spot_check_slack) model inst ~agent
     ~misreports =
   let true_value = model.get_value inst agent in
   let u v = utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value:v in

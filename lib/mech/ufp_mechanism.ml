@@ -1,6 +1,7 @@
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
+module Float_tol = Ufp_prelude.Float_tol
 
 type algo = Instance.t -> Solution.t
 
@@ -38,7 +39,7 @@ let utility ?rel_tol algo inst ~agent ~true_demand ~true_value ~declared_demand
       | Some c -> c
       | None -> declared_value
     in
-    let gross = if declared_demand >= true_demand -. 1e-12 then true_value else 0.0 in
+    let gross = if declared_demand >= true_demand -. Float_tol.demand_tol then true_value else 0.0 in
     gross -. payment
   end
 

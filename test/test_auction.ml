@@ -8,8 +8,9 @@ module Reasonable_bundle = Ufp_auction.Reasonable_bundle
 module Baselines = Ufp_auction.Baselines
 module Lp = Ufp_auction.Lp
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 let random_auction ?(items = 8) ?(multiplicity = 6) ?(bids = 12)
     ?(bundle_size = 3) seed =
@@ -137,7 +138,7 @@ let test_muca_certified_bound () =
     Alcotest.(check bool)
       (Printf.sprintf "bound >= OPT seed %d" seed)
       true
-      (run.Bounded_muca.certified_upper_bound >= opt -. 1e-6)
+      (run.Bounded_muca.certified_upper_bound >= opt -. Float_tol.loose_check_eps)
   done
 
 let test_muca_trace () =
@@ -148,7 +149,7 @@ let test_muca_trace () =
   let rec nondecreasing prev = function
     | [] -> true
     | (e : Bounded_muca.trace_entry) :: rest ->
-      e.Bounded_muca.alpha >= prev -. 1e-9 && nondecreasing e.Bounded_muca.alpha rest
+      e.Bounded_muca.alpha >= prev -. Float_tol.check_eps && nondecreasing e.Bounded_muca.alpha rest
   in
   Alcotest.(check bool) "alphas nondecreasing" true
     (nondecreasing 0.0 run.Bounded_muca.trace)
@@ -244,7 +245,7 @@ let test_reasonable_bundle_fig4 () =
         Auction.Allocation.value lb.Lower_bound.auction
           res.Reasonable_bundle.allocation
       in
-      Alcotest.(check (float 1e-9))
+      Alcotest.(check (float Float_tol.check_eps))
         (Printf.sprintf "(3p+1)B/4 for p=%d B=%d" p b)
         lb.Lower_bound.adversarial_bound v;
       Alcotest.(check bool) "feasible" true
@@ -335,7 +336,7 @@ let test_muca_exact_dominates_greedy () =
     List.iter
       (fun algo ->
         Alcotest.(check bool) "exact dominates" true
-          (Auction.Allocation.value a (algo a) <= opt +. 1e-9))
+          (Auction.Allocation.value a (algo a) <= opt +. Float_tol.check_eps))
       [
         Baselines.greedy_by_value;
         Baselines.greedy_value_per_item;
@@ -367,14 +368,14 @@ let test_muca_lp_sandwich () =
     Alcotest.(check bool)
       (Printf.sprintf "upper >= OPT seed %d" seed)
       true
-      (r.Lp.upper_bound >= opt -. 1e-6);
+      (r.Lp.upper_bound >= opt -. Float_tol.loose_check_eps);
     Alcotest.(check bool) "lower <= upper" true
-      (r.Lp.feasible_value <= r.Lp.upper_bound +. 1e-6);
+      (r.Lp.feasible_value <= r.Lp.upper_bound +. Float_tol.loose_check_eps);
     (* The scaled fractional acceptance is feasible. *)
     let loads = Array.make (Auction.n_items a) 0.0 in
     Array.iteri
       (fun i x ->
-        Alcotest.(check bool) "fraction <= 1" true (x <= 1.0 +. 1e-6);
+        Alcotest.(check bool) "fraction <= 1" true (x <= 1.0 +. Float_tol.loose_check_eps);
         List.iter
           (fun u -> loads.(u) <- loads.(u) +. x)
           (Auction.bid a i).Auction.bundle)
@@ -382,7 +383,7 @@ let test_muca_lp_sandwich () =
     Array.iteri
       (fun u load ->
         Alcotest.(check bool) "item load within multiplicity" true
-          (load <= float_of_int (Auction.multiplicity a u) +. 1e-6))
+          (load <= float_of_int (Auction.multiplicity a u) +. Float_tol.loose_check_eps))
       loads
   done
 
@@ -549,7 +550,7 @@ let qcheck_muca_bound_sandwich =
       let a = random_auction ~multiplicity:8 (seed + 900) in
       let run = Bounded_muca.run ~eps:0.3 a in
       Auction.Allocation.value a run.Bounded_muca.allocation
-      <= run.Bounded_muca.certified_upper_bound +. 1e-6)
+      <= run.Bounded_muca.certified_upper_bound +. Float_tol.loose_check_eps)
 
 let () =
   Alcotest.run "auction"

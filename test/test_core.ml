@@ -14,8 +14,9 @@ module Baselines = Ufp_core.Baselines
 module Exact = Ufp_lp.Exact
 module Duality = Ufp_lp.Duality
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 let line_graph caps =
   let n = Array.length caps + 1 in
@@ -117,7 +118,7 @@ let test_bufp_certified_bound_dominates_exact () =
     Alcotest.(check bool)
       (Printf.sprintf "bound >= OPT seed %d" seed)
       true
-      (run.Bounded_ufp.certified_upper_bound >= opt -. 1e-6)
+      (run.Bounded_ufp.certified_upper_bound >= opt -. Float_tol.loose_check_eps)
   done
 
 let test_bufp_trace_consistent () =
@@ -131,7 +132,7 @@ let test_bufp_trace_consistent () =
   let rec alphas_nondecreasing prev = function
     | [] -> true
     | (e : Bounded_ufp.trace_entry) :: rest ->
-      e.Bounded_ufp.alpha >= prev -. 1e-9
+      e.Bounded_ufp.alpha >= prev -. Float_tol.check_eps
       && alphas_nondecreasing e.Bounded_ufp.alpha rest
   in
   Alcotest.(check bool) "alphas nondecreasing" true
@@ -145,7 +146,7 @@ let test_bufp_trace_consistent () =
         (fun e acc -> acc +. (e.Graph.capacity *. run.Bounded_ufp.final_y.(e.Graph.id)))
         g 0.0
     in
-    Alcotest.(check (float 1e-6)) "d1 tracks duals" recomputed last.Bounded_ufp.d1
+    Alcotest.(check (float Float_tol.loose_check_eps)) "d1 tracks duals" recomputed last.Bounded_ufp.d1
   | [] -> Alcotest.fail "expected nonempty trace");
   (* z_r = v_r exactly for selected requests, 0 otherwise (line 12). *)
   let selected = Solution.selected run.Bounded_ufp.solution in
@@ -163,7 +164,7 @@ let test_bufp_final_duals_growth () =
   let run = Bounded_ufp.run ~eps:0.3 inst in
   Array.iteri
     (fun e y ->
-      Alcotest.(check bool) "y grew" true (y >= (1.0 /. Graph.capacity g e) -. 1e-12))
+      Alcotest.(check bool) "y grew" true (y >= (1.0 /. Graph.capacity g e) -. Float_tol.tight_eps))
     run.Bounded_ufp.final_y
 
 let test_bufp_deterministic () =
@@ -269,7 +270,7 @@ let test_repeat_dual_certificate_valid () =
      cheap sanity floor: value of the solution itself. *)
   let v = Solution.value inst run.Repeat.solution in
   Alcotest.(check bool) "bound >= achieved value" true
-    (run.Repeat.certified_upper_bound >= v -. 1e-6)
+    (run.Repeat.certified_upper_bound >= v -. Float_tol.loose_check_eps)
 
 let test_repeat_validation () =
   let g = line_graph [| 2.0 |] in
@@ -326,7 +327,7 @@ let test_reasonable_gadget_ratio () =
           inst
       in
       let v = Solution.value inst res.Reasonable.solution in
-      Alcotest.(check (float 1e-9))
+      Alcotest.(check (float Float_tol.check_eps))
         (Printf.sprintf "3B of 4B for B=%d" b)
         (float_of_int (3 * b))
         v)
@@ -507,7 +508,7 @@ let test_online_below_offline_total () =
   let inst = grid_instance ~capacity:12.0 ~count:80 9 in
   let online = Solution.value inst (Online.solve ~eps:0.3 inst) in
   Alcotest.(check bool) "bounded by total value" true
-    (online <= Instance.total_value inst +. 1e-9)
+    (online <= Instance.total_value inst +. Float_tol.check_eps)
 
 let test_online_monotone_for_fixed_order () =
   (* A winner that improves its type keeps winning under the same
@@ -558,7 +559,7 @@ let test_engine_reproduces_bounded_ufp () =
       engine.Pd_engine.iterations;
     Array.iteri
       (fun e ye ->
-        Alcotest.(check (float 1e-9)) "same final duals" ye
+        Alcotest.(check (float Float_tol.check_eps)) "same final duals" ye
           engine.Pd_engine.final_y.(e))
       direct.Bounded_ufp.final_y
   done
@@ -730,7 +731,7 @@ let test_rounding_repaired_always_feasible () =
       true
       (Solution.is_feasible inst t.Rounding.solution);
     Alcotest.(check bool) "repair only drops" true
-      (t.Rounding.value <= t.Rounding.tentative_value +. 1e-9)
+      (t.Rounding.value <= t.Rounding.tentative_value +. Float_tol.check_eps)
   done
 
 let test_rounding_deterministic () =
@@ -745,7 +746,7 @@ let test_rounding_tentative_flag_consistent () =
   let t = Rounding.round ~eps:0.2 ~seed:2 inst in
   if t.Rounding.tentative_feasible then
     (* Nothing was dropped: values agree. *)
-    Alcotest.(check (float 1e-9)) "no repair needed" t.Rounding.tentative_value
+    Alcotest.(check (float Float_tol.check_eps)) "no repair needed" t.Rounding.tentative_value
       t.Rounding.value
 
 let test_rounding_flow_from_exact_lp () =
@@ -768,7 +769,7 @@ let test_rounding_success_probability_bounds () =
   let inst = grid_instance ~rows:3 ~cols:3 ~capacity:6.0 ~count:10 5 in
   let p, frac = Rounding.success_probability ~trials:10 ~seed:3 inst in
   Alcotest.(check bool) "p in [0,1]" true (p >= 0.0 && p <= 1.0);
-  Alcotest.(check bool) "fraction sane" true (frac >= 0.0 && frac <= 1.0 +. 1e-9)
+  Alcotest.(check bool) "fraction sane" true (frac >= 0.0 && frac <= 1.0 +. Float_tol.check_eps)
 
 (* --- QCheck --- *)
 
@@ -804,7 +805,7 @@ let qcheck_bufp_within_certified =
       let inst = grid_instance ~rows:3 ~cols:3 ~capacity:12.0 ~count:10 (seed + 50) in
       let run = Bounded_ufp.run ~eps:0.3 inst in
       Solution.value inst run.Bounded_ufp.solution
-      <= run.Bounded_ufp.certified_upper_bound +. 1e-6)
+      <= run.Bounded_ufp.certified_upper_bound +. Float_tol.loose_check_eps)
 
 let qcheck_repeat_feasible =
   QCheck.Test.make ~name:"Bounded-UFP-Repeat output is always feasible" ~count:20

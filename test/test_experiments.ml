@@ -22,6 +22,7 @@ module Lower_bound = Ufp_auction.Lower_bound
 module Reasonable_bundle = Ufp_auction.Reasonable_bundle
 module Muca_baselines = Ufp_auction.Baselines
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 let e_over_e_minus_1 = Float.exp 1.0 /. (Float.exp 1.0 -. 1.0)
 
@@ -53,13 +54,13 @@ let test_theorem_3_1_ratio () =
          (run.Bounded_ufp.certified_upper_bound /. v)
          guarantee)
       true
-      (run.Bounded_ufp.certified_upper_bound /. v <= guarantee +. 1e-6);
+      (run.Bounded_ufp.certified_upper_bound /. v <= guarantee +. Float_tol.loose_check_eps);
     (* And against the independent LP certificate. *)
     let _, lp_upper = Mcf.fractional_opt_interval ~eps:0.3 inst in
     Alcotest.(check bool)
       (Printf.sprintf "LP ratio within guarantee (seed %d)" seed)
       true
-      (lp_upper /. v <= guarantee *. 1.4 +. 1e-6)
+      (lp_upper /. v <= guarantee *. 1.4 +. Float_tol.loose_check_eps)
     (* The LP upper bound itself overshoots OPT by up to its own
        multiplicative-weights slack, hence the 1.4 headroom. *)
   done
@@ -151,7 +152,7 @@ let test_theorem_3_11_optimal_routing_exists () =
   in
   Alcotest.(check bool) "hand-built optimum feasible" true
     (Solution.is_feasible inst sol);
-  Alcotest.(check (float 1e-9)) "value lB"
+  Alcotest.(check (float Float_tol.check_eps)) "value lB"
     (float_of_int (levels * b))
     (Solution.value inst sol)
 
@@ -182,7 +183,7 @@ let test_theorem_3_11_stretched_defeats_tiebreak () =
     (Printf.sprintf "stretched staircase suboptimal: %.4f (prediction %.4f)"
        fraction predicted)
     true
-    (fraction < 1.0 -. 1e-9)
+    (fraction < 1.0 -. Float_tol.check_eps)
 
 (* --- Theorem 3.12 / Figure 3: 4/3 for any B, undirected --- *)
 
@@ -198,7 +199,7 @@ let test_theorem_3_12_gadget () =
           inst
       in
       let v = Solution.value inst res.Reasonable.solution in
-      Alcotest.(check (float 1e-9))
+      Alcotest.(check (float Float_tol.check_eps))
         (Printf.sprintf "3B for B=%d" b)
         (float_of_int (3 * b))
         v)
@@ -222,7 +223,7 @@ let test_theorem_3_12_independent_of_b () =
   in
   List.iter
     (fun r ->
-      Alcotest.(check (float 1e-9)) "ratio exactly 4/3" (4.0 /. 3.0) r)
+      Alcotest.(check (float Float_tol.check_eps)) "ratio exactly 4/3" (4.0 /. 3.0) r)
     ratios
 
 (* --- Theorem 4.1: MUCA approximation --- *)
@@ -250,7 +251,7 @@ let test_theorem_4_1_ratio () =
     Alcotest.(check bool)
       (Printf.sprintf "ratio within guarantee seed %d" seed)
       true
-      (run.Bounded_muca.certified_upper_bound /. v <= guarantee +. 1e-6)
+      (run.Bounded_muca.certified_upper_bound /. v <= guarantee +. Float_tol.loose_check_eps)
   done
 
 (* --- Theorem 4.5 / Figure 4: (3p+1)/(4p) -> 3/4 --- *)
@@ -268,11 +269,11 @@ let test_theorem_4_5_partition () =
         Auction.Allocation.value lb.Lower_bound.auction
           res.Reasonable_bundle.allocation
       in
-      Alcotest.(check (float 1e-9))
+      Alcotest.(check (float Float_tol.check_eps))
         (Printf.sprintf "(3p+1)B/4 for p=%d B=%d" p b)
         lb.Lower_bound.adversarial_bound v;
       (* And OPT = pB is achievable. *)
-      Alcotest.(check (float 1e-9)) "optimum achievable" lb.Lower_bound.opt_value
+      Alcotest.(check (float Float_tol.check_eps)) "optimum achievable" lb.Lower_bound.opt_value
         (Auction.Allocation.value lb.Lower_bound.auction
            (Lower_bound.optimal_allocation lb)))
     [ (3, 2); (5, 4); (7, 4); (9, 2) ]
@@ -300,7 +301,7 @@ let test_theorem_5_1_ratio () =
       (Printf.sprintf "ratio within 1 + 6 eps (seed %d)" seed)
       true
       (run.Repeat.certified_upper_bound /. v
-      <= Repeat.theorem_ratio ~eps +. 1e-6)
+      <= Repeat.theorem_ratio ~eps +. Float_tol.loose_check_eps)
   done
 
 let test_theorem_5_1_beats_no_repetition_barrier () =
@@ -345,7 +346,7 @@ let test_figure_1_dual_certificates () =
       (* Feasibility may fail only for requests selected *after* this
          alpha was recorded; use z = v for all selected requests. *)
       Alcotest.(check bool) "scaled dual feasible" true
-        (Duality.dual_feasible ~eps:1e-6 inst ~y ~z:run.Bounded_ufp.final_z)
+        (Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y ~z:run.Bounded_ufp.final_z)
     end
 
 let test_weak_duality_everywhere () =
@@ -357,7 +358,7 @@ let test_weak_duality_everywhere () =
     let run = Bounded_ufp.run ~eps inst in
     let p = Solution.value inst run.Bounded_ufp.solution in
     Alcotest.(check bool) "P <= certified D" true
-      (p <= run.Bounded_ufp.certified_upper_bound +. 1e-6)
+      (p <= run.Bounded_ufp.certified_upper_bound +. Float_tol.loose_check_eps)
   done
 
 (* --- The shared experiment harness --- *)
@@ -366,7 +367,7 @@ module Harness = Ufp_experiments.Harness
 
 let test_harness_capacity_for () =
   (* ln 24 / 0.09 ~ 35.3 -> 36. *)
-  Alcotest.(check (float 1e-9)) "rounded up" 36.0
+  Alcotest.(check (float Float_tol.check_eps)) "rounded up" 36.0
     (Harness.capacity_for ~m:24 ~eps:0.3);
   Alcotest.(check bool) "monotone in eps" true
     (Harness.capacity_for ~m:24 ~eps:0.1 > Harness.capacity_for ~m:24 ~eps:0.3)
@@ -390,7 +391,7 @@ let test_harness_builders_deterministic () =
        (Auction.bids x) (Auction.bids y))
 
 let test_harness_e_ratio () =
-  Alcotest.(check (float 1e-4)) "e/(e-1)" 1.5820 Harness.e_ratio
+  Alcotest.(check (float Float_tol.coarse_slack)) "e/(e-1)" 1.5820 Harness.e_ratio
 
 (* --- The experiment registry itself --- *)
 

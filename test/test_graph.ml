@@ -6,8 +6,9 @@ module Path = Ufp_graph.Path
 module Enumerate = Ufp_graph.Enumerate
 module Gen = Ufp_graph.Generators
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 (* A small directed diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, plus 0 -> 3. *)
 let diamond () =
@@ -433,7 +434,7 @@ let test_abilene_structure () =
   (* The backbone is 2-edge-connected: min cut between coasts >= 2. *)
   let flow = Ufp_graph.Maxflow.max_flow g ~src:0 ~dst:10 in
   Alcotest.(check bool) "two disjoint coast-to-coast routes" true
-    (flow.Ufp_graph.Maxflow.value >= 20.0 -. 1e-9)
+    (flow.Ufp_graph.Maxflow.value >= 20.0 -. Float_tol.check_eps)
 
 (* --- Maxflow --- *)
 
@@ -454,13 +455,13 @@ let check_flow_valid g (r : Maxflow.result) ~src ~dst =
       let f = r.Maxflow.flow.(e.Graph.id) in
       let lo = if Graph.is_directed g then 0.0 else -.e.Graph.capacity in
       Alcotest.(check bool) "within capacity" true
-        (f >= lo -. 1e-9 && f <= e.Graph.capacity +. 1e-9))
+        (f >= lo -. Float_tol.check_eps && f <= e.Graph.capacity +. Float_tol.check_eps))
     g ();
   for v = 0 to Graph.n_vertices g - 1 do
     if v <> src && v <> dst then
-      Alcotest.(check (float 1e-6)) "conservation" 0.0 (net_outflow g r.Maxflow.flow v)
+      Alcotest.(check (float Float_tol.loose_check_eps)) "conservation" 0.0 (net_outflow g r.Maxflow.flow v)
   done;
-  Alcotest.(check (float 1e-6)) "source emits the value" r.Maxflow.value
+  Alcotest.(check (float Float_tol.loose_check_eps)) "source emits the value" r.Maxflow.value
     (net_outflow g r.Maxflow.flow src)
 
 let test_maxflow_diamond () =
@@ -548,7 +549,7 @@ let residual_cut_capacity g (r : Maxflow.result) ~src =
               && (not reachable.(v))
               && (e.Graph.u = u || e.Graph.v = u)
               && (e.Graph.u = v || e.Graph.v = v)
-              && residual_to u v e.Graph.id > 1e-9
+              && residual_to u v e.Graph.id > Float_tol.check_eps
             then begin
               reachable.(v) <- true;
               Queue.add v queue
@@ -583,7 +584,7 @@ let qcheck_maxflow_equals_mincut =
         let r = Maxflow.max_flow g ~src:0 ~dst:7 in
         let cut, reachable = residual_cut_capacity g r ~src:0 in
         (* The sink must be cut off, and the cut certifies optimality. *)
-        (not reachable.(7)) && Float.abs (cut -. r.Maxflow.value) < 1e-6
+        (not reachable.(7)) && Float.abs (cut -. r.Maxflow.value) < Float_tol.loose_check_eps
       end)
 
 let qcheck_maxflow_bounded_by_cut =
@@ -602,7 +603,7 @@ let qcheck_maxflow_bounded_by_cut =
             0.0 (Graph.out_edges g v)
         in
         let r = Maxflow.max_flow g ~src:0 ~dst:7 in
-        r.Maxflow.value <= out_cap 0 +. 1e-9 && r.Maxflow.value >= -.1e-9
+        r.Maxflow.value <= out_cap 0 +. Float_tol.check_eps && r.Maxflow.value >= -.1e-9
       end)
 
 (* --- QCheck --- *)
@@ -627,7 +628,7 @@ let qcheck_dijkstra_path_length =
       | Some (len, path) ->
         (src = dst && path = [])
         || (Path.is_valid g ~src ~dst path
-           && Float.abs (Path.length ~weight:(fun e -> w.(e)) path -. len) < 1e-9))
+           && Float.abs (Path.length ~weight:(fun e -> w.(e)) path -. len) < Float_tol.check_eps))
 
 let qcheck_dijkstra_optimal_vs_enumeration =
   QCheck.Test.make ~name:"dijkstra distance matches exhaustive minimum" ~count:30
@@ -656,7 +657,7 @@ let qcheck_dijkstra_optimal_vs_enumeration =
                 | Some (len, _) -> len
                 | None -> infinity
               in
-              if brute <> dij && Float.abs (brute -. dij) > 1e-9 then ok := false
+              if brute <> dij && Float.abs (brute -. dij) > Float_tol.check_eps then ok := false
             end
           done
         done;

@@ -9,8 +9,9 @@ module Solution = Ufp_instance.Solution
 module Workloads = Ufp_instance.Workloads
 module Io = Ufp_instance.Io
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 let line_graph caps =
   (* 0 - 1 - 2 - ... directed chain with the given capacities. *)
@@ -147,7 +148,7 @@ let test_solution_value_loads () =
   let inst = simple_instance () in
   let sol = [ { Solution.request = 0; path = [ 0; 1 ] } ] in
   check_float "value" 2.0 (Solution.value inst sol);
-  Alcotest.(check (array (float 1e-9))) "loads" [| 1.0; 1.0 |]
+  Alcotest.(check (array (float Float_tol.check_eps))) "loads" [| 1.0; 1.0 |]
     (Solution.edge_loads inst sol);
   Alcotest.(check (list int)) "selected" [ 0 ] (Solution.selected sol);
   Alcotest.(check bool) "mem" true (Solution.mem sol 0);

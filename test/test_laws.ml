@@ -24,6 +24,7 @@ module Muca_baselines = Ufp_auction.Baselines
 module Single_param = Ufp_mech.Single_param
 module Ufp_mechanism = Ufp_mech.Ufp_mechanism
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 let grid_instance ?(rows = 3) ?(cols = 3) ?(capacity = 12.0) ?(count = 10) seed =
   let rng = Rng.create seed in
@@ -43,7 +44,7 @@ let qcheck_certificate_chain =
       let opt = Exact.opt_value inst in
       let lp = (Path_lp.solve_colgen inst).Path_lp.opt in
       let _, gk = Mcf.fractional_opt_interval ~eps:0.2 inst in
-      greedy <= opt +. 1e-6 && opt <= lp +. 1e-6 && lp <= gk +. 1e-6)
+      greedy <= opt +. Float_tol.loose_check_eps && opt <= lp +. Float_tol.loose_check_eps && lp <= gk +. Float_tol.loose_check_eps)
 
 (* --- Law 2: scale covariance of values.
 
@@ -75,13 +76,13 @@ let qcheck_value_scale_covariance =
         | w :: _ -> (
           let model = Ufp_mechanism.model algo in
           match
-            ( Single_param.critical_value ~rel_tol:1e-7 model inst ~agent:w,
-              Single_param.critical_value ~rel_tol:1e-7 model scaled ~agent:w )
+            ( Single_param.critical_value ~rel_tol:Float_tol.fine_rel_tol model inst ~agent:w,
+              Single_param.critical_value ~rel_tol:Float_tol.fine_rel_tol model scaled ~agent:w )
           with
           | Some c, Some c' ->
             (* Bisection tolerance scales with v_hi, hence the loose
                relative comparison. *)
-            Float.abs (c' -. (k *. c)) <= 1e-3 *. Float.max 1.0 (k *. c) +. 1e-3
+            Float.abs (c' -. (k *. c)) <= Float_tol.report_slack *. Float.max 1.0 (k *. c) +. Float_tol.report_slack
           | None, None -> true
           | _ -> false)
       end)
@@ -177,8 +178,8 @@ let qcheck_normalize_idempotent =
       let n1 = Instance.normalize inst in
       let n2 = Instance.normalize n1 in
       n2 == n1
-      && Float.abs (Instance.total_value n1 -. Instance.total_value inst) < 1e-9
-      && Float.abs (Instance.bound n1 -. Instance.bound inst) < 1e-9)
+      && Float.abs (Instance.total_value n1 -. Instance.total_value inst) < Float_tol.check_eps
+      && Float.abs (Instance.bound n1 -. Instance.bound inst) < Float_tol.check_eps)
 
 (* --- Law 7: the online rule never admits a losing-at-arrival request
    that the offline budgeted rule would certify as over-budget from the
@@ -230,7 +231,7 @@ let qcheck_exact_solvers_agree =
              reqs)
       in
       Float.abs (Exact.opt_value inst -. Muca_baselines.opt_value auction)
-      < 1e-9)
+      < Float_tol.check_eps)
 
 (* --- Law 9: Solution serialisation round trip composes with
    feasibility. *)
@@ -259,7 +260,7 @@ let qcheck_gk_upper_bound_improves =
       let inst = grid_instance ~capacity:6.0 ~count:8 (seed + 23) in
       let _, coarse = Mcf.fractional_opt_interval ~eps:0.5 inst in
       let _, fine = Mcf.fractional_opt_interval ~eps:0.1 inst in
-      fine <= coarse +. 1e-6)
+      fine <= coarse +. Float_tol.loose_check_eps)
 
 (* --- Law 11: selection-engine equivalence (the Selector contract).
 

@@ -1,0 +1,231 @@
+(* Tests for the ufp-lint float-discipline linter (lib/lint/).
+
+   Each rule is exercised both ways: a known-bad snippet must produce
+   the right rule id at the right location, and the same snippet under
+   [@lint.allow] must be silent.  A final self-check asserts the
+   shipped source tree is lint-clean, which is what keeps the @lint
+   alias green. *)
+
+module Finding = Ufp_lint.Finding
+module Rules = Ufp_lint.Rules
+module Driver = Ufp_lint.Driver
+
+let lint ?(path = "lib/core/snippet.ml") source =
+  match Driver.lint_string ~path source with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "parse error in %s: %s" e.Driver.err_path e.detail
+
+let rules fs = List.map (fun f -> Finding.rule_id f.Finding.rule) fs
+
+let check_rules name expected findings =
+  Alcotest.(check (list string)) name expected (rules findings)
+
+(* --- R1: inline tolerance literals --- *)
+
+let test_r1_fires () =
+  let fs = lint "let eps = 1e-9\n" in
+  check_rules "one R1" [ "R1" ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "line" 1 f.Finding.line;
+  Alcotest.(check string) "path" "lib/core/snippet.ml" f.Finding.path
+
+let test_r1_decimal_form () =
+  check_rules "decimal epsilon" [ "R1" ] (lint "let slack = 0.0005\n")
+
+let test_r1_ignores_ordinary_floats () =
+  check_rules "0.5 and 2.0 pass" []
+    (lint "let half = 0.5\nlet two = 2.0\nlet big = 1e9\n")
+
+let test_r1_float_tol_exempt () =
+  check_rules "float_tol.ml may define literals" []
+    (lint ~path:"lib/prelude/float_tol.ml" "let default_eps = 1e-9\n")
+
+let test_r1_allow () =
+  check_rules "expression allow" []
+    (lint "let eps = (1e-9 [@lint.allow \"R1\" \"test fixture\"])\n");
+  check_rules "binding allow" []
+    (lint "let eps = 1e-9 [@@lint.allow \"R1\" \"test fixture\"]\n");
+  check_rules "file-wide allow" []
+    (lint "[@@@lint.allow \"R1\" \"generated file\"]\nlet eps = 1e-9\n");
+  check_rules "slug also accepted" []
+    (lint "let eps = (1e-9 [@lint.allow \"inline-tolerance\" \"x\"])\n");
+  check_rules "wrong rule does not suppress" [ "R1" ]
+    (lint "let eps = (1e-9 [@lint.allow \"R3\" \"mismatched\"])\n")
+
+(* --- R2: polymorphic comparisons on float-bearing operands --- *)
+
+let test_r2_fires () =
+  check_rules "= infinity" [ "R2" ] (lint "let f d = d = infinity\n");
+  check_rules "min with float literal" [ "R2" ] (lint "let m x = min x 2.5\n");
+  check_rules "compare on float fields" [ "R2" ]
+    (lint "let c a b = compare a.value b.value\n");
+  check_rules "compare on float arithmetic" [ "R2" ]
+    (lint "let c a b = compare (a +. 0.5) b\n")
+
+let test_r2_scope () =
+  let snippet = "let f d = d = infinity\n" in
+  check_rules "lib/graph in scope" [ "R2" ]
+    (lint ~path:"lib/graph/snippet.ml" snippet);
+  check_rules "lib/lp in scope" [ "R2" ]
+    (lint ~path:"lib/lp/snippet.ml" snippet);
+  check_rules "lib/auction out of scope" []
+    (lint ~path:"lib/auction/snippet.ml" snippet);
+  check_rules "test out of scope" []
+    (lint ~path:"test/snippet.ml" snippet)
+
+let test_r2_ignores_int_compare () =
+  check_rules "int compare passes" []
+    (lint "let f (a : int) b = compare a b\nlet g x = min x 3\n")
+
+let test_r2_allow () =
+  (* Attributes bind tighter than infix operators, so the allow must
+     wrap the parenthesised comparison, not its right operand. *)
+  check_rules "allowed" []
+    (lint
+       "let f d = ((d = infinity) [@lint.allow \"R2\" \"exact sentinel \
+        test\"])\n");
+  check_rules "attribute on the operand alone does not cover the compare"
+    [ "R2" ]
+    (lint "let f d = (d = infinity [@lint.allow \"R2\" \"too narrow\"])\n")
+
+(* --- R3: polymorphic hashing --- *)
+
+let test_r3_fires () =
+  let snippet = "module K = struct\n  let hash = Hashtbl.hash\nend\n" in
+  let fs = lint ~path:"lib/auction/snippet.ml" snippet in
+  check_rules "R3 everywhere, even outside R2 scope" [ "R3" ] fs;
+  Alcotest.(check int) "line" 2 (List.hd fs).Finding.line
+
+let test_r3_allow () =
+  check_rules "justified poly hash" []
+    (lint
+       "let hash = (Hashtbl.hash [@lint.allow \"R3\" \"key type is \
+        float-free\"])\n")
+
+(* --- R4: bare aborts on selection paths --- *)
+
+let test_r4_fires () =
+  check_rules "assert false" [ "R4" ] (lint "let f () = assert false\n");
+  check_rules "failwith" [ "R4" ]
+    (lint ~path:"lib/mech/snippet.ml" "let f () = failwith \"boom\"\n")
+
+let test_r4_scope () =
+  check_rules "lib/lp out of scope" []
+    (lint ~path:"lib/lp/snippet.ml" "let f () = assert false\n");
+  check_rules "ordinary asserts pass" []
+    (lint "let f x = assert (x >= 0)\n")
+
+let test_r4_allow () =
+  check_rules "justified abort" []
+    (lint
+       "let f () = ((assert false) [@lint.allow \"R4\" \"unreachable: \
+        guarded by caller\"])\n")
+
+(* --- engine plumbing --- *)
+
+let test_rule_of_string () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "id round trip" true
+        (Finding.rule_of_string (Finding.rule_id r) = Some r);
+      Alcotest.(check bool) "slug round trip" true
+        (Finding.rule_of_string (Finding.rule_name r) = Some r))
+    Finding.all_rules;
+  Alcotest.(check bool) "unknown rejected" true
+    (Finding.rule_of_string "R9" = None)
+
+let test_scope_of_path () =
+  let s = Rules.scope_of_path "lib/core/selector.ml" in
+  Alcotest.(check bool) "core: r2" true s.Rules.r2_active;
+  Alcotest.(check bool) "core: r4" true s.Rules.r4_active;
+  let s = Rules.scope_of_path "lib/mech/vcg.ml" in
+  Alcotest.(check bool) "mech: no r2" false s.Rules.r2_active;
+  Alcotest.(check bool) "mech: r4" true s.Rules.r4_active;
+  let s = Rules.scope_of_path "lib/prelude/float_tol.ml" in
+  Alcotest.(check bool) "float_tol exempt" true s.Rules.in_float_tol;
+  let s = Rules.scope_of_path "lib/prelude/heap.ml" in
+  Alcotest.(check bool) "heap not exempt" false s.Rules.in_float_tol
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_json_output () =
+  let fs = lint "let eps = 1e-9\n" in
+  let json = Finding.to_json fs in
+  Alcotest.(check bool) "mentions rule" true (contains json "\"rule\": \"R1\"");
+  Alcotest.(check bool) "mentions path" true
+    (contains json "lib/core/snippet.ml")
+
+let test_parse_error_reported () =
+  match Driver.lint_string ~path:"lib/core/bad.ml" "let let let\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> Alcotest.(check string) "path" "lib/core/bad.ml" e.Driver.err_path
+
+(* --- self-check: the shipped tree is lint-clean --- *)
+
+let test_tree_is_clean () =
+  (* Under `dune runtest` the cwd is _build/default/test and the dune
+     stanza declares the source trees as deps, so they sit next door;
+     under `dune exec` the cwd is the workspace root. *)
+  let candidates =
+    match List.filter Sys.file_exists [ "../lib"; "../bin"; "../bench" ] with
+    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench" ]
+    | roots -> roots
+  in
+  let roots = candidates in
+  Alcotest.(check bool) "source roots visible" true (roots <> []);
+  let findings, errors = Driver.lint_paths roots in
+  List.iter
+    (fun e ->
+      Alcotest.failf "unparsable file %s: %s" e.Driver.err_path e.detail)
+    errors;
+  List.iter
+    (fun f ->
+      Alcotest.failf "violation: %s" (Format.asprintf "%a" Finding.pp_human f))
+    findings
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "fires on 1e-9" `Quick test_r1_fires;
+          Alcotest.test_case "fires on 0.0005" `Quick test_r1_decimal_form;
+          Alcotest.test_case "ignores ordinary floats" `Quick
+            test_r1_ignores_ordinary_floats;
+          Alcotest.test_case "float_tol.ml exempt" `Quick
+            test_r1_float_tol_exempt;
+          Alcotest.test_case "allow suppresses" `Quick test_r1_allow;
+        ] );
+      ( "r2",
+        [
+          Alcotest.test_case "fires on floaty compares" `Quick test_r2_fires;
+          Alcotest.test_case "scoped to core/graph/lp" `Quick test_r2_scope;
+          Alcotest.test_case "ignores int compares" `Quick
+            test_r2_ignores_int_compare;
+          Alcotest.test_case "allow suppresses" `Quick test_r2_allow;
+        ] );
+      ( "r3",
+        [
+          Alcotest.test_case "fires on Hashtbl.hash" `Quick test_r3_fires;
+          Alcotest.test_case "allow suppresses" `Quick test_r3_allow;
+        ] );
+      ( "r4",
+        [
+          Alcotest.test_case "fires on bare aborts" `Quick test_r4_fires;
+          Alcotest.test_case "scoped to core/mech" `Quick test_r4_scope;
+          Alcotest.test_case "allow suppresses" `Quick test_r4_allow;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rule ids round trip" `Quick test_rule_of_string;
+          Alcotest.test_case "path scoping" `Quick test_scope_of_path;
+          Alcotest.test_case "json output" `Quick test_json_output;
+          Alcotest.test_case "parse errors surface" `Quick
+            test_parse_error_reported;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "shipped tree is clean" `Quick test_tree_is_clean ] );
+    ]

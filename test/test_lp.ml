@@ -10,8 +10,9 @@ module Duality = Ufp_lp.Duality
 module Mcf = Ufp_lp.Mcf
 module Exact = Ufp_lp.Exact
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 let line_graph caps =
   let n = Array.length caps + 1 in
@@ -90,11 +91,11 @@ let test_scaled_dual_bound () =
   let inst = conflict_instance () in
   (* The certificate must upper-bound OPT = 2 for any positive duals. *)
   let bound = Duality.scaled_dual_bound inst ~y:[| 1.0; 1.0 |] ~z:[| 0.; 0.; 0. |] in
-  Alcotest.(check bool) "bound >= OPT" true (bound >= 2.0 -. 1e-9);
+  Alcotest.(check bool) "bound >= OPT" true (bound >= 2.0 -. Float_tol.check_eps);
   let bound2 =
     Duality.scaled_dual_bound inst ~y:[| 0.2; 0.3 |] ~z:[| 0.; 0.; 0. |]
   in
-  Alcotest.(check bool) "bound2 >= OPT" true (bound2 >= 2.0 -. 1e-9);
+  Alcotest.(check bool) "bound2 >= OPT" true (bound2 >= 2.0 -. Float_tol.check_eps);
   (* z covering everything: the bound is just D2. *)
   check_float "z covers" 9.0
     (Duality.scaled_dual_bound inst ~y:[| 1.0; 1.0 |] ~z:[| 3.0; 3.0; 3.0 |])
@@ -183,10 +184,10 @@ let test_mcf_single_edge () =
   in
   let r = Mcf.solve ~eps:0.05 inst in
   (* OPT_LP = 5. *)
-  Alcotest.(check bool) "lower <= 5" true (r.Mcf.feasible_value <= 5.0 +. 1e-6);
-  Alcotest.(check bool) "upper >= 5" true (r.Mcf.upper_bound >= 5.0 -. 1e-6);
+  Alcotest.(check bool) "lower <= 5" true (r.Mcf.feasible_value <= 5.0 +. Float_tol.loose_check_eps);
+  Alcotest.(check bool) "upper >= 5" true (r.Mcf.upper_bound >= 5.0 -. Float_tol.loose_check_eps);
   Alcotest.(check bool) "sandwich" true
-    (r.Mcf.feasible_value <= r.Mcf.upper_bound +. 1e-9)
+    (r.Mcf.feasible_value <= r.Mcf.upper_bound +. Float_tol.check_eps)
 
 let test_mcf_empty () =
   let g = line_graph [| 1.0 |] in
@@ -220,9 +221,9 @@ let scaled_flow_feasible inst (r : Mcf.result) =
     r.Mcf.flow;
   let edges_ok = ref true in
   Array.iteri
-    (fun e load -> if load > Graph.capacity g e +. 1e-6 then edges_ok := false)
+    (fun e load -> if load > Graph.capacity g e +. Float_tol.loose_check_eps then edges_ok := false)
     loads;
-  !edges_ok && Array.for_all (fun x -> x <= 1.0 +. 1e-6) per_request
+  !edges_ok && Array.for_all (fun x -> x <= 1.0 +. Float_tol.loose_check_eps) per_request
 
 let test_mcf_scaled_flow_feasible () =
   let inst = random_instance ~capacity:2.0 ~count:8 77 in
@@ -238,7 +239,7 @@ let test_mcf_upper_bounds_exact () =
     Alcotest.(check bool)
       (Printf.sprintf "upper >= OPT (seed %d)" seed)
       true
-      (hi >= opt -. 1e-6)
+      (hi >= opt -. Float_tol.loose_check_eps)
   done
 
 let test_mcf_deterministic () =
@@ -320,7 +321,7 @@ let qcheck_simplex_certificates =
       | Simplex.Unbounded ->
         (* Possible when some activity has no binding row. *)
         Array.exists
-          (fun j -> Array.for_all (fun row -> row.(j) <= 1e-12) rows)
+          (fun j -> Array.for_all (fun row -> row.(j) <= Float_tol.tight_eps) rows)
           (Array.init n Fun.id)
       | Simplex.Optimal s ->
         let primal_feasible =
@@ -328,7 +329,7 @@ let qcheck_simplex_certificates =
             (fun row bi ->
               let lhs = ref 0.0 in
               Array.iteri (fun j a -> lhs := !lhs +. (a *. s.Simplex.primal.(j))) row;
-              !lhs <= bi +. 1e-6)
+              !lhs <= bi +. Float_tol.loose_check_eps)
             rows b
           && Array.for_all (fun x -> x >= -.1e-9) s.Simplex.primal
         in
@@ -340,7 +341,7 @@ let qcheck_simplex_certificates =
                  Array.iteri
                    (fun i row -> col := !col +. (row.(j) *. s.Simplex.dual.(i)))
                    rows;
-                 !col >= c.(j) -. 1e-6)
+                 !col >= c.(j) -. Float_tol.loose_check_eps)
                (Array.init n Fun.id)
         in
         let duality_gap =
@@ -348,7 +349,7 @@ let qcheck_simplex_certificates =
           Array.iteri (fun i bi -> by := !by +. (bi *. s.Simplex.dual.(i))) b;
           Float.abs (!by -. s.Simplex.objective)
         in
-        primal_feasible && dual_feasible && duality_gap < 1e-6)
+        primal_feasible && dual_feasible && duality_gap < Float_tol.loose_check_eps)
 
 (* --- Path_lp --- *)
 
@@ -358,7 +359,7 @@ let test_path_lp_chain () =
   check_float "OPT_LP = 2" 2.0 lp.Path_lp.opt;
   Alcotest.(check int) "three columns" 3 lp.Path_lp.columns;
   Alcotest.(check bool) "duals feasible" true
-    (Duality.dual_feasible ~eps:1e-6 inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z);
+    (Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z);
   check_float "strong duality" lp.Path_lp.opt
     (Duality.dual_objective inst ~y:lp.Path_lp.y ~z:lp.Path_lp.z)
 
@@ -382,7 +383,7 @@ let test_path_lp_fractional_beats_integral () =
   let lp = Path_lp.solve inst in
   (* Integral: any two direct paths collide on... actually requests use
      disjoint direct edges, so OPT = 3 here; the point is LP >= ILP. *)
-  Alcotest.(check bool) "LP >= ILP" true (lp.Path_lp.opt >= opt -. 1e-9)
+  Alcotest.(check bool) "LP >= ILP" true (lp.Path_lp.opt >= opt -. Float_tol.check_eps)
 
 let test_path_lp_flow_support_feasible () =
   for seed = 1 to 5 do
@@ -399,10 +400,10 @@ let test_path_lp_flow_support_feasible () =
       lp.Path_lp.flow;
     Array.iteri
       (fun e load ->
-        Alcotest.(check bool) "edge load" true (load <= Graph.capacity g e +. 1e-6))
+        Alcotest.(check bool) "edge load" true (load <= Graph.capacity g e +. Float_tol.loose_check_eps))
       loads;
     Array.iter
-      (fun x -> Alcotest.(check bool) "request mass <= 1" true (x <= 1.0 +. 1e-6))
+      (fun x -> Alcotest.(check bool) "request mass <= 1" true (x <= 1.0 +. Float_tol.loose_check_eps))
       per_req
   done
 
@@ -413,9 +414,9 @@ let test_path_lp_brackets () =
     let lp = Path_lp.solve inst in
     let opt = Exact.opt_value inst in
     let lo, hi = Mcf.fractional_opt_interval ~eps:0.15 inst in
-    Alcotest.(check bool) "ILP <= LP" true (opt <= lp.Path_lp.opt +. 1e-6);
-    Alcotest.(check bool) "Mcf lo <= LP" true (lo <= lp.Path_lp.opt +. 1e-6);
-    Alcotest.(check bool) "LP <= Mcf hi" true (lp.Path_lp.opt <= hi +. 1e-6)
+    Alcotest.(check bool) "ILP <= LP" true (opt <= lp.Path_lp.opt +. Float_tol.loose_check_eps);
+    Alcotest.(check bool) "Mcf lo <= LP" true (lo <= lp.Path_lp.opt +. Float_tol.loose_check_eps);
+    Alcotest.(check bool) "LP <= Mcf hi" true (lp.Path_lp.opt <= hi +. Float_tol.loose_check_eps)
   done
 
 let test_path_lp_empty_and_unroutable () =
@@ -438,13 +439,13 @@ let test_colgen_matches_full () =
     let inst = random_instance ~capacity:2.0 ~count:6 seed in
     let full = Path_lp.solve inst in
     let cg = Path_lp.solve_colgen inst in
-    Alcotest.(check (float 1e-6))
+    Alcotest.(check (float Float_tol.loose_check_eps))
       (Printf.sprintf "same optimum seed %d" seed)
       full.Path_lp.opt cg.Path_lp.opt;
     Alcotest.(check bool) "fewer or equal columns" true
       (cg.Path_lp.columns <= full.Path_lp.columns);
     Alcotest.(check bool) "colgen duals feasible" true
-      (Duality.dual_feasible ~eps:1e-6 inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
+      (Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
     check_float "colgen strong duality" cg.Path_lp.opt
       (Duality.dual_objective inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z)
   done
@@ -461,14 +462,14 @@ let test_colgen_scales_beyond_enumeration () =
   Alcotest.(check bool) "small column count" true (cg.Path_lp.columns < 200);
   let lo, hi = Mcf.fractional_opt_interval ~eps:0.2 inst in
   Alcotest.(check bool) "inside the Mcf interval" true
-    (lo <= cg.Path_lp.opt +. 1e-6 && cg.Path_lp.opt <= hi +. 1e-6);
+    (lo <= cg.Path_lp.opt +. Float_tol.loose_check_eps && cg.Path_lp.opt <= hi +. Float_tol.loose_check_eps);
   Alcotest.(check bool) "duals feasible" true
-    (Duality.dual_feasible ~eps:1e-6 inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
+    (Duality.dual_feasible ~eps:Float_tol.duality_check_eps inst ~y:cg.Path_lp.y ~z:cg.Path_lp.z);
   (* A greedy integral solution lower-bounds the fractional optimum. *)
   let greedy =
     Solution.value inst (Ufp_core.Baselines.greedy_by_density inst)
   in
-  Alcotest.(check bool) "dominates greedy" true (greedy <= cg.Path_lp.opt +. 1e-6)
+  Alcotest.(check bool) "dominates greedy" true (greedy <= cg.Path_lp.opt +. Float_tol.loose_check_eps)
 
 let test_colgen_empty () =
   let g = line_graph [| 1.0 |] in
@@ -494,7 +495,7 @@ let qcheck_sandwich =
       let lo, hi = Mcf.fractional_opt_interval ~eps:0.2 inst in
       (* lo is a fractional value, so it may exceed opt; the hard
          guarantees are opt <= hi and lo <= hi. *)
-      opt <= hi +. 1e-6 && lo <= hi +. 1e-6)
+      opt <= hi +. Float_tol.loose_check_eps && lo <= hi +. Float_tol.loose_check_eps)
 
 let qcheck_exact_beats_greedy_order =
   QCheck.Test.make ~name:"exact OPT dominates any single-order greedy" ~count:25
@@ -503,7 +504,7 @@ let qcheck_exact_beats_greedy_order =
       let opt = Exact.opt_value inst in
       (* Greedy by declared value. *)
       let greedy = Ufp_core.Baselines.greedy_by_value inst in
-      Solution.value inst greedy <= opt +. 1e-9)
+      Solution.value inst greedy <= opt +. Float_tol.check_eps)
 
 let () =
   Alcotest.run "lp"

@@ -16,6 +16,7 @@ module Ufp_mechanism = Ufp_mech.Ufp_mechanism
 module Muca_mechanism = Ufp_mech.Muca_mechanism
 module Monotonicity = Ufp_mech.Monotonicity
 module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
 
 let check_float = Alcotest.(check (float 2e-3))
 
@@ -76,7 +77,7 @@ let test_toy_spot_check () =
   let sc =
     (* The slack must dominate the bisection error, which scales with
        the default v_hi (4 x the declaration total). *)
-    Single_param.spot_check_truthfulness ~slack:1e-3 toy_model vs ~agent:1
+    Single_param.spot_check_truthfulness ~slack:Float_tol.report_slack toy_model vs ~agent:1
       ~misreports:[ 0.5; 5.5; 6.0; 20.0; 100.0 ]
   in
   Alcotest.(check bool) "no beating misreport" true
@@ -116,7 +117,7 @@ let test_ufp_payments_bounded_by_value () =
       if won.(i) then begin
         Alcotest.(check bool) "payment nonnegative" true (p >= -.1e-9);
         Alcotest.(check bool) "payment <= declared value" true
-          (p <= (Instance.request inst i).Request.value +. 1e-6)
+          (p <= (Instance.request inst i).Request.value +. Float_tol.loose_check_eps)
       end
       else check_float "losers pay nothing" 0.0 p)
     pay
@@ -132,7 +133,7 @@ let test_ufp_critical_value_is_threshold () =
     | Some (i, _) -> i
     | None -> Alcotest.fail "no winner"
   in
-  match Single_param.critical_value ~rel_tol:1e-7 model inst ~agent with
+  match Single_param.critical_value ~rel_tol:Float_tol.fine_rel_tol model inst ~agent with
   | None -> Alcotest.fail "winner has a critical value"
   | Some c ->
     let wins v =
@@ -143,8 +144,8 @@ let test_ufp_critical_value_is_threshold () =
       in
       (Ufp_mechanism.winners algo inst').(agent)
     in
-    Alcotest.(check bool) "wins just above" true (wins (c *. 1.01 +. 1e-6));
-    if c > 1e-5 then
+    Alcotest.(check bool) "wins just above" true (wins (c *. 1.01 +. Float_tol.loose_check_eps));
+    if c > Float_tol.spot_check_slack then
       Alcotest.(check bool) "loses well below" false (wins (c /. 2.0))
 
 let test_ufp_truthfulness_table () =
@@ -163,7 +164,7 @@ let test_ufp_truthfulness_table () =
       ]
     in
     let outcomes, truthful =
-      Ufp_mechanism.truthfulness_table ~rel_tol:1e-6 algo inst ~agent:!agent
+      Ufp_mechanism.truthfulness_table ~rel_tol:Float_tol.payment_rel_tol algo inst ~agent:!agent
         ~misreports
     in
     List.iter
@@ -173,7 +174,7 @@ let test_ufp_truthfulness_table () =
              (fst o.Ufp_mechanism.declared)
              (snd o.Ufp_mechanism.declared))
           true
-          (o.Ufp_mechanism.outcome_utility <= truthful +. 1e-3))
+          (o.Ufp_mechanism.outcome_utility <= truthful +. Float_tol.report_slack))
       outcomes
   end
 
@@ -196,8 +197,8 @@ let test_ufp_utility_underdeclared_demand_hurts () =
     Ufp_mechanism.utility algo inst ~agent:0 ~true_demand:0.9 ~true_value:4.0
       ~declared_demand:0.3 ~declared_value:4.0
   in
-  Alcotest.(check bool) "truth at least as good" true (u_truth >= u_lie -. 1e-6);
-  Alcotest.(check bool) "lying yields no positive gain" true (u_lie <= 1e-6)
+  Alcotest.(check bool) "truth at least as good" true (u_truth >= u_lie -. Float_tol.loose_check_eps);
+  Alcotest.(check bool) "lying yields no positive gain" true (u_lie <= Float_tol.loose_check_eps)
 
 (* --- MUCA mechanism --- *)
 
@@ -220,7 +221,7 @@ let test_muca_payments () =
     (fun i p ->
       if won.(i) then
         Alcotest.(check bool) "payment in [0, v]" true
-          (p >= -.1e-9 && p <= (Auction.bid a i).Auction.value +. 1e-6)
+          (p >= -.1e-9 && p <= (Auction.bid a i).Auction.value +. Float_tol.loose_check_eps)
       else check_float "loser pays 0" 0.0 p)
     pay
 
@@ -266,7 +267,7 @@ let test_muca_bundle_misreport () =
           ~true_bundle:b.Auction.bundle ~true_value:b.Auction.value
           ~declared_bundle:rest ~declared_value:b.Auction.value
       in
-      Alcotest.(check bool) "partial bundle yields no gain" true (u <= 1e-6)
+      Alcotest.(check bool) "partial bundle yields no gain" true (u <= Float_tol.loose_check_eps)
     | _ -> ()
   end
 
@@ -331,8 +332,8 @@ let test_monotonicity_checker_detects_violations () =
   match Monotonicity.check_ufp ~trials:200 ~seed:8 silly inst with
   | Some v ->
     Alcotest.(check bool) "violation has improved type" true
-      (fst v.Monotonicity.improved_type <= fst v.Monotonicity.original_type +. 1e-9
-      && snd v.Monotonicity.improved_type >= snd v.Monotonicity.original_type -. 1e-9)
+      (fst v.Monotonicity.improved_type <= fst v.Monotonicity.original_type +. Float_tol.check_eps
+      && snd v.Monotonicity.improved_type >= snd v.Monotonicity.original_type -. Float_tol.check_eps)
   | None -> Alcotest.fail "expected a monotonicity violation"
 
 let test_monotonicity_no_winners () =
@@ -370,7 +371,7 @@ let test_vcg_chain () =
     (fun i ->
       let v = (Instance.request inst i).Request.value in
       Alcotest.(check bool) "pays externality" true
-        (out.Vcg.payments.(i) >= 0.0 && out.Vcg.payments.(i) <= v +. 1e-9))
+        (out.Vcg.payments.(i) >= 0.0 && out.Vcg.payments.(i) <= v +. Float_tol.check_eps))
     (Solution.selected out.Vcg.allocation);
   (* Losers pay nothing. *)
   Array.iteri
@@ -416,7 +417,7 @@ let test_vcg_truthful_spot_check () =
         Alcotest.(check bool)
           (Printf.sprintf "misreport x%g does not beat truth" factor)
           true
-          (utility (v_true *. factor) <= u_truth +. 1e-6))
+          (utility (v_true *. factor) <= u_truth +. Float_tol.loose_check_eps))
       [ 0.25; 0.5; 0.9; 1.5; 3.0; 10.0 ]
 
 let test_vcg_equals_critical_value () =
@@ -430,9 +431,9 @@ let test_vcg_equals_critical_value () =
     let model = Ufp_mechanism.model exact_algo in
     List.iter
       (fun w ->
-        match Single_param.critical_value ~rel_tol:1e-7 model inst ~agent:w with
+        match Single_param.critical_value ~rel_tol:Float_tol.fine_rel_tol model inst ~agent:w with
         | Some crit ->
-          Alcotest.(check (float 1e-3))
+          Alcotest.(check (float Float_tol.report_slack))
             (Printf.sprintf "VCG = critical (seed %d, agent %d)" seed w)
             out.Vcg.payments.(w) crit
         | None -> Alcotest.fail "winner must have a critical value")
@@ -475,17 +476,17 @@ let qcheck_toy_truthful =
         Single_param.utility toy_model vs ~agent:0 ~true_value:a
           ~declared_value:misreport
       in
-      u_lie <= u_truth +. 1e-3)
+      u_lie <= u_truth +. Float_tol.report_slack)
 
 let qcheck_payments_below_value =
   QCheck.Test.make ~name:"UFP critical payments never exceed declarations"
     ~count:15 QCheck.small_int (fun seed ->
       let inst = grid_instance ~capacity:10.0 ~count:6 (seed + 40) in
-      let pay = Ufp_mechanism.payments ~rel_tol:1e-5 algo inst in
+      let pay = Ufp_mechanism.payments ~rel_tol:Float_tol.spot_check_slack algo inst in
       let ok = ref true in
       Array.iteri
         (fun i p ->
-          if p > (Instance.request inst i).Request.value +. 1e-5 then ok := false)
+          if p > (Instance.request inst i).Request.value +. Float_tol.spot_check_slack then ok := false)
         pay;
       !ok)
 

@@ -6,7 +6,7 @@ module Stats = Ufp_prelude.Stats
 module Float_tol = Ufp_prelude.Float_tol
 module Table = Ufp_prelude.Table
 
-let check_float = Alcotest.(check (float 1e-9))
+let check_float = Alcotest.(check (float Float_tol.check_eps))
 
 (* --- Rng --- *)
 
@@ -281,18 +281,48 @@ let test_stats_pp () =
 (* --- Float_tol --- *)
 
 let test_float_tol () =
-  Alcotest.(check bool) "approx eq" true (Float_tol.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "approx eq" true (Float_tol.approx_eq 1.0 (1.0 +. Float_tol.tight_eps));
   Alcotest.(check bool) "not approx eq" false (Float_tol.approx_eq 1.0 1.1);
   Alcotest.(check bool) "relative for big" true
     (Float_tol.approx_eq 1e12 (1e12 +. 1.0));
   Alcotest.(check bool) "leq strict" true (Float_tol.leq 1.0 2.0);
-  Alcotest.(check bool) "leq tolerant" true (Float_tol.leq (1.0 +. 1e-12) 1.0);
+  Alcotest.(check bool) "leq tolerant" true (Float_tol.leq (1.0 +. Float_tol.tight_eps) 1.0);
   Alcotest.(check bool) "leq fails" false (Float_tol.leq 2.0 1.0);
   Alcotest.(check bool) "geq" true (Float_tol.geq 2.0 1.0);
-  Alcotest.(check bool) "geq tolerant" true (Float_tol.geq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "geq tolerant" true (Float_tol.geq 1.0 (1.0 +. Float_tol.tight_eps));
   check_float "clamp low" 0.0 (Float_tol.clamp ~lo:0.0 ~hi:1.0 (-5.0));
   check_float "clamp high" 1.0 (Float_tol.clamp ~lo:0.0 ~hi:1.0 5.0);
   check_float "clamp mid" 0.5 (Float_tol.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+(* The named tolerances are frozen at the values the inline literals
+   had before the PR-2 lint sweep: renaming must never retune.  The
+   literals below are the golden record, hence the R1 escape hatch. *)
+let test_float_tol_golden_values () =
+  (let exact name expected actual =
+     Alcotest.(check bool) name true (Float.equal expected actual)
+   in
+   exact "default_eps" 1e-9 Float_tol.default_eps;
+   exact "capacity_slack" 1e-9 Float_tol.capacity_slack;
+   exact "lp_pivot_eps" 1e-9 Float_tol.lp_pivot_eps;
+   exact "lp_support_eps" 1e-9 Float_tol.lp_support_eps;
+   exact "lp_price_tol" 1e-7 Float_tol.lp_price_tol;
+   exact "lp_exact_tol" 1e-12 Float_tol.lp_exact_tol;
+   exact "maxflow_eps" 1e-12 Float_tol.maxflow_eps;
+   exact "greedy_prune_tol" 1e-12 Float_tol.greedy_prune_tol;
+   exact "tie_rel" 1e-9 Float_tol.tie_rel;
+   exact "payment_rel_tol" 1e-6 Float_tol.payment_rel_tol;
+   exact "fine_rel_tol" 1e-7 Float_tol.fine_rel_tol;
+   exact "spot_check_slack" 1e-5 Float_tol.spot_check_slack;
+   exact "coarse_slack" 1e-4 Float_tol.coarse_slack;
+   exact "report_slack" 1e-3 Float_tol.report_slack;
+   exact "demand_tol" 1e-12 Float_tol.demand_tol;
+   exact "duality_check_eps" 1e-6 Float_tol.duality_check_eps;
+   exact "check_eps" 1e-9 Float_tol.check_eps;
+   exact "loose_check_eps" 1e-6 Float_tol.loose_check_eps;
+   exact "tight_eps" 1e-12 Float_tol.tight_eps;
+   exact "contention_tol" 1e-9 Float_tol.contention_tol;
+   exact "div_guard" 1e-9 Float_tol.div_guard)
+  [@lint.allow "R1" "golden values: the lint sweep renames, it does not retune"]
 
 (* --- Table --- *)
 
@@ -370,7 +400,7 @@ let qcheck_percentile_bounds =
       let a = Array.of_list xs in
       let v = Stats.percentile a p in
       let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
-      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+      v >= lo -. Float_tol.check_eps && v <= hi +. Float_tol.check_eps)
 
 let qcheck_rng_int_bound =
   QCheck.Test.make ~name:"rng int respects bound" ~count:200
@@ -425,7 +455,12 @@ let () =
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "pp" `Quick test_stats_pp;
         ] );
-      ("float_tol", [ Alcotest.test_case "comparisons" `Quick test_float_tol ]);
+      ( "float_tol",
+        [
+          Alcotest.test_case "comparisons" `Quick test_float_tol;
+          Alcotest.test_case "golden values" `Quick
+            test_float_tol_golden_values;
+        ] );
       ( "table",
         [
           Alcotest.test_case "basic" `Quick test_table_basic;
