@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick examples doc clean
+.PHONY: all build test lint bench bench-quick examples doc clean trace-demo
 
 all: build
 
@@ -13,6 +13,15 @@ test:
 # Float-discipline / determinism linter (see docs/LINTING.md).
 lint:
 	dune build @lint
+
+# Observability demo (see docs/OBSERVABILITY.md): solve a generated
+# instance with the metrics table + span trace on, then validate the
+# trace.  Load trace-demo.jsonl at https://ui.perfetto.dev.
+trace-demo:
+	dune exec bin/ufp_cli.exe -- generate -t grid --capacity 50 -r 200 -o trace-demo.inst
+	dune exec bin/ufp_cli.exe -- solve trace-demo.inst --metrics text --trace trace-demo.jsonl
+	dune exec bin/trace_check.exe trace-demo.jsonl
+	@echo "open https://ui.perfetto.dev and drop trace-demo.jsonl in"
 
 bench:
 	dune exec bench/main.exe

@@ -179,8 +179,19 @@ let () =
   let emit (entry : Registry.entry) =
     Printf.printf "\n### %s — %s\n### %s\n" entry.Registry.id
       entry.Registry.paper_artifact entry.Registry.description;
-    let tables = entry.Registry.run ~quick () in
+    (* Ufp_obs counter deltas sit next to the timing so a perf change
+       in the log is attributable to a work change (or to a real
+       per-operation regression when the counts are unchanged). *)
+    let (tables, elapsed), work =
+      Harness.counters_during (fun () ->
+          Harness.time_it (fun () -> entry.Registry.run ~quick ()))
+    in
     List.iter Ufp_prelude.Table.print tables;
+    Printf.printf "time: %.3fs  work: %s\n" elapsed
+      (if work = [] then "-"
+       else
+         String.concat ", "
+           (List.map (fun (name, n) -> Printf.sprintf "%s=%d" name n) work));
     if markdown_path <> None then begin
       Buffer.add_string markdown_buf
         (Printf.sprintf "## %s — %s\n\n%s\n\n" entry.Registry.id

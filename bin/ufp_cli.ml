@@ -23,6 +23,8 @@ module Mcf = Ufp_lp.Mcf
 module Ufp_mechanism = Ufp_mech.Ufp_mechanism
 module Registry = Ufp_experiments.Registry
 module Rng = Ufp_prelude.Rng
+module Metrics = Ufp_obs.Metrics
+module Obs_trace = Ufp_obs.Trace
 
 open Cmdliner
 module Float_tol = Ufp_prelude.Float_tol
@@ -33,6 +35,53 @@ let load_instance path =
   | Error msg ->
     Printf.eprintf "error: cannot load %s: %s\n" path msg;
     exit 1
+
+(* --- observability (--metrics / --trace) --- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Report the work-counter deltas of the run (Dijkstra \
+           relaxations, selector cache traffic, dual updates, payment \
+           probes, ...) as a $(b,text) table or a $(b,json) object. See \
+           docs/OBSERVABILITY.md for the catalogue.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record solver spans and write them to $(docv) as Chrome \
+           trace_event JSONL (load in chrome://tracing or \
+           ui.perfetto.dev).")
+
+(* Wraps the measured part of a subcommand: snapshots the metric
+   registry around [f], then renders the delta and/or saves the trace
+   as requested.  With neither flag given this is just [f ()] plus two
+   cheap snapshots. *)
+let with_observability ~metrics ~trace f =
+  if Option.is_some trace then Obs_trace.start ();
+  let before = Metrics.snapshot () in
+  let result = f () in
+  let delta = Metrics.diff before (Metrics.snapshot ()) in
+  (match metrics with
+  | Some `Text -> Ufp_prelude.Table.print (Metrics.to_table ~title:"run metrics" delta)
+  | Some `Json -> print_endline (Metrics.to_json delta)
+  | None -> ());
+  (match trace with
+  | Some path ->
+    Obs_trace.stop ();
+    Obs_trace.save_jsonl path;
+    Printf.eprintf "trace: %d events written to %s%s\n" (Obs_trace.n_events ())
+      path
+      (let d = Obs_trace.n_dropped () in
+       if d > 0 then Printf.sprintf " (%d oldest events dropped)" d else "")
+  | None -> ());
+  result
 
 (* --- generate --- *)
 
@@ -132,12 +181,14 @@ let warn_premise inst ~eps =
       (Instance.bound inst)
       (log (float_of_int (Graph.n_edges (Instance.graph inst))) /. (eps *. eps))
 
-let solve path algo_name eps seed verbose audit out =
+let solve path algo_name eps seed verbose audit out metrics trace =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
   let algo = pick_algo algo_name eps seed in
   let sol, elapsed =
-    try Ufp_experiments.Harness.time_it (fun () -> algo inst)
+    try
+      with_observability ~metrics ~trace (fun () ->
+          Ufp_experiments.Harness.time_it (fun () -> algo inst))
     with Exact.Too_large msg ->
       Printf.eprintf "error: instance too large for the exact solver: %s\n" msg;
       exit 1
@@ -197,16 +248,19 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ file_arg $ algo_arg $ eps_arg $ seed_arg $ verbose_arg
-      $ audit_arg $ out_arg)
+      $ audit_arg $ out_arg $ metrics_arg $ trace_arg)
 
 (* --- payments --- *)
 
-let payments path eps =
+let payments path eps metrics trace =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
   let algo = Bounded_ufp.solve ~eps in
-  let won = Ufp_mechanism.winners algo inst in
-  let pay = Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol algo inst in
+  let won, pay =
+    with_observability ~metrics ~trace (fun () ->
+        ( Ufp_mechanism.winners algo inst,
+          Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol algo inst ))
+  in
   Printf.printf "truthful mechanism: Bounded-UFP(%.2f) + critical-value payments\n"
     eps;
   Printf.printf "%-8s %-10s %-10s %-6s %-12s\n" "request" "demand" "value" "wins"
@@ -225,7 +279,8 @@ let payments path eps =
 
 let payments_cmd =
   let doc = "run the truthful mechanism and print critical-value payments" in
-  Cmd.v (Cmd.info "payments" ~doc) Term.(const payments $ file_arg $ eps_arg)
+  Cmd.v (Cmd.info "payments" ~doc)
+    Term.(const payments $ file_arg $ eps_arg $ metrics_arg $ trace_arg)
 
 (* --- lp --- *)
 

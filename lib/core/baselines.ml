@@ -4,8 +4,21 @@ module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
 module Rng = Ufp_prelude.Rng
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
 
 let capacity_slack = Ufp_prelude.Float_tol.capacity_slack
+
+(* Shared pd.* catalogue — see Pd_engine. *)
+let m_runs = Metrics.counter "pd.runs"
+
+let m_iterations = Metrics.counter "pd.iterations"
+
+let m_dual_updates = Metrics.counter "pd.dual_updates"
+
+let m_residual_rejections = Metrics.counter "pd.residual_rejections"
+
+let h_path_edges = Metrics.histogram "pd.path_edges"
 
 (* Route requests one by one, in the given index order, each on a
    fewest-hop path among edges with residual capacity for its demand. *)
@@ -51,6 +64,8 @@ let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
   let g = Instance.graph inst in
   let b = Graph.min_capacity g in
   if b < 1.0 then invalid_arg "Baselines.threshold_pd: requires B >= 1";
+  Metrics.incr m_runs;
+  Trace.with_span "baselines.threshold_pd" @@ fun () ->
   let m = Graph.n_edges g in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
   let residual = Array.init m (fun e -> Graph.capacity g e) in
@@ -59,7 +74,10 @@ let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
       ~weights:
         (Selector.Per_demand
            (fun ~demand e ->
-             if residual.(e) +. capacity_slack < demand then infinity
+             if residual.(e) +. capacity_slack < demand then begin
+               Metrics.incr m_residual_rejections;
+               infinity
+             end
              else y.(e)))
       inst
   in
@@ -70,9 +88,12 @@ let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
     else begin
       match Selector.select sel with
       | Some { Selector.request = i; path; alpha } when alpha <= 1.0 ->
+        Metrics.incr m_iterations;
+        Metrics.observe h_path_edges (float_of_int (List.length path));
         let r = Instance.request inst i in
         List.iter
           (fun e ->
+            Metrics.incr m_dual_updates;
             residual.(e) <- residual.(e) -. r.Request.demand;
             y.(e) <-
               y.(e) *. exp (eps *. b *. r.Request.demand /. Graph.capacity g e))

@@ -6,6 +6,20 @@ module Graph = Ufp_graph.Graph
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
+
+(* Same catalogue as Pd_engine: registration is idempotent by name, so
+   every primal-dual loop accumulates into the shared pd.* counters. *)
+let m_runs = Metrics.counter "pd.runs"
+
+let m_iterations = Metrics.counter "pd.iterations"
+
+let m_dual_updates = Metrics.counter "pd.dual_updates"
+
+let g_d1_growth = Metrics.gauge "pd.d1_growth"
+
+let h_path_edges = Metrics.histogram "pd.path_edges"
 
 type trace_entry = {
   iteration : int;
@@ -46,6 +60,8 @@ let validate inst ~eps =
 
 let run ?(eps = 0.1) ?(selector = `Incremental) inst =
   let b = validate inst ~eps in
+  Metrics.incr m_runs;
+  Trace.with_span "bounded_ufp.run" @@ fun () ->
   let g = Instance.graph inst in
   let m = Graph.n_edges g in
   let budget = budget ~eps ~b in
@@ -80,23 +96,31 @@ let run ?(eps = 0.1) ?(selector = `Incremental) inst =
         continue := false
       | Some { Selector.request = i; path; alpha } ->
         incr iterations;
+        Metrics.incr m_iterations;
         Log.debug (fun m ->
             m "iteration %d: select request %d (alpha %.6g, %d edges)"
               !iterations i alpha (List.length path));
+        if Trace.is_on () then
+          Trace.instant "pd.select"
+            ~args:[ ("request", Trace.Int i); ("alpha", Trace.Float alpha) ];
         let r = Instance.request inst i in
         (* Claim 3.6 certificate, using the duals before the update. *)
         let bound =
           if alpha > 0.0 then (!d1 /. alpha) +. !d2 else infinity
         in
         best_bound := Float.min !best_bound bound;
+        let d1_before = !d1 in
         (* Dual update: y_e <- y_e * exp(eps B d_r / c_e). *)
         List.iter
           (fun e ->
+            Metrics.incr m_dual_updates;
             let c = Graph.capacity g e in
             let old = y.(e) in
             y.(e) <- old *. exp (eps *. b *. r.Request.demand /. c);
             d1 := !d1 +. (c *. (y.(e) -. old)))
           path;
+        Metrics.gauge_add g_d1_growth (!d1 -. d1_before);
+        Metrics.observe h_path_edges (float_of_int (List.length path));
         Selector.update_path sel path;
         z.(i) <- r.Request.value;
         d2 := !d2 +. r.Request.value;

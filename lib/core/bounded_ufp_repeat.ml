@@ -7,6 +7,19 @@ module Graph = Ufp_graph.Graph
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Solution = Ufp_instance.Solution
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
+
+(* Shared pd.* catalogue — see Pd_engine. *)
+let m_runs = Metrics.counter "pd.runs"
+
+let m_iterations = Metrics.counter "pd.iterations"
+
+let m_dual_updates = Metrics.counter "pd.dual_updates"
+
+let g_d1_growth = Metrics.gauge "pd.d1_growth"
+
+let h_path_edges = Metrics.histogram "pd.path_edges"
 
 type run = {
   solution : Solution.t;
@@ -29,6 +42,8 @@ let run ?(eps = 0.1) ?(selector = `Incremental) inst =
   let g = Instance.graph inst in
   let b = Graph.min_capacity g in
   if b < 1.0 then invalid_arg "Bounded_ufp_repeat: requires B >= 1";
+  Metrics.incr m_runs;
+  Trace.with_span "bounded_ufp_repeat.run" @@ fun () ->
   let m = Graph.n_edges g in
   let budget = exp (eps *. (b -. 1.0)) in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
@@ -51,17 +66,25 @@ let run ?(eps = 0.1) ?(selector = `Incremental) inst =
       | None -> continue := false (* no request is routable at all *)
       | Some { Selector.request = i; path; alpha } ->
         incr iterations;
+        Metrics.incr m_iterations;
+        if Trace.is_on () then
+          Trace.instant "pd.select"
+            ~args:[ ("request", Trace.Int i); ("alpha", Trace.Float alpha) ];
         let r = Instance.request inst i in
         (* Claim 5.2: y / alpha is feasible for the Figure 5 dual, so
            D / alpha upper-bounds the with-repetitions optimum. *)
         if alpha > 0.0 then best_bound := Float.min !best_bound (!d /. alpha);
+        let d_before = !d in
         List.iter
           (fun e ->
+            Metrics.incr m_dual_updates;
             let c = Graph.capacity g e in
             let old = y.(e) in
             y.(e) <- old *. exp (eps *. b *. r.Request.demand /. c);
             d := !d +. (c *. (y.(e) -. old)))
           path;
+        Metrics.gauge_add g_d1_growth (!d -. d_before);
+        Metrics.observe h_path_edges (float_of_int (List.length path));
         Selector.update_path sel path;
         solution := { Solution.request = i; path } :: !solution
     end

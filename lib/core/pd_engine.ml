@@ -2,6 +2,9 @@ module Graph = Ufp_graph.Graph
 module Instance = Ufp_instance.Instance
 module Solution = Ufp_instance.Solution
 
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
+
 type stop_rule = Budget of float | Threshold of float
 
 type config = {
@@ -12,9 +15,42 @@ type config = {
   respect_residual : bool;
 }
 
+exception
+  Iteration_limit of { iterations : int; d1 : float; stop : stop_rule }
+
+let () =
+  Printexc.register_printer (function
+    | Iteration_limit { iterations; d1; stop } ->
+      Some
+        (Printf.sprintf
+           "Ufp_core.Pd_engine.Iteration_limit {iterations = %d; d1 = %.6g; \
+            stop = %s}"
+           iterations d1
+           (match stop with
+           | Budget b -> Printf.sprintf "Budget %.6g" b
+           | Threshold t -> Printf.sprintf "Threshold %.6g" t))
+    | _ -> None)
+
 (* Residual-vs-demand comparisons share one slack with the auditor so
    "fits" means the same thing everywhere. *)
 let capacity_slack = Ufp_prelude.Float_tol.capacity_slack
+
+(* Algorithm-level work counters, shared by name with Bounded_ufp,
+   Bounded_ufp_repeat and Baselines.threshold_pd: every primal-dual
+   loop reports into the same catalogue (docs/OBSERVABILITY.md), and
+   they are selection-engine-invariant — `Naive and `Incremental runs
+   produce identical values (a test_obs.ml law). *)
+let m_runs = Metrics.counter "pd.runs"
+
+let m_iterations = Metrics.counter "pd.iterations"
+
+let m_dual_updates = Metrics.counter "pd.dual_updates"
+
+let m_residual_rejections = Metrics.counter "pd.residual_rejections"
+
+let g_d1_growth = Metrics.gauge "pd.d1_growth"
+
+let h_path_edges = Metrics.histogram "pd.path_edges"
 
 let algorithm_1 ~eps ~b =
   {
@@ -46,6 +82,8 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
   if Graph.n_edges g = 0 then invalid_arg "Pd_engine: graph has no edges";
   let b = Graph.min_capacity g in
   if b < 1.0 then invalid_arg "Pd_engine: requires B >= 1";
+  Metrics.incr m_runs;
+  Trace.with_span "pd.execute" @@ fun () ->
   let m = Graph.n_edges g in
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
   (* The residual array exists (and is maintained) only when the config
@@ -56,7 +94,10 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
       let residual = Array.init m (fun e -> Graph.capacity g e) in
       ( Selector.Per_demand
           (fun ~demand e ->
-            if residual.(e) +. capacity_slack < demand then infinity
+            if residual.(e) +. capacity_slack < demand then begin
+              Metrics.incr m_residual_rejections;
+              infinity
+            end
             else y.(e)),
         fun demand path ->
           List.iter (fun e -> residual.(e) <- residual.(e) -. demand) path )
@@ -87,14 +128,25 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
           if not accept then continue := false
           else begin
             incr iterations;
+            Metrics.incr m_iterations;
+            (* Defensive budget: each no-repetition iteration permanently
+               allocates one request, so this fires only on a
+               non-terminating (repetitions) configuration. The
+               exception carries the loop state so the caller can see
+               how far the duals got. *)
             if !iterations > max_iterations then
-              (failwith "Pd_engine: iteration budget exceeded"
-              [@lint.allow "R4"
-                "defensive budget: each iteration permanently allocates one \
-                 request, so this needs > n_requests iterations to fire"]);
+              raise
+                (Iteration_limit
+                   { iterations = !iterations; d1 = !d1; stop = config.stop });
+            if Trace.is_on () then
+              Trace.instant "pd.select"
+                ~args:
+                  [ ("request", Trace.Int i); ("alpha", Trace.Float alpha) ];
             let r = Instance.request inst i in
+            let d1_before = !d1 in
             List.iter
               (fun e ->
+                Metrics.incr m_dual_updates;
                 let c = Graph.capacity g e in
                 let old = y.(e) in
                 y.(e) <-
@@ -103,6 +155,8 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
                        ~capacity:c;
                 d1 := !d1 +. (c *. (y.(e) -. old)))
               path;
+            Metrics.gauge_add g_d1_growth (!d1 -. d1_before);
+            Metrics.observe h_path_edges (float_of_int (List.length path));
             consume_residual r.Ufp_instance.Request.demand path;
             Selector.update_path sel path;
             if config.remove_selected then Selector.remove sel i;

@@ -52,6 +52,15 @@ type run = {
   final_y : float array;
 }
 
+exception
+  Iteration_limit of { iterations : int; d1 : float; stop : stop_rule }
+(** Raised by {!execute} when the defensive iteration budget is
+    exceeded (a non-terminating configuration, e.g. a repetitions run
+    whose duals never reach the budget). Carries the iteration count,
+    the dual mass [sum_e c_e y_e] reached, and the stop rule in force
+    so the failure is diagnosable without a re-run. A printer is
+    registered with [Printexc]. *)
+
 val capacity_slack : float
 (** The absolute slack used when comparing residual capacity against a
     demand ({!Ufp_prelude.Float_tol.capacity_slack}, shared with
@@ -65,12 +74,19 @@ val execute :
   run
 (** Run the engine. Requires a normalised instance with [B >= 1]
     (raises [Invalid_argument] otherwise). [max_iterations] (default
-    [1_000_000]) guards non-terminating configurations (e.g. a
-    repetitions run whose duals never reach the budget); exceeding it
-    raises [Failure]. Ties break towards the lowest request index,
-    matching {!Bounded_ufp}.
+    [1_000_000]) guards non-terminating configurations; exceeding it
+    raises {!Iteration_limit} with the loop state. Ties break towards
+    the lowest request index, matching {!Bounded_ufp}.
 
     [selector] picks the {!Selector} engine (default [`Incremental];
     both engines make identical decisions). Residual bookkeeping is
     only maintained when [respect_residual] is set — Budget-mode runs
-    carry no residual state at all. *)
+    carry no residual state at all.
+
+    Work accounting: each run increments the [pd.*] metrics of
+    {!Ufp_obs.Metrics} (iterations, per-edge dual updates, residual
+    rejections, [D1] growth, a path-length histogram) and, when
+    {!Ufp_obs.Trace} is enabled, emits a [pd.execute] span with one
+    [pd.select] instant per iteration. The [pd.*] values are pure
+    functions of the selection trace, hence identical across selector
+    engines and across repeated runs (see docs/OBSERVABILITY.md). *)

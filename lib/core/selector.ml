@@ -5,6 +5,25 @@ module Request = Ufp_instance.Request
 
 type kind = [ `Naive | `Incremental ]
 
+(* Cache-economics accounting (docs/OBSERVABILITY.md): the naive engine
+   shows up as pure tree_rebuilds, the incremental one as a mix of
+   cache_hits / stale_pops / rebuilds plus heap traffic — the two are
+   directly comparable because the algorithm-level counters (owned by
+   the callers) are identical across engines. *)
+let m_rebuilds = Ufp_obs.Metrics.counter "selector.tree_rebuilds"
+
+let m_cache_hits = Ufp_obs.Metrics.counter "selector.cache_hits"
+
+let m_cache_misses = Ufp_obs.Metrics.counter "selector.cache_misses"
+
+let m_heap_pushes = Ufp_obs.Metrics.counter "selector.heap_pushes"
+
+let m_heap_pops = Ufp_obs.Metrics.counter "selector.heap_pops"
+
+let m_stale_pops = Ufp_obs.Metrics.counter "selector.stale_pops"
+
+let m_scores = Ufp_obs.Metrics.counter "selector.scores"
+
 type weights =
   | Uniform of (int -> float)
   | Per_demand of (demand:float -> int -> float)
@@ -81,6 +100,7 @@ let rec sift_down t i =
   end
 
 let heap_push t key request version =
+  Ufp_obs.Metrics.incr m_heap_pushes;
   if t.hsize = Array.length t.hk then begin
     let cap = max 16 (2 * t.hsize) in
     let hk' = Array.make cap 0.0
@@ -102,6 +122,7 @@ let heap_push t key request version =
 let heap_pop t =
   if t.hsize = 0 then None
   else begin
+    Ufp_obs.Metrics.incr m_heap_pops;
     let k = t.hk.(0) and r = t.hr.(0) and v = t.hv.(0) in
     t.hsize <- t.hsize - 1;
     if t.hsize > 0 then begin
@@ -199,6 +220,7 @@ let is_empty t = t.n_pending = 0
 (* --- tree maintenance --- *)
 
 let rebuild t grp =
+  Ufp_obs.Metrics.incr m_rebuilds;
   Dijkstra.shortest_tree_into t.ws t.graph ~weight:grp.weight ~src:grp.src
     ~dist:grp.dist ~parent_edge:grp.parent_edge;
   grp.version <- grp.version + 1;
@@ -238,6 +260,7 @@ let remove t i =
 (* --- scoring and selection --- *)
 
 let score t grp i =
+  Ufp_obs.Metrics.incr m_scores;
   let r = Instance.request t.inst i in
   let d = grp.dist.(r.Request.dst) in
   if Float.equal d infinity then infinity else Request.density r *. d
@@ -292,11 +315,16 @@ let select_incremental t =
              current score: this is the true (alpha, index) minimum.
              Re-push so the request stays a candidate (it is removed
              separately when selection consumes it). *)
+          Ufp_obs.Metrics.incr m_cache_hits;
           heap_push t a i ver;
           Some { request = i; path = path_for t grp i; alpha = a }
         end
         else begin
-          if not grp.fresh then rebuild t grp;
+          Ufp_obs.Metrics.incr m_stale_pops;
+          if not grp.fresh then begin
+            Ufp_obs.Metrics.incr m_cache_misses;
+            rebuild t grp
+          end;
           let alpha = score t grp i in
           (* An unroutable request stays unroutable under nondecreasing
              weights: drop it from the heap entirely. *)

@@ -17,7 +17,7 @@ let run ?(quick = false) () =
       ~columns:
         [
           "grid"; "m"; "|R|"; "iterations"; "naive (s)"; "incremental (s)";
-          "speedup"; "traces equal";
+          "speedup"; "rebuilds n/i"; "stale pops"; "traces equal";
         ]
   in
   let eps = 0.3 in
@@ -30,13 +30,16 @@ let run ?(quick = false) () =
       let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
       let capacity = Harness.capacity_for ~m ~eps in
       let inst = Harness.grid_instance ~seed:1 ~rows ~cols ~capacity ~count in
-      let naive, t_naive =
-        Harness.time_it (fun () -> Bounded_ufp.run ~eps ~selector:`Naive inst)
+      let (naive, t_naive), naive_work =
+        Harness.counters_during (fun () ->
+            Harness.time_it (fun () -> Bounded_ufp.run ~eps ~selector:`Naive inst))
       in
-      let incr, t_incr =
-        Harness.time_it (fun () ->
-            Bounded_ufp.run ~eps ~selector:`Incremental inst)
+      let (incr, t_incr), incr_work =
+        Harness.counters_during (fun () ->
+            Harness.time_it (fun () ->
+                Bounded_ufp.run ~eps ~selector:`Incremental inst))
       in
+      let rebuilds w = Harness.counter_delta w "selector.tree_rebuilds" in
       let equal = naive.Bounded_ufp.trace = incr.Bounded_ufp.trace in
       Table.add_row table
         [
@@ -47,6 +50,8 @@ let run ?(quick = false) () =
           Table.cell_f t_naive;
           Table.cell_f t_incr;
           Table.cell_f (t_naive /. Float.max t_incr Float_tol.div_guard);
+          Printf.sprintf "%d/%d" (rebuilds naive_work) (rebuilds incr_work);
+          Table.cell_i (Harness.counter_delta incr_work "selector.stale_pops");
           (if equal then "yes" else "NO");
         ])
     configs;

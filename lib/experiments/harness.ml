@@ -40,3 +40,12 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
+
+let counters_during f =
+  let before = Ufp_obs.Metrics.snapshot () in
+  let v = f () in
+  let delta = Ufp_obs.Metrics.diff before (Ufp_obs.Metrics.snapshot ()) in
+  (v, List.filter (fun (_, n) -> n <> 0) delta.Ufp_obs.Metrics.counters)
+
+let counter_delta deltas name =
+  Option.value ~default:0 (List.assoc_opt name deltas)

@@ -36,3 +36,12 @@ val ratio_cell : float -> float -> string
 
 val time_it : (unit -> 'a) -> 'a * float
 (** Result and elapsed wall-clock seconds. *)
+
+val counters_during : (unit -> 'a) -> 'a * (string * int) list
+(** Result plus the {!Ufp_obs.Metrics} counter deltas the call
+    produced (nonzero deltas only, sorted by name) — the opt-in
+    work-count column sink for experiment tables. *)
+
+val counter_delta : (string * int) list -> string -> int
+(** Look up one named counter in a {!counters_during} delta list
+    (0 when absent). *)

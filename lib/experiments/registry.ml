@@ -94,6 +94,14 @@ let all =
       run = Exp_scale_selector.run;
     };
     {
+      id = "EXP-OBS-OVERHEAD";
+      paper_artifact = "infrastructure";
+      description =
+        "observability cost: Bounded-UFP wall time with the Ufp_obs tracer \
+         off vs recording, on the EXP-SCALE-SELECTOR workload";
+      run = Exp_obs_overhead.run;
+    };
+    {
       id = "EXP-GAP";
       paper_artifact = "Section 1 motivation";
       description = "integrality gap OPT_LP/OPT_ILP collapses to 1 as B grows";

@@ -1,5 +1,13 @@
 type tree = { dist : float array; parent_edge : int array }
 
+(* Work accounting (docs/OBSERVABILITY.md): unconditional single-store
+   increments, cheap enough for the relaxation loop. *)
+let m_runs = Ufp_obs.Metrics.counter "dijkstra.runs"
+
+let m_settled = Ufp_obs.Metrics.counter "dijkstra.settled"
+
+let m_relaxations = Ufp_obs.Metrics.counter "dijkstra.relaxations"
+
 (* Reusable scratch state: the settled marks and the binary heap. The
    heap is kept out of Ufp_prelude.Heap because Dijkstra needs a
    lexicographic (key, vertex-id) order — see the determinism note in
@@ -93,6 +101,7 @@ let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
   Array.fill parent_edge 0 n (-1);
   Array.fill ws.ws_settled 0 n false;
   ws.ws_size <- 0;
+  Ufp_obs.Metrics.incr m_runs;
   dist.(src) <- 0.0;
   heap_push ws 0.0 src;
   let rec loop () =
@@ -101,8 +110,10 @@ let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
     | Some (d, u) ->
       if not ws.ws_settled.(u) then begin
         ws.ws_settled.(u) <- true;
+        Ufp_obs.Metrics.incr m_settled;
         let relax (eid, v) =
           if not ws.ws_settled.(v) then begin
+            Ufp_obs.Metrics.incr m_relaxations;
             let w = weight eid in
             if Float.is_nan w then invalid_arg "Dijkstra: NaN edge weight";
             if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";

@@ -15,6 +15,13 @@ type residual = {
 
 let eps = Float_tol.maxflow_eps
 
+(* Work accounting (docs/OBSERVABILITY.md). *)
+let m_runs = Ufp_obs.Metrics.counter "maxflow.runs"
+
+let m_phases = Ufp_obs.Metrics.counter "maxflow.phases"
+
+let m_augmentations = Ufp_obs.Metrics.counter "maxflow.augmentations"
+
 let build g ~extra_vertices ~extra_arcs =
   let n = Graph.n_vertices g + extra_vertices in
   let m = Graph.n_edges g in
@@ -88,17 +95,23 @@ let rec dfs r levels cursors ~dst u pushed =
   end
 
 let run_dinic r ~src ~dst =
+  Ufp_obs.Metrics.incr m_runs;
   let total = ref 0.0 in
   let continue = ref true in
   while !continue do
     match bfs_levels r ~src ~dst with
     | None -> continue := false
     | Some levels ->
+      Ufp_obs.Metrics.incr m_phases;
       let cursors = Array.copy r.adj in
       let phase = ref true in
       while !phase do
         let sent = dfs r levels cursors ~dst src infinity in
-        if sent > eps then total := !total +. sent else phase := false
+        if sent > eps then begin
+          Ufp_obs.Metrics.incr m_augmentations;
+          total := !total +. sent
+        end
+        else phase := false
       done
   done;
   !total

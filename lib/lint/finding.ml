@@ -1,14 +1,20 @@
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5
 
-let all_rules = [ R1; R2; R3; R4 ]
+let all_rules = [ R1; R2; R3; R4; R5 ]
 
-let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
 
 let rule_name = function
   | R1 -> "inline-tolerance"
   | R2 -> "poly-float-compare"
   | R3 -> "poly-hash"
   | R4 -> "bare-abort"
+  | R5 -> "direct-print"
 
 let rule_doc = function
   | R1 ->
@@ -25,6 +31,10 @@ let rule_doc = function
   | R4 ->
     "assert false / failwith on lib/core and lib/mech selection paths needs \
      a [@lint.allow \"R4\" \"why it is unreachable\"] justification"
+  | R5 ->
+    "direct printing (Printf.printf/eprintf, print_string, ...) in lib/core, \
+     lib/graph, lib/lp, lib/mech; route output through Logs or the \
+     Ufp_obs metrics/trace sinks so library code stays silent"
 
 let rule_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -32,6 +42,7 @@ let rule_of_string s =
   | "r2" | "poly-float-compare" -> Some R2
   | "r3" | "poly-hash" -> Some R3
   | "r4" | "bare-abort" -> Some R4
+  | "r5" | "direct-print" -> Some R5
   | _ -> None
 
 type t = {
@@ -42,7 +53,7 @@ type t = {
   message : string;
 }
 
-let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4
+let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
 
 let compare a b =
   let c = String.compare a.path b.path in

@@ -13,11 +13,14 @@ type rule =
   | R3  (** poly-hash: [Hashtbl.hash]-family polymorphic hashing. *)
   | R4  (** bare-abort: [assert false]/[failwith] on a selection path
             without a justification attribute. *)
+  | R5  (** direct-print: [Printf.printf]/[print_string]-style direct
+            output from library code ([lib/core], [lib/graph],
+            [lib/lp], [lib/mech]). *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R4"]. *)
+(** ["R1"] .. ["R5"]. *)
 
 val rule_name : rule -> string
 (** Mnemonic slug, e.g. ["inline-tolerance"]. *)

@@ -1,6 +1,11 @@
 open Ppxlib
 
-type scope = { in_float_tol : bool; r2_active : bool; r4_active : bool }
+type scope = {
+  in_float_tol : bool;
+  r2_active : bool;
+  r4_active : bool;
+  r5_active : bool;
+}
 
 let has_dir path dir =
   let p = "/" ^ String.map (fun c -> if c = '\\' then '/' else c) path in
@@ -19,6 +24,9 @@ let scope_of_path path =
       has_dir path "lib/core" || has_dir path "lib/graph"
       || has_dir path "lib/lp";
     r4_active = has_dir path "lib/core" || has_dir path "lib/mech";
+    r5_active =
+      has_dir path "lib/core" || has_dir path "lib/graph"
+      || has_dir path "lib/lp" || has_dir path "lib/mech";
   }
 
 (* R1: a float literal counts as a tolerance when it is positive and
@@ -82,6 +90,32 @@ let floaty_expr e =
   with Found -> true
 
 let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+(* R5: identifiers that write to stdout/stderr directly.  Library code
+   must stay silent — diagnostics go through Logs, work counts through
+   Ufp_obs — so CLI/JSON output never interleaves with stray prints.
+   Printf.sprintf / ksprintf are pure and therefore fine. *)
+let direct_print_stdlib =
+  [
+    "print_string"; "print_char"; "print_bytes"; "print_int"; "print_float";
+    "print_endline"; "print_newline"; "prerr_string"; "prerr_char";
+    "prerr_bytes"; "prerr_int"; "prerr_float"; "prerr_endline";
+    "prerr_newline";
+  ]
+
+let is_direct_print = function
+  | Lident id -> List.mem id direct_print_stdlib
+  | Ldot (Lident "Stdlib", id) -> List.mem id direct_print_stdlib
+  | Ldot
+      ( (Lident ("Printf" | "Format") | Ldot (Lident "Stdlib", ("Printf" | "Format"))),
+        ("printf" | "eprintf") ) ->
+    true
+  | Ldot
+      ( (Lident "Format" | Ldot (Lident "Stdlib", "Format")),
+        ( "print_string" | "print_char" | "print_int" | "print_float"
+        | "print_newline" | "print_flush" ) ) ->
+    true
+  | _ -> false
 
 let is_poly_hash = function
   | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash" | "hash_param"))
@@ -151,6 +185,15 @@ let collector ~scope ~path ~findings =
         self#report R3 e.pexp_loc
           "polymorphic Hashtbl.hash; hash the key structurally (raw float \
            bits must never drive table iteration order)"
+      | _ -> ());
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } when scope.r5_active && is_direct_print txt ->
+        self#report R5 e.pexp_loc
+          (Printf.sprintf
+             "direct print via `%s' in library code; use Logs (diagnostics) \
+              or Ufp_obs (work counts), or justify with [@lint.allow \"R5\" \
+              \"reason\"]"
+             (lident_last txt))
       | _ -> ());
       if scope.r4_active then
         match e.pexp_desc with

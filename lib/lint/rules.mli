@@ -1,4 +1,4 @@
-(** The four ufp-lint rules, implemented as a single
+(** The ufp-lint rules, implemented as a single
     {!Ppxlib.Ast_traverse.iter} pass over the parsetree.
 
     Rules are purely syntactic (the linter never typechecks), so R2
@@ -16,6 +16,9 @@ type scope = {
           tolerance literals are legal (R1 off). *)
   r2_active : bool;  (** path under [lib/core], [lib/graph], [lib/lp]. *)
   r4_active : bool;  (** path under [lib/core], [lib/mech]. *)
+  r5_active : bool;
+      (** path under [lib/core], [lib/graph], [lib/lp], [lib/mech]:
+          library code must not print to stdout/stderr directly. *)
 }
 
 val scope_of_path : string -> scope

@@ -1,4 +1,9 @@
 module Float_tol = Ufp_prelude.Float_tol
+module Metrics = Ufp_obs.Metrics
+
+let m_runs = Metrics.counter "simplex.runs"
+
+let m_pivots = Metrics.counter "simplex.pivots"
 
 type solution = {
   objective : float;
@@ -27,6 +32,7 @@ let maximize ?(max_pivots = 50_000) ~c ~rows ~b () =
   Array.iter
     (fun bi -> if bi < 0.0 then invalid_arg "Simplex.maximize: b must be >= 0")
     b;
+  Metrics.incr m_runs;
   let width = n + m + 1 in
   let tab = Array.make_matrix m width 0.0 in
   for i = 0 to m - 1 do
@@ -80,6 +86,7 @@ let maximize ?(max_pivots = 50_000) ~c ~rows ~b () =
       end
       else begin
         incr pivots;
+        Metrics.incr m_pivots;
         if !pivots > max_pivots then raise Iteration_limit;
         let r = !leaving in
         let pivot = tab.(r).(j) in

@@ -1,4 +1,10 @@
 module Float_tol = Ufp_prelude.Float_tol
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
+
+let m_probes = Metrics.counter "mech.payment_probes"
+
+let h_probes_per_winner = Metrics.histogram "mech.probes_per_winner"
 
 type 'inst model = {
   n_agents : 'inst -> int;
@@ -18,19 +24,29 @@ let default_v_hi model inst =
   4.0 *. Float.max !total 1.0
 
 let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agent =
+  Trace.with_span "mech.critical_value" @@ fun () ->
   let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
-  let wins v = is_winner model (model.set_value inst agent v) agent in
-  if not (wins v_hi) then None
-  else begin
-    (* Invariant: wins hi, loses lo (or lo = 0, an open bound since
-       declarations must be positive). *)
-    let lo = ref 0.0 and hi = ref v_hi in
-    while !hi -. !lo > rel_tol *. v_hi do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if mid > 0.0 && wins mid then hi := mid else lo := mid
-    done;
-    Some !hi
-  end
+  let probes = ref 0 in
+  let wins v =
+    incr probes;
+    Metrics.incr m_probes;
+    is_winner model (model.set_value inst agent v) agent
+  in
+  let result =
+    if not (wins v_hi) then None
+    else begin
+      (* Invariant: wins hi, loses lo (or lo = 0, an open bound since
+         declarations must be positive). *)
+      let lo = ref 0.0 and hi = ref v_hi in
+      while !hi -. !lo > rel_tol *. v_hi do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if mid > 0.0 && wins mid then hi := mid else lo := mid
+      done;
+      Some !hi
+    end
+  in
+  Metrics.observe h_probes_per_winner (float_of_int !probes);
+  result
 
 let payments ?v_hi ?rel_tol model inst =
   let winners = model.winners inst in

@@ -1,0 +1,270 @@
+module Table = Ufp_prelude.Table
+
+(* Flat mutable cells: an update is a single field store, which is
+   what lets the Dijkstra relaxation loop carry a counter without a
+   measurable slowdown (see EXP-OBS-OVERHEAD). *)
+
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+let n_buckets = 64
+
+type histogram = {
+  buckets : int array;  (* length n_buckets, base-2 log scale *)
+  mutable n : int;
+  mutable sum : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+(* name -> cell; names are few (a fixed catalogue declared at module
+   init), so a plain assoc-style registry would also do — the Hashtbl
+   is only consulted at registration and snapshot time, never on the
+   hot path. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name make select =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match select m with
+    | Some cell -> cell
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Ufp_obs.Metrics: %S is already a %s" name
+           (kind_name m)))
+  | None ->
+    let m = make () in
+    Hashtbl.add registry name m;
+    (match select m with
+    | Some cell -> cell
+    | None -> assert false)
+
+let counter name =
+  register name
+    (fun () -> Counter { c = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> Gauge { g = 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () -> Histogram { buckets = Array.make n_buckets 0; n = 0; sum = 0.0 })
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let value c = c.c
+
+let gauge_add g x = g.g <- g.g +. x
+
+let gauge_set g x = g.g <- x
+
+let gauge_value g = g.g
+
+(* Bucket of a sample: 0 for v < 1 (and for NaN / negatives, which
+   compare false against >= 1.0), otherwise the base-2 exponent of v,
+   capped at the last bucket. Float.frexp is a pure bit operation —
+   no log, no branch chain. *)
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else begin
+    let _, e = Float.frexp v in
+    if e >= n_buckets then n_buckets - 1 else e
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. (if Float.is_nan v then 0.0 else v)
+
+(* --- snapshots --- *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> counters := (name, c.c) :: !counters
+      | Gauge g -> gauges := (name, g.g) :: !gauges
+      | Histogram h ->
+        let bs = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.buckets.(i) <> 0 then bs := (i, h.buckets.(i)) :: !bs
+        done;
+        histograms :=
+          (name, { h_count = h.n; h_sum = h.sum; h_buckets = !bs })
+          :: !histograms)
+    registry;
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+(* Pointwise subtraction keyed by name; names only present in [before]
+   are dropped (a metric cannot unregister, so this happens only when
+   diffing snapshots from different process states). *)
+let diff before after =
+  let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
+  let basef assoc name =
+    Option.value ~default:0.0 (List.assoc_opt name assoc)
+  in
+  let sub_hist name (h : hist_snapshot) =
+    match List.assoc_opt name before.histograms with
+    | None -> h
+    | Some b ->
+      let bucket i =
+        Option.value ~default:0 (List.assoc_opt i b.h_buckets)
+      in
+      {
+        h_count = h.h_count - b.h_count;
+        h_sum = h.h_sum -. b.h_sum;
+        h_buckets =
+          List.filter_map
+            (fun (i, c) ->
+              let d = c - bucket i in
+              if d = 0 then None else Some (i, d))
+            h.h_buckets;
+      }
+  in
+  {
+    counters =
+      List.map
+        (fun (name, v) -> (name, v - base before.counters name))
+        after.counters;
+    gauges =
+      List.map
+        (fun (name, v) -> (name, v -. basef before.gauges name))
+        after.gauges;
+    histograms =
+      List.map (fun (name, h) -> (name, sub_hist name h)) after.histograms;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.0
+      | Histogram h ->
+        Array.fill h.buckets 0 n_buckets 0;
+        h.n <- 0;
+        h.sum <- 0.0)
+    registry
+
+(* --- rendering --- *)
+
+let bucket_label i =
+  if i = 0 then "[0,1)"
+  else
+    Printf.sprintf "[%g,%g)"
+      (Float.ldexp 1.0 (i - 1))
+      (Float.ldexp 1.0 i)
+
+let to_table ?(title = "metrics") snap =
+  let t = Table.create ~title ~columns:[ "metric"; "type"; "value" ] in
+  List.iter
+    (fun (name, v) -> Table.add_row t [ name; "counter"; Table.cell_i v ])
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      Table.add_row t [ name; "gauge"; Printf.sprintf "%.6g" v ])
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      Table.add_row t
+        [
+          name; "histogram";
+          Printf.sprintf "n=%d sum=%.6g" h.h_count h.h_sum;
+        ];
+      List.iter
+        (fun (i, c) ->
+          Table.add_row t
+            [ Printf.sprintf "  %s %s" name (bucket_label i); ""; Table.cell_i c ])
+        h.h_buckets)
+    snap.histograms;
+  t
+
+(* Minimal JSON escaping, enough for our own ASCII metric names. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers may not be inf/nan; clamp gauges the way trace viewers
+   expect (string sentinel). *)
+let json_float v =
+  if Float.is_nan v then "\"nan\""
+  else if Float.equal v infinity then "\"inf\""
+  else if Float.equal v neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let to_json snap =
+  let obj fields =
+    "{" ^ String.concat ", " fields ^ "}"
+  in
+  let field name v = Printf.sprintf "\"%s\": %s" (json_escape name) v in
+  let counters =
+    obj (List.map (fun (n, v) -> field n (string_of_int v)) snap.counters)
+  in
+  let gauges =
+    obj (List.map (fun (n, v) -> field n (json_float v)) snap.gauges)
+  in
+  let hist (h : hist_snapshot) =
+    obj
+      [
+        field "count" (string_of_int h.h_count);
+        field "sum" (json_float h.h_sum);
+        field "buckets"
+          (obj
+             (List.map
+                (fun (i, c) -> field (bucket_label i) (string_of_int c))
+                h.h_buckets));
+      ]
+  in
+  let histograms =
+    obj (List.map (fun (n, h) -> field n (hist h)) snap.histograms)
+  in
+  obj
+    [
+      field "counters" counters;
+      field "gauges" gauges;
+      field "histograms" histograms;
+    ]

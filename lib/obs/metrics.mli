@@ -1,0 +1,108 @@
+(** The process-wide metrics registry: named counters, gauges and
+    log-scale histograms with O(1) hot-path updates.
+
+    The primal-dual pipeline (Dijkstra relaxations, selector cache
+    traffic, dual inflations, payment probes) reports its work through
+    metrics declared here; the CLI ([--metrics]), the experiment
+    harness and the benchmark driver read them back as snapshot
+    deltas. See docs/OBSERVABILITY.md for the metric catalogue.
+
+    Design constraints, in order:
+
+    + {b Hot-path updates are unconditional single stores} — a counter
+      increment is one mutable-int assignment, no branch, no closure,
+      no allocation — so instrumentation can live inside the Dijkstra
+      relaxation loop without measurable cost (EXP-OBS-OVERHEAD keeps
+      this honest).
+    + {b Registration is idempotent by name}: [counter "pd.iterations"]
+      returns the same cell from every module, so independent solvers
+      (Bounded-UFP, Pd_engine, the threshold baseline) share one
+      catalogue without a central declaration file.
+    + {b Snapshots are pure data, sorted by name} — two runs of a
+      deterministic algorithm produce structurally equal snapshots
+      (test_obs.ml enforces this as a law).
+
+    The registry is process-global and not thread-safe; the solvers it
+    instruments are sequential. *)
+
+type counter
+(** A monotone integer event count (e.g. heap pushes). *)
+
+type gauge
+(** A float accumulator / last-value cell (e.g. total [D1] growth). *)
+
+type histogram
+(** A base-2 log-scale histogram: bucket 0 holds values in [[0, 1)],
+    bucket [k >= 1] holds [[2^(k-1), 2^k)]. Observation is O(1) via
+    [Float.frexp]. *)
+
+val counter : string -> counter
+(** [counter name] returns the registered counter of that [name],
+    creating it at zero on first use. Raises [Invalid_argument] if the
+    name is already registered as a different metric kind. *)
+
+val gauge : string -> gauge
+(** Same, for gauges. *)
+
+val histogram : string -> histogram
+(** Same, for histograms. *)
+
+val incr : counter -> unit
+(** Add one. The hot-path primitive. *)
+
+val add : counter -> int -> unit
+(** Add [n] (an O(1) bulk form for per-run totals). *)
+
+val value : counter -> int
+
+val gauge_add : gauge -> float -> unit
+
+val gauge_set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample. Negative and NaN samples land in bucket 0. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_count : int;  (** number of samples *)
+  h_sum : float;  (** sum of samples *)
+  h_buckets : (int * int) list;
+      (** (bucket index, count), nonzero buckets only, increasing index *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+(** An immutable copy of every registered metric. Structural equality
+    on snapshots is meaningful (and is what the determinism law in
+    test_obs.ml checks). *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] subtracts pointwise: the work performed
+    between the two snapshots. Metrics registered only in [after]
+    count from zero. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (the cells stay registered). *)
+
+val bucket_label : int -> string
+(** ["[0,1)"], ["[1,2)"], ["[2,4)"], ... — the value range of a
+    histogram bucket index. *)
+
+val to_table : ?title:string -> snapshot -> Ufp_prelude.Table.t
+(** Render as a fixed-width table (columns metric/type/value);
+    histograms get one summary row plus one row per nonzero bucket.
+    Zero-valued counters and gauges are kept — the catalogue itself is
+    information. *)
+
+val to_json : snapshot -> string
+(** Self-contained JSON object
+    [{"counters": {..}, "gauges": {..}, "histograms": {..}}]; histogram
+    values are [{"count": n, "sum": s, "buckets": {"[2^k,2^k+1)": c}}]. *)

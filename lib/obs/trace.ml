@@ -1,0 +1,154 @@
+type arg = Int of int | Float of float | Str of string
+
+type event = {
+  ev_name : string;
+  ev_ph : char;  (* 'B' begin, 'E' end, 'i' instant *)
+  ev_ts : int64;  (* CLOCK_MONOTONIC nanoseconds *)
+  ev_args : (string * arg) list;
+}
+
+(* Ring buffer: [buf.(start + k mod cap)] for k < len are the retained
+   events, oldest first. Overwrites the oldest on overflow. *)
+type ring = {
+  buf : event option array;
+  mutable r_start : int;
+  mutable r_len : int;
+  mutable r_dropped : int;
+}
+
+(* One mutable flag, read first by every recording entry point: the
+   whole cost of a disabled tracer. *)
+let on = ref false
+
+let ring : ring option ref = ref None
+
+let is_on () = !on
+
+let now_ns () = Monotonic_clock.now ()
+
+let start ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Ufp_obs.Trace.start: capacity < 1";
+  ring :=
+    Some { buf = Array.make capacity None; r_start = 0; r_len = 0; r_dropped = 0 };
+  on := true
+
+let stop () = on := false
+
+let clear () =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    Array.fill r.buf 0 (Array.length r.buf) None;
+    r.r_start <- 0;
+    r.r_len <- 0;
+    r.r_dropped <- 0
+
+let record ev =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    let cap = Array.length r.buf in
+    if r.r_len = cap then begin
+      (* Full: overwrite the oldest. *)
+      r.buf.(r.r_start) <- Some ev;
+      r.r_start <- (r.r_start + 1) mod cap;
+      r.r_dropped <- r.r_dropped + 1
+    end
+    else begin
+      r.buf.((r.r_start + r.r_len) mod cap) <- Some ev;
+      r.r_len <- r.r_len + 1
+    end
+
+let instant ?(args = []) name =
+  if !on then record { ev_name = name; ev_ph = 'i'; ev_ts = now_ns (); ev_args = args }
+
+let with_span ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    record { ev_name = name; ev_ph = 'B'; ev_ts = now_ns (); ev_args = args };
+    Fun.protect
+      ~finally:(fun () ->
+        record { ev_name = name; ev_ph = 'E'; ev_ts = now_ns (); ev_args = [] })
+      f
+  end
+
+let n_events () = match !ring with None -> 0 | Some r -> r.r_len
+
+let n_dropped () = match !ring with None -> 0 | Some r -> r.r_dropped
+
+let iter_events f =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    let cap = Array.length r.buf in
+    for k = 0 to r.r_len - 1 do
+      match r.buf.((r.r_start + k) mod cap) with
+      | Some ev -> f ev
+      | None -> ()
+    done
+
+(* --- Chrome trace_event JSONL export --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if not (Float.is_finite f) then
+      Printf.sprintf "\"%h\"" f (* inf/nan are not JSON numbers *)
+    else Printf.sprintf "%.17g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let event_line ~t0 ev =
+  let ts_us = Int64.to_float (Int64.sub ev.ev_ts t0) /. 1e3 in
+  let args =
+    match ev.ev_args with
+    | [] -> ""
+    | args ->
+      Printf.sprintf ", \"args\": {%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\": %s" (json_escape k) (arg_json v))
+              args))
+  in
+  (* Chrome trace_event: instants need a scope ("s"); thread-scoped
+     keeps them attached to the single solver track. *)
+  let scope = if ev.ev_ph = 'i' then ", \"s\": \"t\"" else "" in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, \"tid\": \
+     1%s%s}"
+    (json_escape ev.ev_name) ev.ev_ph ts_us scope args
+
+let export_jsonl oc =
+  let t0 = ref None in
+  let depth = ref 0 in
+  iter_events (fun ev ->
+      let base = match !t0 with Some t -> t | None -> t0 := Some ev.ev_ts; ev.ev_ts in
+      (* A wrap-around can leave 'E' events whose 'B' was overwritten;
+         skipping them keeps the exported stream balanced. *)
+      match ev.ev_ph with
+      | 'E' when !depth = 0 -> ()
+      | ph ->
+        if ph = 'B' then incr depth;
+        if ph = 'E' then decr depth;
+        output_string oc (event_line ~t0:base ev);
+        output_char oc '\n')
+
+let save_jsonl path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export_jsonl oc)

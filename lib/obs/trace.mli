@@ -1,0 +1,66 @@
+(** Monotonic-clock span tracing for the primal-dual pipeline.
+
+    Spans ([begin]/[end] pairs around a solver phase) and point events
+    are recorded into an in-memory ring buffer and exported as Chrome
+    [trace_event] JSONL — one JSON object per line, phases [B]/[E]/[i]
+    with microsecond timestamps — loadable in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}. See docs/OBSERVABILITY.md.
+
+    {b The default sink is off}: every recording entry point first
+    reads one mutable boolean, so a disabled tracer costs a load and a
+    branch per call site — cheap enough to leave [with_span]/[instant]
+    in the per-iteration solver loops unconditionally
+    (EXP-OBS-OVERHEAD measures the enabled and disabled modes).
+
+    Timestamps come from the CLOCK_MONOTONIC nanosecond clock
+    (bechamel's [Monotonic_clock]), so spans are immune to wall-clock
+    steps. The ring buffer overwrites its oldest events when full; the
+    exporter drops orphaned [E] events whose [B] was overwritten, so
+    the output is always balanced ([bin/trace_check.ml] verifies
+    this). The tracer is process-global and not thread-safe, like the
+    solvers it instruments. *)
+
+type arg = Int of int | Float of float | Str of string
+(** Typed span/event argument, rendered into the Chrome [args]
+    object. *)
+
+val is_on : unit -> bool
+(** Whether a recording sink is installed. Use to guard argument-list
+    construction at hot call sites; the recording functions check it
+    again themselves. *)
+
+val start : ?capacity:int -> unit -> unit
+(** Install the ring-buffer sink (clearing any previous buffer).
+    [capacity] is the maximum retained event count (default 65536;
+    oldest events are overwritten beyond that). *)
+
+val stop : unit -> unit
+(** Return to the no-op sink. The recorded buffer is kept until the
+    next {!start} or {!clear}, so exporting after [stop] is valid. *)
+
+val clear : unit -> unit
+(** Drop all recorded events (the sink state is unchanged). *)
+
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] records a [B] event, runs [f], and records the
+    matching [E] event — also on exception. When tracing is off this
+    is just [f ()]. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** Record a point event (phase [i]). No-op when tracing is off. *)
+
+val n_events : unit -> int
+(** Events currently retained in the ring. *)
+
+val n_dropped : unit -> int
+(** Events overwritten since the last {!start}/{!clear}. *)
+
+val export_jsonl : out_channel -> unit
+(** Write the retained events, oldest first, one Chrome [trace_event]
+    JSON object per line. Orphaned [E] events (begin overwritten by
+    ring wrap-around) are skipped so begins and ends always balance;
+    timestamps are microseconds relative to the first retained
+    event. *)
+
+val save_jsonl : string -> unit
+(** {!export_jsonl} to a file. *)

@@ -610,7 +610,13 @@ let test_engine_iteration_guard () =
     }
   in
   match Pd_engine.execute ~max_iterations:50 config inst with
-  | exception Failure _ -> ()
+  | exception Pd_engine.Iteration_limit { iterations; d1; stop } ->
+    Alcotest.(check int) "iterations carried" 51 iterations;
+    Alcotest.(check bool) "d1 grew past its start" true
+      (d1 > float_of_int (Ufp_graph.Graph.n_edges (Instance.graph inst)));
+    (match stop with
+    | Pd_engine.Budget b -> Alcotest.(check bool) "stop rule carried" true (b = infinity)
+    | Pd_engine.Threshold _ -> Alcotest.fail "wrong stop rule in exception")
   | _ -> Alcotest.fail "expected the iteration guard to fire"
 
 (* --- Selector --- *)

@@ -121,6 +121,46 @@ let test_r4_allow () =
        "let f () = ((assert false) [@lint.allow \"R4\" \"unreachable: \
         guarded by caller\"])\n")
 
+(* --- R5: direct printing from library code --- *)
+
+let test_r5_fires () =
+  check_rules "Printf.printf" [ "R5" ]
+    (lint "let f x = Printf.printf \"%d\\n\" x\n");
+  check_rules "Printf.eprintf" [ "R5" ]
+    (lint ~path:"lib/graph/snippet.ml" "let f () = Printf.eprintf \"oops\"\n");
+  check_rules "print_string" [ "R5" ]
+    (lint ~path:"lib/lp/snippet.ml" "let f s = print_string s\n");
+  check_rules "print_endline" [ "R5" ]
+    (lint ~path:"lib/mech/snippet.ml" "let f s = print_endline s\n");
+  check_rules "Format.printf" [ "R5" ]
+    (lint "let f x = Format.printf \"%d@.\" x\n")
+
+let test_r5_ignores_pure_formatting () =
+  check_rules "sprintf is pure" []
+    (lint "let f x = Printf.sprintf \"%d\" x\n");
+  check_rules "Format.asprintf is pure" []
+    (lint "let f x = Format.asprintf \"%d\" x\n");
+  check_rules "fprintf to a caller-supplied channel is targeted" []
+    (lint "let f oc x = Printf.fprintf oc \"%d\" x\n")
+
+let test_r5_scope () =
+  let snippet = "let f x = Printf.printf \"%d\\n\" x\n" in
+  check_rules "bin out of scope" [] (lint ~path:"bin/snippet.ml" snippet);
+  check_rules "bench out of scope" [] (lint ~path:"bench/snippet.ml" snippet);
+  check_rules "experiments out of scope" []
+    (lint ~path:"lib/experiments/snippet.ml" snippet);
+  check_rules "test out of scope" [] (lint ~path:"test/snippet.ml" snippet)
+
+let test_r5_allow () =
+  check_rules "justified print" []
+    (lint
+       "let f x = ((Printf.printf) [@lint.allow \"R5\" \"debug hook behind \
+        an env flag\"]) \"%d\\n\" x\n");
+  check_rules "binding-level allow" []
+    (lint
+       "let f s = print_endline s [@@lint.allow \"R5\" \"temporary \
+        diagnostic\"]\n")
+
 (* --- engine plumbing --- *)
 
 let test_rule_of_string () =
@@ -138,9 +178,13 @@ let test_scope_of_path () =
   let s = Rules.scope_of_path "lib/core/selector.ml" in
   Alcotest.(check bool) "core: r2" true s.Rules.r2_active;
   Alcotest.(check bool) "core: r4" true s.Rules.r4_active;
+  Alcotest.(check bool) "core: r5" true s.Rules.r5_active;
   let s = Rules.scope_of_path "lib/mech/vcg.ml" in
   Alcotest.(check bool) "mech: no r2" false s.Rules.r2_active;
   Alcotest.(check bool) "mech: r4" true s.Rules.r4_active;
+  Alcotest.(check bool) "mech: r5" true s.Rules.r5_active;
+  let s = Rules.scope_of_path "lib/experiments/harness.ml" in
+  Alcotest.(check bool) "experiments: no r5" false s.Rules.r5_active;
   let s = Rules.scope_of_path "lib/prelude/float_tol.ml" in
   Alcotest.(check bool) "float_tol exempt" true s.Rules.in_float_tol;
   let s = Rules.scope_of_path "lib/prelude/heap.ml" in
@@ -217,6 +261,14 @@ let () =
           Alcotest.test_case "fires on bare aborts" `Quick test_r4_fires;
           Alcotest.test_case "scoped to core/mech" `Quick test_r4_scope;
           Alcotest.test_case "allow suppresses" `Quick test_r4_allow;
+        ] );
+      ( "r5",
+        [
+          Alcotest.test_case "fires on direct prints" `Quick test_r5_fires;
+          Alcotest.test_case "ignores pure formatting" `Quick
+            test_r5_ignores_pure_formatting;
+          Alcotest.test_case "scoped to library code" `Quick test_r5_scope;
+          Alcotest.test_case "allow suppresses" `Quick test_r5_allow;
         ] );
       ( "engine",
         [

@@ -1,0 +1,248 @@
+(* Tests for the observability layer (lib/obs/) and its laws.
+
+   Unit coverage: registry idempotence and kind checking, snapshot
+   diff/reset algebra, histogram bucketing, ring-buffer tracing and
+   the balance guarantee of the JSONL exporter.
+
+   Laws (ISSUE 3):
+     - determinism: two runs of Pd_engine.execute on the same instance
+       produce structurally equal metric snapshots;
+     - engine invariance (QCheck): `Naive and `Incremental runs agree
+       exactly on the algorithm-level pd.* counters and differ only in
+       selector cache/heap accounting. *)
+
+module Metrics = Ufp_obs.Metrics
+module Trace = Ufp_obs.Trace
+module Instance = Ufp_instance.Instance
+module Request = Ufp_instance.Request
+module Gen = Ufp_graph.Generators
+module Workloads = Ufp_instance.Workloads
+module Pd_engine = Ufp_core.Pd_engine
+module Rng = Ufp_prelude.Rng
+module Float_tol = Ufp_prelude.Float_tol
+
+let check_float = Alcotest.(check (float Float_tol.check_eps))
+
+(* --- metrics unit tests --- *)
+
+let test_registration_idempotent () =
+  let a = Metrics.counter "test.idem" in
+  let b = Metrics.counter "test.idem" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int) "same cell" 2 (Metrics.value a);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Ufp_obs.Metrics: \"test.idem\" is already a counter")
+    (fun () -> ignore (Metrics.gauge "test.idem"))
+
+let test_counter_ops () =
+  let c = Metrics.counter "test.counter_ops" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.value c)
+
+let test_gauge_ops () =
+  let g = Metrics.gauge "test.gauge_ops" in
+  Metrics.gauge_set g 1.5;
+  Metrics.gauge_add g 2.0;
+  check_float "set + add" 3.5 (Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram "test.hist" in
+  (* bucket 0 = [0,1), bucket 1 = [1,2), bucket 2 = [2,4), 3 = [4,8) *)
+  List.iter (Metrics.observe h) [ 0.0; 0.5; 1.0; 1.9; 2.0; 3.0; 4.0; -1.0 ];
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "test.hist" s.Metrics.histograms in
+  Alcotest.(check int) "count" 8 hs.Metrics.h_count;
+  check_float "sum" 11.4 hs.Metrics.h_sum;
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (0, 3); (1, 2); (2, 2); (3, 1) ] hs.Metrics.h_buckets;
+  Alcotest.(check string) "label 0" "[0,1)" (Metrics.bucket_label 0);
+  Alcotest.(check string) "label 2" "[2,4)" (Metrics.bucket_label 2)
+
+let test_snapshot_diff_reset () =
+  let c = Metrics.counter "test.diff" in
+  Metrics.incr c;
+  let before = Metrics.snapshot () in
+  Metrics.add c 5;
+  let delta = Metrics.diff before (Metrics.snapshot ()) in
+  Alcotest.(check int) "delta counts the window only" 5
+    (List.assoc "test.diff" delta.Metrics.counters);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.value c);
+  let s = Metrics.snapshot () in
+  Alcotest.(check int) "still registered" 0
+    (List.assoc "test.diff" s.Metrics.counters)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_renderings () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.render" in
+  Metrics.add c 7;
+  let s = Metrics.snapshot () in
+  let json = Metrics.to_json s in
+  Alcotest.(check bool) "json mentions the counter" true
+    (contains json "\"test.render\": 7");
+  let table = Metrics.to_table ~title:"t" s in
+  Alcotest.(check string) "table titled" "t" (Ufp_prelude.Table.title table)
+
+(* --- trace unit tests --- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let count_phase lines ph =
+  List.length
+    (List.filter (fun l -> contains l (Printf.sprintf "\"ph\": \"%s\"" ph)) lines)
+
+let test_trace_off_by_default () =
+  Trace.stop ();
+  Alcotest.(check bool) "off" false (Trace.is_on ());
+  Trace.instant "ignored";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.n_events ());
+  Alcotest.(check int) "with_span still runs f" 3
+    (Trace.with_span "ignored" (fun () -> 3))
+
+let test_trace_spans_balance () =
+  Trace.start ();
+  Trace.with_span "outer" (fun () ->
+      Trace.instant "tick";
+      Trace.with_span "inner" (fun () -> ()));
+  (try Trace.with_span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.stop ();
+  Alcotest.(check int) "2 B + 2 E + 1 i + 1 B/E pair" 7 (Trace.n_events ());
+  let path = Filename.temp_file "ufp-test-trace" ".jsonl" in
+  Trace.save_jsonl path;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  Sys.remove path;
+  Alcotest.(check int) "7 lines" 7 (List.length lines);
+  Alcotest.(check int) "begins" 3 (count_phase lines "B");
+  Alcotest.(check int) "ends match" 3 (count_phase lines "E");
+  Alcotest.(check int) "instants" 1 (count_phase lines "i");
+  Trace.clear ()
+
+let test_trace_ring_overflow_stays_balanced () =
+  Trace.start ~capacity:8 ();
+  for _ = 1 to 20 do
+    Trace.with_span "span" (fun () -> ())
+  done;
+  Trace.stop ();
+  Alcotest.(check int) "ring full" 8 (Trace.n_events ());
+  Alcotest.(check bool) "drops counted" true (Trace.n_dropped () > 0);
+  let path = Filename.temp_file "ufp-test-ring" ".jsonl" in
+  Trace.save_jsonl path;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  Sys.remove path;
+  (* The exporter must skip any E whose B was overwritten. *)
+  Alcotest.(check int) "balanced after wrap" (count_phase lines "B")
+    (count_phase lines "E");
+  Trace.clear ()
+
+(* --- the determinism law --- *)
+
+let grid_instance ~rows ~cols ~capacity ~count seed =
+  let rng = Rng.create seed in
+  let g = Gen.grid ~rows ~cols ~capacity in
+  Instance.create g (Workloads.random_requests rng g ~count ())
+
+let snapshot_of_run ?(selector = `Incremental) config inst =
+  Metrics.reset ();
+  let run = Pd_engine.execute ~selector config inst in
+  (Metrics.snapshot (), run)
+
+let test_metrics_deterministic () =
+  let inst = grid_instance ~rows:5 ~cols:5 ~capacity:45.0 ~count:60 7 in
+  let config = Pd_engine.algorithm_1 ~eps:0.3 ~b:45.0 in
+  let s1, r1 = snapshot_of_run config inst in
+  let s2, r2 = snapshot_of_run config inst in
+  Alcotest.(check bool) "same solution" true
+    (r1.Pd_engine.solution = r2.Pd_engine.solution);
+  Alcotest.(check bool) "identical snapshots" true (s1 = s2)
+
+(* --- the engine-invariance law (QCheck) --- *)
+
+(* pd.* is decided by the algorithm; selector.* is cache economics and
+   legitimately differs between engines (dijkstra.* differs too: the
+   naive engine recomputes trees it could have cached). *)
+let algorithm_level name =
+  String.length name >= 3 && String.sub name 0 3 = "pd."
+
+let pd_counters snapshot =
+  List.filter (fun (n, _) -> algorithm_level n) snapshot.Metrics.counters
+
+let engine_agreement_law =
+  QCheck.Test.make ~count:30
+    ~name:"naive and incremental engines agree on pd.* metrics"
+    QCheck.(
+      triple (int_range 3 5) (int_range 3 5) (int_range 1 1000))
+    (fun (rows, cols, seed) ->
+      let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+      let eps = 0.3 in
+      let capacity = Float.ceil (log (float_of_int m) /. (eps *. eps)) in
+      let inst = grid_instance ~rows ~cols ~capacity ~count:25 seed in
+      let config = Pd_engine.algorithm_1 ~eps ~b:capacity in
+      let s_naive, r_naive = snapshot_of_run ~selector:`Naive config inst in
+      let s_incr, r_incr = snapshot_of_run ~selector:`Incremental config inst in
+      if r_naive.Pd_engine.solution <> r_incr.Pd_engine.solution then
+        QCheck.Test.fail_report "solutions differ";
+      if pd_counters s_naive <> pd_counters s_incr then
+        QCheck.Test.fail_report "pd.* counters differ between engines";
+      if
+        List.assoc "pd.d1_growth" s_naive.Metrics.gauges
+        <> List.assoc "pd.d1_growth" s_incr.Metrics.gauges
+      then QCheck.Test.fail_report "pd.d1_growth differs between engines";
+      if
+        List.assoc "pd.path_edges" s_naive.Metrics.histograms
+        <> List.assoc "pd.path_edges" s_incr.Metrics.histograms
+      then QCheck.Test.fail_report "pd.path_edges differs between engines";
+      (* And the counters that SHOULD differ do: the naive engine never
+         touches the candidate heap. *)
+      let heap s = List.assoc "selector.heap_pops" s.Metrics.counters in
+      if heap s_naive <> 0 then
+        QCheck.Test.fail_report "naive engine used the candidate heap";
+      if r_incr.Pd_engine.iterations > 0 && heap s_incr = 0 then
+        QCheck.Test.fail_report "incremental engine bypassed the heap";
+      true)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "registration idempotent" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "counter ops" `Quick test_counter_ops;
+          Alcotest.test_case "gauge ops" `Quick test_gauge_ops;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+          Alcotest.test_case "snapshot diff and reset" `Quick
+            test_snapshot_diff_reset;
+          Alcotest.test_case "table and json renderings" `Quick test_renderings;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "spans balance in export" `Quick
+            test_trace_spans_balance;
+          Alcotest.test_case "ring overflow stays balanced" `Quick
+            test_trace_ring_overflow_stays_balanced;
+        ] );
+      ( "laws",
+        [
+          Alcotest.test_case "metric snapshots are deterministic" `Quick
+            test_metrics_deterministic;
+          QCheck_alcotest.to_alcotest engine_agreement_law;
+        ] );
+    ]
