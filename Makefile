@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick examples doc clean trace-demo
+.PHONY: all build test lint bench bench-quick examples doc clean trace-demo par-demo
 
 all: build
 
@@ -22,6 +22,16 @@ trace-demo:
 	dune exec bin/ufp_cli.exe -- solve trace-demo.inst --metrics text --trace trace-demo.jsonl
 	dune exec bin/trace_check.exe trace-demo.jsonl
 	@echo "open https://ui.perfetto.dev and drop trace-demo.jsonl in"
+
+# Multicore payment demo (see docs/PARALLELISM.md): compute truthful
+# payments across 2 domains with metrics + a multi-track trace, then
+# validate the trace and run the seq-vs-par experiment (its table
+# includes the bitwise seq/par equality check).
+par-demo:
+	dune exec bin/ufp_cli.exe -- generate -t grid --rows 4 --cols 4 --capacity 40 -r 40 -o par-demo.inst
+	dune exec bin/ufp_cli.exe -- payments par-demo.inst --jobs 2 --metrics text --trace par-demo.jsonl
+	dune exec bin/trace_check.exe par-demo.jsonl
+	dune exec bin/ufp_cli.exe -- experiment EXP-PAR-PAYMENTS --quick
 
 bench:
 	dune exec bench/main.exe

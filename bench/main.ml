@@ -117,9 +117,29 @@ let micro_tests () =
              (Ufp_mech.Single_param.critical_value ~rel_tol:Float_tol.coarse_slack pay_model
                 pay_inst ~agent:0)))
   in
+  (* The full payment vector, sequential vs fanned out over a reused
+     2-domain pool (the pool outlives the benchmark iterations, so
+     spawn cost is amortised away — what `ufp payments --jobs 2`
+     amortises over one large instance instead). *)
+  let payments_seq =
+    Test.make ~name:"payments-3x3-8req-seq"
+      (Staged.stage (fun () ->
+           ignore
+             (Ufp_mech.Single_param.payments ~rel_tol:Float_tol.coarse_slack
+                pay_model pay_inst)))
+  in
+  let pay_pool = Ufp_par.Pool.create ~domains:2 () in
+  at_exit (fun () -> Ufp_par.Pool.shutdown pay_pool);
+  let payments_par =
+    Test.make ~name:"payments-3x3-8req-2domains"
+      (Staged.stage (fun () ->
+           ignore
+             (Ufp_mech.Single_param.payments ~rel_tol:Float_tol.coarse_slack
+                ~pool:(`Pool pay_pool) pay_model pay_inst)))
+  in
   [
     dijkstra; dijkstra_ws; bounded_ufp; bounded_ufp_incr; bounded_muca;
-    staircase; mcf; colgen; maxflow; payment;
+    staircase; mcf; colgen; maxflow; payment; payments_seq; payments_par;
   ]
 
 let run_micro () =

@@ -25,6 +25,7 @@ module Registry = Ufp_experiments.Registry
 module Rng = Ufp_prelude.Rng
 module Metrics = Ufp_obs.Metrics
 module Obs_trace = Ufp_obs.Trace
+module Pool = Ufp_par.Pool
 
 open Cmdliner
 module Float_tol = Ufp_prelude.Float_tol
@@ -252,17 +253,35 @@ let solve_cmd =
 
 (* --- payments --- *)
 
-let payments path eps metrics trace =
+(* Human-readable account of the --jobs choice; None for the silent
+   sequential default so single-domain output is unchanged. *)
+let pool_description jobs =
+  if jobs = 1 then None
+  else
+    let domains =
+      if jobs = 0 then Domain.recommended_domain_count () else jobs
+    in
+    Some
+      (if domains <= 1 then
+         Printf.sprintf "sequential (%d domain recommended)" domains
+       else Printf.sprintf "parallel across %d domains" domains)
+
+let payments path eps jobs metrics trace =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
   let algo = Bounded_ufp.solve ~eps in
   let won, pay =
+    Pool.with_jobs jobs @@ fun pool ->
     with_observability ~metrics ~trace (fun () ->
         ( Ufp_mechanism.winners algo inst,
-          Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol algo inst ))
+          Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol ~pool algo
+            inst ))
   in
   Printf.printf "truthful mechanism: Bounded-UFP(%.2f) + critical-value payments\n"
     eps;
+  (match pool_description jobs with
+  | None -> ()
+  | Some d -> Printf.printf "payment probes: %s\n" d);
   Printf.printf "%-8s %-10s %-10s %-6s %-12s\n" "request" "demand" "value" "wins"
     "payment";
   Array.iteri
@@ -277,10 +296,23 @@ let payments path eps metrics trace =
   Printf.printf "total revenue: %.6f\n" revenue;
   0
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.jobs_from_env ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the per-winner critical-value bisections out over $(docv) \
+           domains (the Ufp_par pool). $(b,1) (the default) stays \
+           sequential; $(b,0) means the runtime's recommended domain \
+           count. Payments are bitwise identical at any job count. \
+           Defaults to \\$UFP_JOBS when set.")
+
 let payments_cmd =
   let doc = "run the truthful mechanism and print critical-value payments" in
   Cmd.v (Cmd.info "payments" ~doc)
-    Term.(const payments $ file_arg $ eps_arg $ metrics_arg $ trace_arg)
+    Term.(
+      const payments $ file_arg $ eps_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* --- lp --- *)
 

@@ -1,0 +1,89 @@
+module Table = Ufp_prelude.Table
+module Graph = Ufp_graph.Graph
+module Instance = Ufp_instance.Instance
+module Bounded_ufp = Ufp_core.Bounded_ufp
+module Ufp_mechanism = Ufp_mech.Ufp_mechanism
+module Float_tol = Ufp_prelude.Float_tol
+module Pool = Ufp_par.Pool
+
+(* One payments run at a given job count: wall time, payment-probe
+   delta, and the payment vector (for the bitwise check against the
+   sequential baseline). *)
+let timed_payments ~algo ~jobs inst =
+  Pool.with_jobs jobs @@ fun pool ->
+  let (pay, elapsed), counters =
+    Harness.counters_during (fun () ->
+        Harness.time_it (fun () -> Ufp_mechanism.payments ~pool algo inst))
+  in
+  (pay, elapsed, Harness.counter_delta counters "mech.payment_probes")
+
+let bitwise_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if not (Float.equal x b.(i)) then ok := false) a;
+      !ok)
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "EXP-PAR-PAYMENTS: critical-value payments fanned out over the \
+            Ufp_par domain pool (this host recommends %d domain%s; speedup \
+            is sequential time / parallel time)"
+           (Domain.recommended_domain_count ())
+           (if Domain.recommended_domain_count () = 1 then "" else "s"))
+      ~columns:
+        [
+          "grid"; "|R|"; "winners"; "jobs"; "probes"; "time (s)"; "speedup";
+          "= seq";
+        ]
+  in
+  let eps = 0.3 in
+  let configs, jobs_sweep =
+    (* The full sweep wants >= 64 winners so there is real work to
+       split; quick mode is sized for the registry smoke test that
+       runs every experiment during `dune runtest`. *)
+    if quick then ([ (3, 3, 16) ], [ 1; 2 ])
+    else ([ (5, 5, 120); (6, 6, 220) ], [ 1; 2; 4; 8 ])
+  in
+  let algo = Bounded_ufp.solve ~eps in
+  List.iter
+    (fun (rows, cols, count) ->
+      let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+      let capacity = Harness.capacity_for ~m ~eps in
+      let inst = Harness.grid_instance ~seed:1 ~rows ~cols ~capacity ~count in
+      let winners =
+        Array.fold_left
+          (fun acc w -> if w then acc + 1 else acc)
+          0
+          (Ufp_mechanism.winners algo inst)
+      in
+      let baseline = ref [||] in
+      let t_seq = ref 0.0 in
+      List.iter
+        (fun jobs ->
+          let pay, elapsed, probes = timed_payments ~algo ~jobs inst in
+          if jobs = 1 then begin
+            baseline := pay;
+            t_seq := elapsed
+          end;
+          Table.add_row table
+            [
+              Printf.sprintf "%dx%d" rows cols;
+              Table.cell_i count;
+              Table.cell_i winners;
+              Table.cell_i jobs;
+              Table.cell_i probes;
+              Table.cell_f elapsed;
+              (if jobs = 1 then "1.00x"
+               else
+                 Printf.sprintf "%.2fx"
+                   (!t_seq /. Float.max elapsed Float_tol.div_guard));
+              (if jobs = 1 then "-"
+               else if bitwise_equal pay !baseline then "yes"
+               else "NO");
+            ])
+        jobs_sweep)
+    configs;
+  [ table ]

@@ -1,0 +1,16 @@
+(** EXP-PAR-PAYMENTS — the multicore payment engine.
+
+    Runs the truthful mechanism's critical-value payments on grid
+    workloads at increasing [--jobs] counts (1, 2, 4, 8 in the full
+    sweep), reporting wall time, speedup over the sequential run, the
+    [mech.payment_probes] delta (identical at every job count — the
+    parallel engine does the same probes, just concurrently), and a
+    bitwise comparison of the payment vector against the sequential
+    baseline (the {!Ufp_par.Pool} determinism contract, end to end).
+
+    The title records [Domain.recommended_domain_count] for the host:
+    on a single-core machine every job count degenerates to the same
+    sequential work and the speedup column reads ~1.00x — the table is
+    then still a determinism check, just not a performance one. *)
+
+val run : ?quick:bool -> unit -> Ufp_prelude.Table.t list

@@ -1,6 +1,6 @@
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let rule_name = function
   | R1 -> "inline-tolerance"
@@ -15,6 +16,7 @@ let rule_name = function
   | R3 -> "poly-hash"
   | R4 -> "bare-abort"
   | R5 -> "direct-print"
+  | R6 -> "raw-concurrency"
 
 let rule_doc = function
   | R1 ->
@@ -35,6 +37,10 @@ let rule_doc = function
     "direct printing (Printf.printf/eprintf, print_string, ...) in lib/core, \
      lib/graph, lib/lp, lib/mech; route output through Logs or the \
      Ufp_obs metrics/trace sinks so library code stays silent"
+  | R6 ->
+    "Domain.spawn / Mutex.create outside lib/par; all concurrency goes \
+     through the audited Ufp_par.Pool so the bitwise-determinism argument \
+     has one module to check (escape hatch: [@lint.allow \"R6\" \"why\"])"
 
 let rule_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -43,6 +49,7 @@ let rule_of_string s =
   | "r3" | "poly-hash" -> Some R3
   | "r4" | "bare-abort" -> Some R4
   | "r5" | "direct-print" -> Some R5
+  | "r6" | "raw-concurrency" -> Some R6
   | _ -> None
 
 type t = {
@@ -53,7 +60,7 @@ type t = {
   message : string;
 }
 
-let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6
 
 let compare a b =
   let c = String.compare a.path b.path in

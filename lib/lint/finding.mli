@@ -16,11 +16,13 @@ type rule =
   | R5  (** direct-print: [Printf.printf]/[print_string]-style direct
             output from library code ([lib/core], [lib/graph],
             [lib/lp], [lib/mech]). *)
+  | R6  (** raw-concurrency: [Domain.spawn]/[Mutex.create] anywhere
+            outside [lib/par], the one audited concurrency module. *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R5"]. *)
+(** ["R1"] .. ["R6"]. *)
 
 val rule_name : rule -> string
 (** Mnemonic slug, e.g. ["inline-tolerance"]. *)

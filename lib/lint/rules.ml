@@ -5,6 +5,7 @@ type scope = {
   r2_active : bool;
   r4_active : bool;
   r5_active : bool;
+  r6_active : bool;
 }
 
 let has_dir path dir =
@@ -27,6 +28,10 @@ let scope_of_path path =
     r5_active =
       has_dir path "lib/core" || has_dir path "lib/graph"
       || has_dir path "lib/lp" || has_dir path "lib/mech";
+    (* R6 guards the whole tree except the one audited concurrency
+       module: everywhere else, a raw domain or lock is a hole in the
+       determinism argument documented in docs/PARALLELISM.md. *)
+    r6_active = not (has_dir path "lib/par");
   }
 
 (* R1: a float literal counts as a tolerance when it is positive and
@@ -117,6 +122,18 @@ let is_direct_print = function
     true
   | _ -> false
 
+(* R6: the concurrency primitives whose mere creation means a module
+   is doing its own threading.  Uses of an existing pool (Ufp_par) or
+   lock are fine — it is minting new ones that must be centralised. *)
+let is_raw_concurrency = function
+  | Ldot (Lident "Domain", ("spawn" as f))
+  | Ldot (Ldot (Lident "Stdlib", "Domain"), ("spawn" as f)) ->
+    Some ("Domain." ^ f)
+  | Ldot (Lident "Mutex", ("create" as f))
+  | Ldot (Ldot (Lident "Stdlib", "Mutex"), ("create" as f)) ->
+    Some ("Mutex." ^ f)
+  | _ -> None
+
 let is_poly_hash = function
   | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash" | "hash_param"))
   | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), ("hash" | "seeded_hash" | "hash_param")) ->
@@ -185,6 +202,18 @@ let collector ~scope ~path ~findings =
         self#report R3 e.pexp_loc
           "polymorphic Hashtbl.hash; hash the key structurally (raw float \
            bits must never drive table iteration order)"
+      | _ -> ());
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } when scope.r6_active -> (
+        match is_raw_concurrency txt with
+        | Some prim ->
+          self#report R6 e.pexp_loc
+            (Printf.sprintf
+               "raw concurrency primitive `%s' outside lib/par; go through \
+                Ufp_par.Pool (the one audited concurrency module) or justify \
+                with [@lint.allow \"R6\" \"reason\"]"
+               prim)
+        | None -> ())
       | _ -> ());
       (match e.pexp_desc with
       | Pexp_ident { txt; _ } when scope.r5_active && is_direct_print txt ->

@@ -19,6 +19,9 @@ type scope = {
   r5_active : bool;
       (** path under [lib/core], [lib/graph], [lib/lp], [lib/mech]:
           library code must not print to stdout/stderr directly. *)
+  r6_active : bool;
+      (** everywhere {e except} [lib/par]: no raw [Domain.spawn] or
+          [Mutex.create] outside the one audited concurrency module. *)
 }
 
 val scope_of_path : string -> scope

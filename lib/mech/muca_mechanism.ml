@@ -18,12 +18,12 @@ let model algo =
     winners = winners algo;
   }
 
-let payments ?rel_tol algo auction =
-  Single_param.payments ?rel_tol (model algo) auction
+let payments ?rel_tol ?pool algo auction =
+  Single_param.payments ?rel_tol ?pool (model algo) auction
 
 let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
 
-let utility ?rel_tol algo auction ~agent ~true_bundle ~true_value
+let utility ?v_hi ?rel_tol algo auction ~agent ~true_bundle ~true_value
     ~declared_bundle ~declared_value =
   let declared =
     Auction.with_bid auction agent
@@ -33,7 +33,7 @@ let utility ?rel_tol algo auction ~agent ~true_bundle ~true_value
   if not (Single_param.is_winner m declared agent) then 0.0
   else begin
     let payment =
-      match Single_param.critical_value ?rel_tol m declared ~agent with
+      match Single_param.critical_value ?v_hi ?rel_tol m declared ~agent with
       | Some c -> c
       | None -> declared_value
     in

@@ -8,10 +8,15 @@ val winners : algo -> Ufp_auction.Auction.t -> bool array
 
 val model : algo -> Ufp_auction.Auction.t Single_param.model
 
-val payments : ?rel_tol:float -> algo -> Ufp_auction.Auction.t -> float array
+val payments :
+  ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  algo -> Ufp_auction.Auction.t -> float array
+(** Critical-value payments; [pool] fans the per-winner bisections out
+    across domains with bitwise-identical results (see
+    {!Single_param.payments}). *)
 
 val utility :
-  ?rel_tol:float -> algo -> Ufp_auction.Auction.t -> agent:int ->
+  ?v_hi:float -> ?rel_tol:float -> algo -> Ufp_auction.Auction.t -> agent:int ->
   true_bundle:int list -> true_value:float ->
   declared_bundle:int list -> declared_value:float -> float
 (** Unknown-single-minded utility: the winning agent gains its true

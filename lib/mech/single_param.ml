@@ -1,6 +1,7 @@
 module Float_tol = Ufp_prelude.Float_tol
 module Metrics = Ufp_obs.Metrics
 module Trace = Ufp_obs.Trace
+module Pool = Ufp_par.Pool
 
 let m_probes = Metrics.counter "mech.payment_probes"
 
@@ -36,9 +37,17 @@ let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agen
     if not (wins v_hi) then None
     else begin
       (* Invariant: wins hi, loses lo (or lo = 0, an open bound since
-         declarations must be positive). *)
+         declarations must be positive). Convergence is measured
+         against the current upper bound [!hi], not the starting
+         [v_hi]: [v_hi] defaults to 4x the sum of all declared values,
+         so a [v_hi]-relative stop would make the absolute error grow
+         linearly with instance size even when the critical value
+         itself is tiny. [!hi] converges onto the critical value from
+         above, so [rel_tol * max 1.0 !hi] is a tolerance relative to
+         the answer (floored at absolute [rel_tol] for sub-unit
+         critical values). *)
       let lo = ref 0.0 and hi = ref v_hi in
-      while !hi -. !lo > rel_tol *. v_hi do
+      while !hi -. !lo > rel_tol *. Float.max 1.0 !hi do
         let mid = 0.5 *. (!lo +. !hi) in
         if mid > 0.0 && wins mid then hi := mid else lo := mid
       done;
@@ -48,20 +57,29 @@ let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agen
   Metrics.observe h_probes_per_winner (float_of_int !probes);
   result
 
-let payments ?v_hi ?rel_tol model inst =
+let payments ?v_hi ?rel_tol ?(pool = `Seq) model inst =
   let winners = model.winners inst in
-  Array.mapi
-    (fun i won ->
-      if not won then 0.0
-      else
-        match critical_value ?v_hi ?rel_tol model inst ~agent:i with
-        | Some c -> Float.min c (model.get_value inst i)
-        | None ->
-          (* Cannot happen for a monotone rule: the agent wins at its
-             declaration, hence also at the larger v_hi. Charge the
-             declaration as a conservative fallback. *)
-          model.get_value inst i)
-    winners
+  (* Hoist the probe ceiling out of the per-winner loop: [default_v_hi]
+     sums every declaration, so leaving it to [critical_value] would
+     cost O(n) per winner — accidental O(n^2) on instances where most
+     agents win. One value for all agents is also what makes the
+     per-agent probes independent, hence safe to fan out. *)
+  let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
+  let payment_of i =
+    if not winners.(i) then 0.0
+    else
+      match critical_value ~v_hi ?rel_tol model inst ~agent:i with
+      | Some c -> Float.min c (model.get_value inst i)
+      | None ->
+        (* Cannot happen for a monotone rule: the agent wins at its
+           declaration, hence also at the larger v_hi. Charge the
+           declaration as a conservative fallback. *)
+        model.get_value inst i
+  in
+  (* Each agent's bisection touches only its own copy of the instance
+     ([set_value] is functional), so the probes are independent pure
+     tasks: [`Pool p] computes bitwise the same array as [`Seq]. *)
+  Pool.parallel_mapi ~pool ~n:(Array.length winners) payment_of
 
 let utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value =
   let reported = model.set_value inst agent declared_value in
@@ -85,7 +103,12 @@ type spot_check = {
 let spot_check_truthfulness ?v_hi ?rel_tol ?(slack = Float_tol.spot_check_slack) model inst ~agent
     ~misreports =
   let true_value = model.get_value inst agent in
-  let u v = utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value:v in
+  (* One probe ceiling for every misreport, computed from the base
+     instance: the critical value does not depend on the agent's own
+     declaration, so re-deriving v_hi per misreported instance would
+     buy nothing and cost a value sum per utility call. *)
+  let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
+  let u v = utility ~v_hi ?rel_tol model inst ~agent ~true_value ~declared_value:v in
   let truthful_utility = u true_value in
   let best_misreport_utility = ref truthful_utility in
   let best_misreport = ref None in

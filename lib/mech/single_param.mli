@@ -19,22 +19,40 @@ type 'inst model = {
 
 val is_winner : 'inst model -> 'inst -> int -> bool
 
+val default_v_hi : 'inst model -> 'inst -> float
+(** The default bisection ceiling: 4 times the sum of all declared
+    values (floored at 4). Every winner's critical value lies below it
+    for any allocation that never prefers a coalition over a single
+    agent outbidding it. Exposed so batch callers can compute it once
+    per instance instead of once per probe. *)
+
 val critical_value :
   ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst -> agent:int ->
   float option
 (** [critical_value model inst ~agent] is [Some c] with [c] the
-    critical value of [agent] (accurate to a relative [rel_tol],
-    default [1e-6]), or [None] when the agent loses even when
-    declaring [v_hi] (default: 4 times the sum of all declared
-    values). Requires the allocation to be value-monotone for this
-    agent; on a non-monotone rule the result is meaningless. *)
+    critical value of [agent], or [None] when the agent loses even
+    when declaring [v_hi] (default {!default_v_hi}). The bisection
+    stops when the bracket is narrower than [rel_tol] (default
+    [1e-6]) {e relative to the critical value itself} (floored at
+    absolute [rel_tol] below 1.0) — accuracy does not degrade as
+    [v_hi] grows with instance size. Requires the allocation to be
+    value-monotone for this agent; on a non-monotone rule the result
+    is meaningless. *)
 
 val payments :
-  ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst -> float array
+  ?v_hi:float -> ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  'inst model -> 'inst -> float array
 (** Critical-value payment for every winner, [0.] for losers — the
     truthful mechanism of Theorem 2.3. A winner whose critical value
     exceeds its declaration (possible only through bisection
-    tolerance) is charged its declaration. *)
+    tolerance) is charged its declaration.
+
+    [pool] fans the per-winner bisections out across domains
+    ([`Seq], the default, keeps everything on the calling domain).
+    The result is bitwise identical either way: each agent's probes
+    run on a private [set_value] copy of the instance, so parallelism
+    reorders only whole agents, never the float operations inside
+    one — see docs/PARALLELISM.md and the laws in test/test_mech.ml. *)
 
 val utility :
   ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst ->

@@ -22,10 +22,11 @@ let model algo =
     winners = winners algo;
   }
 
-let payments ?rel_tol algo inst = Single_param.payments ?rel_tol (model algo) inst
+let payments ?rel_tol ?pool algo inst =
+  Single_param.payments ?rel_tol ?pool (model algo) inst
 
-let utility ?rel_tol algo inst ~agent ~true_demand ~true_value ~declared_demand
-    ~declared_value =
+let utility ?v_hi ?rel_tol algo inst ~agent ~true_demand ~true_value
+    ~declared_demand ~declared_value =
   let r = Instance.request inst agent in
   let declared =
     Instance.with_request inst agent
@@ -35,7 +36,7 @@ let utility ?rel_tol algo inst ~agent ~true_demand ~true_value ~declared_demand
   if not (Single_param.is_winner m declared agent) then 0.0
   else begin
     let payment =
-      match Single_param.critical_value ?rel_tol m declared ~agent with
+      match Single_param.critical_value ?v_hi ?rel_tol m declared ~agent with
       | Some c -> c
       | None -> declared_value
     in
@@ -52,21 +53,27 @@ type misreport_outcome = {
 let truthfulness_table ?rel_tol algo inst ~agent ~misreports =
   let r = Instance.request inst agent in
   let true_demand = r.Request.demand and true_value = r.Request.value in
+  let m = model algo in
+  (* One bisection ceiling for the whole table, from the truthful
+     instance: the critical value never depends on the probed agent's
+     own declaration, and re-summing all values per misreport is the
+     kind of accidental O(n^2) this module is trying not to have. *)
+  let v_hi = Single_param.default_v_hi m inst in
   let evaluate (d, v) =
     let declared =
       Instance.with_request inst agent (Request.with_type r ~demand:d ~value:v)
     in
-    let won = Single_param.is_winner (model algo) declared agent in
+    let won = Single_param.is_winner m declared agent in
     {
       declared = (d, v);
       won;
       outcome_utility =
-        utility ?rel_tol algo inst ~agent ~true_demand ~true_value
+        utility ~v_hi ?rel_tol algo inst ~agent ~true_demand ~true_value
           ~declared_demand:d ~declared_value:v;
     }
   in
   let truthful =
-    utility ?rel_tol algo inst ~agent ~true_demand ~true_value
+    utility ~v_hi ?rel_tol algo inst ~agent ~true_demand ~true_value
       ~declared_demand:true_demand ~declared_value:true_value
   in
   (List.map evaluate misreports, truthful)

@@ -20,12 +20,15 @@ val model : algo -> Ufp_instance.Instance.t Single_param.model
 (** The {!Single_param} view of the value coordinate. *)
 
 val payments :
-  ?rel_tol:float -> algo -> Ufp_instance.Instance.t -> float array
-(** Critical-value payments at the declared demands. *)
+  ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  algo -> Ufp_instance.Instance.t -> float array
+(** Critical-value payments at the declared demands. [pool] fans the
+    per-winner bisections out across domains with bitwise-identical
+    results (see {!Single_param.payments}). *)
 
 val utility :
-  ?rel_tol:float -> algo -> Ufp_instance.Instance.t -> agent:int ->
-  true_demand:float -> true_value:float ->
+  ?v_hi:float -> ?rel_tol:float -> algo -> Ufp_instance.Instance.t ->
+  agent:int -> true_demand:float -> true_value:float ->
   declared_demand:float -> declared_value:float -> float
 (** Utility of [agent] whose true type is
     [(true_demand, true_value)] when it declares

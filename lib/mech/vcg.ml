@@ -4,6 +4,10 @@ module Solution = Ufp_instance.Solution
 module Exact = Ufp_lp.Exact
 module Auction = Ufp_auction.Auction
 module Muca_baselines = Ufp_auction.Baselines
+module Metrics = Ufp_obs.Metrics
+module Pool = Ufp_par.Pool
+
+let m_counterfactuals = Metrics.counter "mech.vcg_counterfactuals"
 
 type outcome = {
   allocation : Solution.t;
@@ -18,21 +22,31 @@ let without_request inst i =
   done;
   Instance.create (Instance.graph inst) (Array.of_list !kept)
 
-let ufp ?max_paths_per_request inst =
+(* The counterfactual solves OPT(R minus i) are the whole cost of VCG
+   and are independent across winners (each gets its own reduced
+   instance), so both mechanisms below fan them out through the pool:
+   parallel_mapi over the winner array, then sequential writes into
+   the payment vector. Bitwise identical to the sequential order. *)
+
+let ufp ?max_paths_per_request ?(pool = `Seq) inst =
   let allocation = Exact.solve ?max_paths_per_request inst in
   let welfare = Solution.value inst allocation in
   let payments = Array.make (Instance.n_requests inst) 0.0 in
-  List.iter
-    (fun (a : Solution.allocation) ->
+  let winners = Array.of_list allocation in
+  let opts_without =
+    Pool.parallel_mapi ~pool ~n:(Array.length winners) (fun k ->
+        let i = winners.(k).Solution.request in
+        Metrics.incr m_counterfactuals;
+        Exact.opt_value ?max_paths_per_request (without_request inst i))
+  in
+  Array.iteri
+    (fun k (a : Solution.allocation) ->
       let i = a.Solution.request in
       let v = (Instance.request inst i).Request.value in
-      let opt_without =
-        Exact.opt_value ?max_paths_per_request (without_request inst i)
-      in
       (* Clarke pivot; clamp float noise into [0, v]. *)
       payments.(i) <-
-        Float.max 0.0 (Float.min v (opt_without -. (welfare -. v))))
-    allocation;
+        Float.max 0.0 (Float.min v (opts_without.(k) -. (welfare -. v))))
+    winners;
   { allocation; payments; welfare }
 
 type muca_outcome = {
@@ -51,17 +65,20 @@ let without_bid auction i =
   in
   Auction.create ~multiplicities (Array.of_list !kept)
 
-let muca ?max_bids auction =
+let muca ?max_bids ?(pool = `Seq) auction =
   let muca_allocation = Muca_baselines.exact ?max_bids auction in
   let muca_welfare = Auction.Allocation.value auction muca_allocation in
   let muca_payments = Array.make (Auction.n_bids auction) 0.0 in
-  List.iter
-    (fun i ->
+  let winners = Array.of_list muca_allocation in
+  let opts_without =
+    Pool.parallel_mapi ~pool ~n:(Array.length winners) (fun k ->
+        Metrics.incr m_counterfactuals;
+        Muca_baselines.opt_value ?max_bids (without_bid auction winners.(k)))
+  in
+  Array.iteri
+    (fun k i ->
       let v = (Auction.bid auction i).Auction.value in
-      let opt_without =
-        Muca_baselines.opt_value ?max_bids (without_bid auction i)
-      in
       muca_payments.(i) <-
-        Float.max 0.0 (Float.min v (opt_without -. (muca_welfare -. v))))
-    muca_allocation;
+        Float.max 0.0 (Float.min v (opts_without.(k) -. (muca_welfare -. v))))
+    winners;
   { muca_allocation; muca_payments; muca_welfare }

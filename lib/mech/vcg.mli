@@ -20,9 +20,15 @@ type outcome = {
   welfare : float;
 }
 
-val ufp : ?max_paths_per_request:int -> Ufp_instance.Instance.t -> outcome
+val ufp :
+  ?max_paths_per_request:int -> ?pool:Ufp_par.Pool.choice ->
+  Ufp_instance.Instance.t -> outcome
 (** Exponential time (per {!Ufp_lp.Exact}); raises
-    {!Ufp_lp.Exact.Too_large} on big instances. *)
+    {!Ufp_lp.Exact.Too_large} on big instances. [pool] fans the
+    per-winner counterfactual solves [OPT(R minus i)] — the dominant
+    cost — out across domains; payments are bitwise identical to the
+    sequential order. Each counterfactual bumps the
+    [mech.vcg_counterfactuals] counter. *)
 
 type muca_outcome = {
   muca_allocation : Ufp_auction.Auction.Allocation.t;
@@ -30,5 +36,8 @@ type muca_outcome = {
   muca_welfare : float;
 }
 
-val muca : ?max_bids:int -> Ufp_auction.Auction.t -> muca_outcome
-(** Raises {!Ufp_auction.Baselines.Too_large} on big auctions. *)
+val muca :
+  ?max_bids:int -> ?pool:Ufp_par.Pool.choice -> Ufp_auction.Auction.t ->
+  muca_outcome
+(** Raises {!Ufp_auction.Baselines.Too_large} on big auctions.
+    [pool] as in {!ufp}. *)

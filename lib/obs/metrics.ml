@@ -1,19 +1,27 @@
 module Table = Ufp_prelude.Table
 
-(* Flat mutable cells: an update is a single field store, which is
-   what lets the Dijkstra relaxation loop carry a counter without a
-   measurable slowdown (see EXP-OBS-OVERHEAD). *)
+(* Atomic cells: an update is a single uncontended RMW (lock-prefixed
+   add on x86), which still lets the Dijkstra relaxation loop carry a
+   counter without a measurable slowdown (see EXP-OBS-OVERHEAD) —
+   and, since the parallel payment engine (lib/par) runs probe
+   batches across domains, makes concurrent increments lose nothing.
+   Integer cells commute exactly, so counter totals are bitwise
+   independent of domain interleaving; float accumulation (gauges,
+   histogram sums) uses a CAS loop and is deterministic whenever the
+   summands are exact in double precision (counters-of-events
+   observed as floats are), merely order-sensitive in the last ulp
+   otherwise. *)
 
-type counter = { mutable c : int }
+type counter = int Atomic.t
 
-type gauge = { mutable g : float }
+type gauge = float Atomic.t
 
 let n_buckets = 64
 
 type histogram = {
-  buckets : int array;  (* length n_buckets, base-2 log scale *)
-  mutable n : int;
-  mutable sum : float;
+  buckets : int Atomic.t array;  (* length n_buckets, base-2 log scale *)
+  n : int Atomic.t;
+  sum : float Atomic.t;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -47,30 +55,43 @@ let register name make select =
 
 let counter name =
   register name
-    (fun () -> Counter { c = 0 })
+    (fun () -> Counter (Atomic.make 0))
     (function Counter c -> Some c | _ -> None)
 
 let gauge name =
   register name
-    (fun () -> Gauge { g = 0.0 })
+    (fun () -> Gauge (Atomic.make 0.0))
     (function Gauge g -> Some g | _ -> None)
 
 let histogram name =
   register name
-    (fun () -> Histogram { buckets = Array.make n_buckets 0; n = 0; sum = 0.0 })
+    (fun () ->
+      Histogram
+        {
+          buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          n = Atomic.make 0;
+          sum = Atomic.make 0.0;
+        })
     (function Histogram h -> Some h | _ -> None)
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c
 
-let add c n = c.c <- c.c + n
+let add c n = ignore (Atomic.fetch_and_add c n)
 
-let value c = c.c
+let value c = Atomic.get c
 
-let gauge_add g x = g.g <- g.g +. x
+(* No atomic float add in the stdlib; a CAS retry loop is wait-free in
+   practice here (gauge writers are a handful of domains at most). *)
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then
+    atomic_add_float cell x
 
-let gauge_set g x = g.g <- x
+let gauge_add g x = atomic_add_float g x
 
-let gauge_value g = g.g
+let gauge_set g x = Atomic.set g x
+
+let gauge_value g = Atomic.get g
 
 (* Bucket of a sample: 0 for v < 1 (and for NaN / negatives, which
    compare false against >= 1.0), otherwise the base-2 exponent of v,
@@ -84,10 +105,9 @@ let bucket_of v =
   end
 
 let observe h v =
-  let b = bucket_of v in
-  h.buckets.(b) <- h.buckets.(b) + 1;
-  h.n <- h.n + 1;
-  h.sum <- h.sum +. (if Float.is_nan v then 0.0 else v)
+  Atomic.incr h.buckets.(bucket_of v);
+  Atomic.incr h.n;
+  atomic_add_float h.sum (if Float.is_nan v then 0.0 else v)
 
 (* --- snapshots --- *)
 
@@ -110,15 +130,17 @@ let snapshot () =
   Hashtbl.iter
     (fun name m ->
       match m with
-      | Counter c -> counters := (name, c.c) :: !counters
-      | Gauge g -> gauges := (name, g.g) :: !gauges
+      | Counter c -> counters := (name, Atomic.get c) :: !counters
+      | Gauge g -> gauges := (name, Atomic.get g) :: !gauges
       | Histogram h ->
         let bs = ref [] in
         for i = n_buckets - 1 downto 0 do
-          if h.buckets.(i) <> 0 then bs := (i, h.buckets.(i)) :: !bs
+          let c = Atomic.get h.buckets.(i) in
+          if c <> 0 then bs := (i, c) :: !bs
         done;
         histograms :=
-          (name, { h_count = h.n; h_sum = h.sum; h_buckets = !bs })
+          (name,
+           { h_count = Atomic.get h.n; h_sum = Atomic.get h.sum; h_buckets = !bs })
           :: !histograms)
     registry;
   {
@@ -170,12 +192,12 @@ let reset () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.c <- 0
-      | Gauge g -> g.g <- 0.0
+      | Counter c -> Atomic.set c 0
+      | Gauge g -> Atomic.set g 0.0
       | Histogram h ->
-        Array.fill h.buckets 0 n_buckets 0;
-        h.n <- 0;
-        h.sum <- 0.0)
+        Array.iter (fun b -> Atomic.set b 0) h.buckets;
+        Atomic.set h.n 0;
+        Atomic.set h.sum 0.0)
     registry
 
 (* --- rendering --- *)

@@ -9,11 +9,19 @@
 
     Design constraints, in order:
 
-    + {b Hot-path updates are unconditional single stores} — a counter
-      increment is one mutable-int assignment, no branch, no closure,
-      no allocation — so instrumentation can live inside the Dijkstra
-      relaxation loop without measurable cost (EXP-OBS-OVERHEAD keeps
-      this honest).
+    + {b Hot-path updates are unconditional single atomic RMWs} — a
+      counter increment is one [Atomic] fetch-and-add, no branch, no
+      closure, no allocation — so instrumentation can live inside the
+      Dijkstra relaxation loop without measurable cost
+      (EXP-OBS-OVERHEAD keeps this honest).
+    + {b Updates are domain-safe}: the parallel payment engine
+      ([Ufp_par], [ufp payments --jobs N]) increments [mech.*] and
+      [pd.*] instruments from several domains at once. Counter and
+      histogram-bucket updates commute exactly, so totals are bitwise
+      independent of the interleaving; float accumulation (gauges,
+      histogram sums) is exact whenever the summands are (integer
+      probe counts observed as floats are), and order-sensitive only
+      in the last ulp otherwise. See docs/PARALLELISM.md.
     + {b Registration is idempotent by name}: [counter "pd.iterations"]
       returns the same cell from every module, so independent solvers
       (Bounded-UFP, Pd_engine, the threshold baseline) share one
@@ -22,8 +30,11 @@
       deterministic algorithm produce structurally equal snapshots
       (test_obs.ml enforces this as a law).
 
-    The registry is process-global and not thread-safe; the solvers it
-    instruments are sequential. *)
+    Registration, {!snapshot}, {!diff} and {!reset} belong to the
+    orchestrating (main) domain: cells are declared at module-init
+    time and snapshots are taken around parallel regions, never inside
+    them. Only the update primitives ([incr]/[add]/[observe]/
+    [gauge_add]/[gauge_set]) may race. *)
 
 type counter
 (** A monotone integer event count (e.g. heap pushes). *)

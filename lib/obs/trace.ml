@@ -4,6 +4,7 @@ type event = {
   ev_name : string;
   ev_ph : char;  (* 'B' begin, 'E' end, 'i' instant *)
   ev_ts : int64;  (* CLOCK_MONOTONIC nanoseconds *)
+  ev_tid : int;  (* recording domain id; one Chrome track per domain *)
   ev_args : (string * arg) list;
 }
 
@@ -20,6 +21,16 @@ type ring = {
    whole cost of a disabled tracer. *)
 let on = ref false
 
+(* Appends are serialised by [lock]: the parallel payment engine
+   (lib/par) records pd.*/mech.* spans from several domains at once.
+   Timestamps are taken inside the critical section, so ring order is
+   timestamp order even across domains — bin/trace_check.ml relies on
+   global monotonicity. Events carry the recording domain's id as
+   their Chrome [tid], so concurrent spans land on separate tracks
+   and nest per track. *)
+let lock = ((Mutex.create) [@lint.allow "R6" "the tracer's append lock; the \
+   only lock outside lib/par, guarding the shared ring buffer"]) ()
+
 let ring : ring option ref = ref None
 
 let is_on () = !on
@@ -28,25 +39,39 @@ let now_ns () = Monotonic_clock.now ()
 
 let start ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Ufp_obs.Trace.start: capacity < 1";
+  Mutex.lock lock;
   ring :=
     Some { buf = Array.make capacity None; r_start = 0; r_len = 0; r_dropped = 0 };
-  on := true
+  on := true;
+  Mutex.unlock lock
 
 let stop () = on := false
 
 let clear () =
-  match !ring with
+  Mutex.lock lock;
+  (match !ring with
   | None -> ()
   | Some r ->
     Array.fill r.buf 0 (Array.length r.buf) None;
     r.r_start <- 0;
     r.r_len <- 0;
-    r.r_dropped <- 0
+    r.r_dropped <- 0);
+  Mutex.unlock lock
 
-let record ev =
-  match !ring with
+let record ~name ~ph ~args =
+  Mutex.lock lock;
+  (match !ring with
   | None -> ()
   | Some r ->
+    let ev =
+      {
+        ev_name = name;
+        ev_ph = ph;
+        ev_ts = now_ns ();
+        ev_tid = (Domain.self () :> int);
+        ev_args = args;
+      }
+    in
     let cap = Array.length r.buf in
     if r.r_len = cap then begin
       (* Full: overwrite the oldest. *)
@@ -57,19 +82,16 @@ let record ev =
     else begin
       r.buf.((r.r_start + r.r_len) mod cap) <- Some ev;
       r.r_len <- r.r_len + 1
-    end
+    end);
+  Mutex.unlock lock
 
-let instant ?(args = []) name =
-  if !on then record { ev_name = name; ev_ph = 'i'; ev_ts = now_ns (); ev_args = args }
+let instant ?(args = []) name = if !on then record ~name ~ph:'i' ~args
 
 let with_span ?(args = []) name f =
   if not !on then f ()
   else begin
-    record { ev_name = name; ev_ph = 'B'; ev_ts = now_ns (); ev_args = args };
-    Fun.protect
-      ~finally:(fun () ->
-        record { ev_name = name; ev_ph = 'E'; ev_ts = now_ns (); ev_args = [] })
-      f
+    record ~name ~ph:'B' ~args;
+    Fun.protect ~finally:(fun () -> record ~name ~ph:'E' ~args:[]) f
   end
 
 let n_events () = match !ring with None -> 0 | Some r -> r.r_len
@@ -127,25 +149,29 @@ let event_line ~t0 ev =
               args))
   in
   (* Chrome trace_event: instants need a scope ("s"); thread-scoped
-     keeps them attached to the single solver track. *)
+     keeps them attached to their recording domain's track. *)
   let scope = if ev.ev_ph = 'i' then ", \"s\": \"t\"" else "" in
   Printf.sprintf
     "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, \"tid\": \
-     1%s%s}"
-    (json_escape ev.ev_name) ev.ev_ph ts_us scope args
+     %d%s%s}"
+    (json_escape ev.ev_name) ev.ev_ph ts_us ev.ev_tid scope args
 
 let export_jsonl oc =
   let t0 = ref None in
-  let depth = ref 0 in
+  (* Span nesting is per recording domain: a B on domain 4 cannot be
+     closed by an E on domain 5, so orphan detection tracks one depth
+     per tid. *)
+  let depths : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let depth tid = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
   iter_events (fun ev ->
       let base = match !t0 with Some t -> t | None -> t0 := Some ev.ev_ts; ev.ev_ts in
       (* A wrap-around can leave 'E' events whose 'B' was overwritten;
-         skipping them keeps the exported stream balanced. *)
+         skipping them keeps the exported stream balanced per tid. *)
       match ev.ev_ph with
-      | 'E' when !depth = 0 -> ()
+      | 'E' when depth ev.ev_tid = 0 -> ()
       | ph ->
-        if ph = 'B' then incr depth;
-        if ph = 'E' then decr depth;
+        if ph = 'B' then Hashtbl.replace depths ev.ev_tid (depth ev.ev_tid + 1);
+        if ph = 'E' then Hashtbl.replace depths ev.ev_tid (depth ev.ev_tid - 1);
         output_string oc (event_line ~t0:base ev);
         output_char oc '\n')
 

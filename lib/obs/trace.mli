@@ -17,8 +17,19 @@
     steps. The ring buffer overwrites its oldest events when full; the
     exporter drops orphaned [E] events whose [B] was overwritten, so
     the output is always balanced ([bin/trace_check.ml] verifies
-    this). The tracer is process-global and not thread-safe, like the
-    solvers it instruments. *)
+    this).
+
+    {b Domain safety}: the tracer is process-global and domain-safe.
+    Appends are serialised by an internal lock (the parallel payment
+    engine, [ufp payments --jobs N], records spans from several
+    domains at once), and each event is tagged with the recording
+    domain's id, exported as the Chrome [tid] — so concurrent spans
+    land on separate tracks, nest correctly per track, and the
+    exported stream stays balanced {e per tid}. Timestamps are taken
+    under the same lock, so the exported stream is globally monotone
+    in [ts] even across domains. [start]/[stop]/[clear] and the
+    export functions belong to the orchestrating domain, outside any
+    parallel region. See docs/PARALLELISM.md. *)
 
 type arg = Int of int | Float of float | Str of string
 (** Typed span/event argument, rendered into the Chrome [args]
@@ -58,9 +69,9 @@ val n_dropped : unit -> int
 val export_jsonl : out_channel -> unit
 (** Write the retained events, oldest first, one Chrome [trace_event]
     JSON object per line. Orphaned [E] events (begin overwritten by
-    ring wrap-around) are skipped so begins and ends always balance;
-    timestamps are microseconds relative to the first retained
-    event. *)
+    ring wrap-around) are skipped {e per tid} so begins and ends
+    always balance on every track; timestamps are microseconds
+    relative to the first retained event. *)
 
 val save_jsonl : string -> unit
 (** {!export_jsonl} to a file. *)

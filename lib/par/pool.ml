@@ -1,0 +1,189 @@
+(* The one audited concurrency module (lint rule R6): a fixed-size
+   domain pool with a chunked index-range work queue.
+
+   Shape of a job: executors (the caller plus every worker) claim
+   [chunk]-sized index ranges from a single Atomic cursor until the
+   range is exhausted. Completion is tracked by a second Atomic
+   counting finished indices; the last executor to finish wakes the
+   caller. Between jobs the workers sleep on [work_ready], keyed by a
+   monotonically increasing epoch — a worker that sleeps through two
+   quick jobs is fine, because a job only finishes once every index
+   completed, so a missed epoch is by definition a job that needed no
+   help. *)
+
+type job = {
+  j_n : int;
+  j_chunk : int;
+  j_f : int -> unit;
+  j_next : int Atomic.t;  (* next unclaimed index *)
+  j_completed : int Atomic.t;  (* indices finished or skipped *)
+  j_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable current : job option;
+  mutable epoch : int;
+  mutable stopped : bool;
+}
+
+let size pool = pool.size
+
+(* Drain the job's index range. Run by every executor concurrently;
+   once an exception is published the remaining chunks are claimed but
+   skipped (they still count as completed so the caller can return and
+   re-raise). *)
+let execute pool job =
+  let n = job.j_n in
+  let rec claim () =
+    let lo = Atomic.fetch_and_add job.j_next job.j_chunk in
+    if lo < n then begin
+      let hi = Int.min n (lo + job.j_chunk) in
+      (if Atomic.get job.j_exn = None then
+         try
+           for i = lo to hi - 1 do
+             job.j_f i
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set job.j_exn None (Some (e, bt))));
+      let finished = Atomic.fetch_and_add job.j_completed (hi - lo) + (hi - lo) in
+      if finished = n then begin
+        (* Taking the lock orders this wake-up after the caller's
+           check-then-wait, so the signal cannot be lost. *)
+        Mutex.lock pool.lock;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.lock
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let rec worker_loop pool seen_epoch =
+  Mutex.lock pool.lock;
+  while (not pool.stopped) && pool.epoch = seen_epoch do
+    Condition.wait pool.work_ready pool.lock
+  done;
+  let stopped = pool.stopped in
+  let epoch = pool.epoch in
+  let job = pool.current in
+  Mutex.unlock pool.lock;
+  if not stopped then begin
+    (match job with Some j -> execute pool j | None -> ());
+    worker_loop pool epoch
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Ufp_par.Pool.create: domains < 1";
+      d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool =
+    {
+      size;
+      workers = [||];
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      epoch = 0;
+      stopped = false;
+    }
+  in
+  pool.workers <-
+    Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  let workers = pool.workers in
+  pool.workers <- [||];
+  Array.iter Domain.join workers
+
+(* Submit one job and participate until every index completed. *)
+let run pool ~chunk ~n f =
+  if n > 0 then begin
+    let job =
+      {
+        j_n = n;
+        j_chunk = Int.max 1 chunk;
+        j_f = f;
+        j_next = Atomic.make 0;
+        j_completed = Atomic.make 0;
+        j_exn = Atomic.make None;
+      }
+    in
+    Mutex.lock pool.lock;
+    if pool.stopped then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Ufp_par.Pool: job submitted after shutdown"
+    end;
+    pool.current <- Some job;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    execute pool job;
+    Mutex.lock pool.lock;
+    while Atomic.get job.j_completed < n do
+      Condition.wait pool.work_done pool.lock
+    done;
+    pool.current <- None;
+    Mutex.unlock pool.lock;
+    match Atomic.get job.j_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_for ?(pool = `Seq) ?(chunk = 1) ~n f =
+  match pool with
+  | `Seq ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | `Pool p -> run p ~chunk ~n f
+
+type choice = [ `Seq | `Pool of t ]
+
+let parallel_mapi ?(pool = `Seq) ?chunk ~n f =
+  match pool with
+  | `Seq -> Array.init n f
+  | `Pool _ ->
+    if n = 0 then [||]
+    else begin
+      (* An option array keeps the slots boxed, so any 'a (floats
+         included) can be written race-free from distinct domains. *)
+      let out = Array.make n None in
+      parallel_for ~pool ?chunk ~n (fun i -> out.(i) <- Some (f i));
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false (* parallel_for completed every index *))
+        out
+    end
+
+let with_pool ?domains f =
+  let p = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f (`Pool p))
+
+let with_jobs jobs f =
+  let domains = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  if domains <= 1 then f `Seq else with_pool ~domains f
+
+let jobs_from_env ?(default = 1) () =
+  match Sys.getenv_opt "UFP_JOBS" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 0 -> j
+    | _ -> default)

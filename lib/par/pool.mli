@@ -1,0 +1,80 @@
+(** A fixed-size domain pool for embarrassingly parallel index ranges.
+
+    This is the {e only} module in the repo allowed to spawn domains or
+    create locks (lint rule R6 keeps all other concurrency out); see
+    docs/PARALLELISM.md for the design and the determinism argument.
+
+    The pool is built for the payment engine's workload: a few dozen to
+    a few thousand {e independent, pure} tasks (critical-value
+    bisections, VCG counterfactual solves), each heavy enough —
+    milliseconds to seconds — that scheduling overhead is irrelevant.
+    Workers are raw [Domain.spawn]ed threads that sleep on a condition
+    variable between jobs, so a pool is cheap to keep around and reuse
+    across calls; work is handed out as chunked index ranges claimed
+    from a single [Atomic] cursor, so an uneven task (one agent whose
+    bisection needs more probes) never stalls the others behind a
+    static partition.
+
+    {b Determinism contract}: [parallel_mapi ~pool ~n f] computes
+    [f i] for each [i] exactly once and stores it at slot [i]. When
+    every [f i] is pure (no shared mutable state except domain-safe
+    {!Ufp_obs} instruments), the result is {e bitwise identical} to
+    [Array.init n f] — parallelism changes only the order in which
+    slots are filled, never the float operations inside a slot. The
+    payment laws in [test/test_mech.ml] enforce this end to end. *)
+
+type t
+(** A running pool. Owns [size - 1] worker domains (the caller is the
+    remaining executor); reusable across any number of jobs until
+    {!shutdown}. *)
+
+type choice = [ `Seq | `Pool of t ]
+(** How to execute a parallel region: [`Seq] runs it inline on the
+    calling domain (the default everywhere, keeping all existing
+    traces and timings single-domain), [`Pool p] fans it out. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool with [domains] total executors
+    (so [domains - 1] worker domains; [1] is a valid, worker-less
+    pool). Default: {!Stdlib.Domain.recommended_domain_count}. Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+val size : t -> int
+(** Total executors (workers + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all workers. Idempotent; the pool must not be used afterwards
+    (jobs submitted after shutdown raise [Invalid_argument]). Safe to
+    call with no job in flight only — i.e. not from inside [f]. *)
+
+val parallel_for : ?pool:choice -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~pool ~n f] runs [f 0 .. f (n-1)], each exactly once.
+    With [`Pool p] the indices are claimed in chunks of [chunk]
+    (default 1 — right for heavy, uneven tasks like payment probes) by
+    [size p] executors including the caller; the call returns when all
+    [n] indices have completed. If any [f i] raises, the first
+    exception (by completion order) is re-raised in the caller with
+    its backtrace after all in-flight chunks have drained; remaining
+    unclaimed chunks are skipped. With [`Seq] (the default) this is a
+    plain [for] loop. *)
+
+val parallel_mapi : ?pool:choice -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
+(** [parallel_mapi ~pool ~n f] is [Array.init n f], fanned out like
+    {!parallel_for}. Slot [i] holds [f i]; completion order never
+    affects the contents. *)
+
+val with_pool : ?domains:int -> (choice -> 'a) -> 'a
+(** [with_pool f] runs [f (`Pool p)] with a freshly created pool and
+    shuts it down afterwards, also on exception. *)
+
+val with_jobs : int -> (choice -> 'a) -> 'a
+(** [with_jobs jobs f]: the CLI-facing convenience. [jobs = 1] (or
+    negative) runs [f `Seq] with no pool at all; [jobs = 0] means
+    [Domain.recommended_domain_count] (which may still be 1 → [`Seq]);
+    [jobs >= 2] wraps {!with_pool} at that size. *)
+
+val jobs_from_env : ?default:int -> unit -> int
+(** Read the [UFP_JOBS] environment variable (same semantics as the
+    [ufp payments --jobs] flag: [0] = recommended domain count).
+    Returns [default] (itself defaulting to [1]) when unset or
+    unparsable. *)

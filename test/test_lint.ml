@@ -161,6 +161,37 @@ let test_r5_allow () =
        "let f s = print_endline s [@@lint.allow \"R5\" \"temporary \
         diagnostic\"]\n")
 
+(* --- R6: raw concurrency outside lib/par --- *)
+
+let test_r6_fires () =
+  check_rules "Domain.spawn" [ "R6" ]
+    (lint "let d = Domain.spawn (fun () -> ())\n");
+  check_rules "Mutex.create" [ "R6" ]
+    (lint ~path:"lib/obs/snippet.ml" "let lock = Mutex.create ()\n");
+  check_rules "Stdlib-qualified too" [ "R6" ]
+    (lint ~path:"bin/snippet.ml" "let lock = Stdlib.Mutex.create ()\n")
+
+let test_r6_scope () =
+  let snippet = "let d = Domain.spawn (fun () -> ())\n" in
+  check_rules "lib/par exempt" [] (lint ~path:"lib/par/pool.ml" snippet);
+  check_rules "everywhere else in scope, even tests" [ "R6" ]
+    (lint ~path:"test/snippet.ml" snippet)
+
+let test_r6_ignores_uses () =
+  (* Consuming concurrency someone else minted is fine: R6 polices the
+     creation sites only. *)
+  check_rules "joins, locks, Domain.self pass" []
+    (lint
+       "let f d m = Domain.join d; Mutex.lock m; Mutex.unlock m\n\
+        let me () = (Domain.self () :> int)\n\
+        let n () = Domain.recommended_domain_count ()\n")
+
+let test_r6_allow () =
+  check_rules "justified lock" []
+    (lint
+       "let lock = ((Mutex.create) [@lint.allow \"R6\" \"tracer append \
+        lock\"]) ()\n")
+
 (* --- engine plumbing --- *)
 
 let test_rule_of_string () =
@@ -188,7 +219,10 @@ let test_scope_of_path () =
   let s = Rules.scope_of_path "lib/prelude/float_tol.ml" in
   Alcotest.(check bool) "float_tol exempt" true s.Rules.in_float_tol;
   let s = Rules.scope_of_path "lib/prelude/heap.ml" in
-  Alcotest.(check bool) "heap not exempt" false s.Rules.in_float_tol
+  Alcotest.(check bool) "heap not exempt" false s.Rules.in_float_tol;
+  Alcotest.(check bool) "prelude: r6" true s.Rules.r6_active;
+  let s = Rules.scope_of_path "lib/par/pool.ml" in
+  Alcotest.(check bool) "par: no r6" false s.Rules.r6_active
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -269,6 +303,14 @@ let () =
             test_r5_ignores_pure_formatting;
           Alcotest.test_case "scoped to library code" `Quick test_r5_scope;
           Alcotest.test_case "allow suppresses" `Quick test_r5_allow;
+        ] );
+      ( "r6",
+        [
+          Alcotest.test_case "fires on raw concurrency" `Quick test_r6_fires;
+          Alcotest.test_case "lib/par exempt" `Quick test_r6_scope;
+          Alcotest.test_case "ignores consuming uses" `Quick
+            test_r6_ignores_uses;
+          Alcotest.test_case "allow suppresses" `Quick test_r6_allow;
         ] );
       ( "engine",
         [

@@ -17,8 +17,18 @@ module Muca_mechanism = Ufp_mech.Muca_mechanism
 module Monotonicity = Ufp_mech.Monotonicity
 module Rng = Ufp_prelude.Rng
 module Float_tol = Ufp_prelude.Float_tol
+module Metrics = Ufp_obs.Metrics
+module Pool = Ufp_par.Pool
 
 let check_float = Alcotest.(check (float 2e-3))
+
+(* One shared 2-domain pool for the parallel-payments laws (spawning
+   per QCheck iteration would dominate the suite on small hosts). *)
+let law_pool = lazy (Pool.create ~domains:2 ())
+
+let () =
+  at_exit (fun () ->
+      if Lazy.is_val law_pool then Pool.shutdown (Lazy.force law_pool))
 
 (* --- Single_param on a toy second-price auction ---
 
@@ -460,7 +470,82 @@ let test_vcg_muca () =
   check_float "bid 2 pays" 0.5 out.Vcg.muca_payments.(2);
   check_float "loser pays 0" 0.0 out.Vcg.muca_payments.(0)
 
+(* Regression for the bisection stopping rule: convergence must be
+   measured against the critical value, not the starting ceiling.
+   With 5000 extra unit bidders, default_v_hi is ~2e4, so the old
+   [rel_tol * v_hi] stop left an absolute error of ~2e-2 on a
+   critical value of 5.0; the answer-relative rule keeps it at
+   ~5e-6. *)
+let test_critical_value_accuracy_large_instance () =
+  let n = 5000 in
+  let vs = Array.make (n + 2) 1.0 in
+  vs.(0) <- 10.0;
+  vs.(1) <- 5.0;
+  match Single_param.critical_value toy_model vs ~agent:0 with
+  | None -> Alcotest.fail "top bidder must have a critical value"
+  | Some c ->
+    if Float.abs (c -. 5.0) > Float_tol.coarse_slack then
+      Alcotest.failf
+        "critical value %.8f is off by %.2e (> %.0e): the bisection \
+         tolerance is scaling with v_hi again"
+        c
+        (Float.abs (c -. 5.0))
+        Float_tol.coarse_slack
+
 (* --- QCheck --- *)
+
+let array_bitwise_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (Float.equal x b.(i)) then ok := false) a;
+  !ok
+
+(* The Ufp_par determinism contract, end to end: fanning the
+   per-winner bisections out changes neither a single payment bit nor
+   the total probe count. *)
+let m_probes = Metrics.counter "mech.payment_probes"
+
+let probes_during f =
+  let before = Metrics.value m_probes in
+  let result = f () in
+  (result, Metrics.value m_probes - before)
+
+let qcheck_parallel_payments_bitwise_ufp =
+  QCheck.Test.make ~name:"UFP payments: parallel bitwise equals sequential"
+    ~count:10 QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:10.0 ~count:8 (seed + 60) in
+      let seq, probes_seq =
+        probes_during (fun () -> Ufp_mechanism.payments algo inst)
+      in
+      let par, probes_par =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~pool:(`Pool (Lazy.force law_pool)) algo
+              inst)
+      in
+      array_bitwise_equal seq par && probes_seq = probes_par)
+
+let qcheck_parallel_payments_bitwise_muca =
+  QCheck.Test.make ~name:"MUCA payments: parallel bitwise equals sequential"
+    ~count:10 QCheck.small_int (fun seed ->
+      let a = random_auction (seed + 80) in
+      let seq, probes_seq =
+        probes_during (fun () -> Muca_mechanism.payments muca_algo a)
+      in
+      let par, probes_par =
+        probes_during (fun () ->
+            Muca_mechanism.payments ~pool:(`Pool (Lazy.force law_pool))
+              muca_algo a)
+      in
+      array_bitwise_equal seq par && probes_seq = probes_par)
+
+let qcheck_parallel_vcg_bitwise =
+  QCheck.Test.make ~name:"VCG payments: parallel bitwise equals sequential"
+    ~count:6 QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:10.0 ~count:5 (seed + 100) in
+      let seq = Vcg.ufp inst in
+      let par = Vcg.ufp ~pool:(`Pool (Lazy.force law_pool)) inst in
+      array_bitwise_equal seq.Vcg.payments par.Vcg.payments)
 
 let qcheck_toy_truthful =
   QCheck.Test.make ~name:"second-price toy mechanism is truthful" ~count:100
@@ -500,6 +585,8 @@ let () =
           Alcotest.test_case "utility" `Quick test_toy_utility;
           Alcotest.test_case "spot check" `Quick test_toy_spot_check;
           Alcotest.test_case "is_winner" `Quick test_toy_is_winner;
+          Alcotest.test_case "accuracy on large instances" `Quick
+            test_critical_value_accuracy_large_instance;
         ] );
       ( "ufp-mechanism",
         [
@@ -539,5 +626,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_toy_truthful; qcheck_payments_below_value ] );
+          [
+            qcheck_toy_truthful; qcheck_payments_below_value;
+            qcheck_parallel_payments_bitwise_ufp;
+            qcheck_parallel_payments_bitwise_muca;
+            qcheck_parallel_vcg_bitwise;
+          ] );
     ]

@@ -151,6 +151,112 @@ let test_trace_ring_overflow_stays_balanced () =
     (count_phase lines "E");
   Trace.clear ()
 
+(* --- domain safety (the Ufp_par contract) --- *)
+
+module Pool = Ufp_par.Pool
+
+(* Counter, gauge and histogram updates racing from 3 domains must
+   lose nothing: integer RMWs commute, and the float CAS loop adds
+   integer-valued summands exactly. *)
+let test_metrics_domain_safe () =
+  let c = Metrics.counter "test.par_counter" in
+  let g = Metrics.gauge "test.par_gauge" in
+  let h = Metrics.histogram "test.par_hist" in
+  let before_c = Metrics.value c and before_g = Metrics.gauge_value g in
+  let before_h =
+    (List.assoc "test.par_hist" (Metrics.snapshot ()).Metrics.histograms)
+      .Metrics.h_count
+  in
+  let n = 3000 in
+  Pool.with_pool ~domains:3 (fun pool ->
+      Pool.parallel_for ~pool ~chunk:7 ~n (fun i ->
+          Metrics.incr c;
+          Metrics.gauge_add g 2.0;
+          Metrics.observe h (float_of_int (i mod 5))));
+  Alcotest.(check int) "no lost increments" (before_c + n) (Metrics.value c);
+  check_float "no lost gauge adds"
+    (before_g +. (2.0 *. float_of_int n))
+    (Metrics.gauge_value g);
+  let hs = List.assoc "test.par_hist" (Metrics.snapshot ()).Metrics.histograms in
+  Alcotest.(check int) "no lost observations" (before_h + n) hs.Metrics.h_count
+
+(* Concurrent spans from several domains: every event carries its
+   recording domain's tid, the export balances per tid, and the
+   locked timestamping keeps ts globally monotone. *)
+let test_trace_domain_safe () =
+  Trace.start ();
+  Pool.with_pool ~domains:3 (fun pool ->
+      Pool.parallel_for ~pool ~n:60 (fun i ->
+          Trace.with_span "par.outer" (fun () ->
+              Trace.instant "par.tick";
+              Trace.with_span "par.inner" (fun () -> ignore (i * i)))));
+  Trace.stop ();
+  Alcotest.(check int) "5 events per index" (60 * 5) (Trace.n_events ());
+  let path = Filename.temp_file "ufp-test-par-trace" ".jsonl" in
+  Trace.save_jsonl path;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  Sys.remove path;
+  Trace.clear ();
+  Alcotest.(check int) "all events exported" (60 * 5) (List.length lines);
+  Alcotest.(check int) "balanced" (count_phase lines "B") (count_phase lines "E");
+  (* Depth per tid, and global ts monotonicity, exactly what
+     bin/trace_check.ml enforces on the CLI path. *)
+  let depths = Hashtbl.create 8 in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun line ->
+      let field key =
+        match String.index_opt line ':' with
+        | None -> None
+        | Some _ ->
+          let marker = Printf.sprintf "\"%s\": " key in
+          let rec find from =
+            if from + String.length marker > String.length line then None
+            else if String.sub line from (String.length marker) = marker then
+              Some (from + String.length marker)
+            else find (from + 1)
+          in
+          find 0
+      in
+      let num_at pos =
+        let stop = ref pos in
+        while
+          !stop < String.length line
+          && (match line.[!stop] with
+             | '0' .. '9' | '.' | '-' | 'e' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string (String.sub line pos (!stop - pos))
+      in
+      let tid =
+        match field "tid" with
+        | Some pos -> int_of_float (num_at pos)
+        | None -> Alcotest.fail "event without tid"
+      in
+      let ts =
+        match field "ts" with
+        | Some pos -> num_at pos
+        | None -> Alcotest.fail "event without ts"
+      in
+      if ts < !last_ts then Alcotest.fail "ts regressed across domains";
+      last_ts := ts;
+      let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+      if contains line "\"ph\": \"B\"" then Hashtbl.replace depths tid (d + 1)
+      else if contains line "\"ph\": \"E\"" then begin
+        if d = 0 then Alcotest.fail "unmatched E on a tid";
+        Hashtbl.replace depths tid (d - 1)
+      end)
+    lines;
+  Hashtbl.iter
+    (fun tid d ->
+      if d <> 0 then Alcotest.failf "tid %d left %d spans open" tid d)
+    depths
+
 (* --- the determinism law --- *)
 
 let grid_instance ~rows ~cols ~capacity ~count seed =
@@ -238,6 +344,13 @@ let () =
             test_trace_spans_balance;
           Alcotest.test_case "ring overflow stays balanced" `Quick
             test_trace_ring_overflow_stays_balanced;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "metrics lose no updates across domains" `Quick
+            test_metrics_domain_safe;
+          Alcotest.test_case "trace tags and balances per domain" `Quick
+            test_trace_domain_safe;
         ] );
       ( "laws",
         [

@@ -1,0 +1,179 @@
+(* Tests for Ufp_par.Pool: the fixed-size domain pool behind the
+   parallel payment engine.
+
+   Unit coverage: exactly-once index execution, parallel_mapi slot
+   placement, chunked claiming, pool reuse across jobs, worker-less
+   (size 1) pools, empty jobs, exception propagation with the pool
+   surviving, shutdown semantics, and the with_jobs/jobs_from_env
+   CLI conveniences.  The end-to-end bitwise payment laws live in
+   test_mech.ml. *)
+
+module Pool = Ufp_par.Pool
+
+(* Shared across cases: the tests exercise reuse anyway, and on a
+   single-core host repeated spawn/join is the slow part. *)
+let pool3 = lazy (Pool.create ~domains:3 ())
+
+let () =
+  at_exit (fun () ->
+      if Lazy.is_val pool3 then Pool.shutdown (Lazy.force pool3))
+
+let test_create_invalid () =
+  Alcotest.check_raises "domains = 0 rejected"
+    (Invalid_argument "Ufp_par.Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()))
+
+let test_size () =
+  Alcotest.(check int) "size 3" 3 (Pool.size (Lazy.force pool3));
+  let p1 = Pool.create ~domains:1 () in
+  Alcotest.(check int) "size 1" 1 (Pool.size p1);
+  Pool.shutdown p1
+
+let test_mapi_matches_init () =
+  let pool = `Pool (Lazy.force pool3) in
+  let f i = (i * i) + 1 in
+  Alcotest.(check (array int))
+    "mapi = Array.init" (Array.init 100 f)
+    (Pool.parallel_mapi ~pool ~n:100 f)
+
+let test_mapi_floats_bitwise () =
+  let pool = `Pool (Lazy.force pool3) in
+  let f i = Float.ldexp (sin (float_of_int i)) (i mod 7) in
+  let seq = Array.init 257 f in
+  let par = Pool.parallel_mapi ~pool ~chunk:5 ~n:257 f in
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x par.(i)) then
+        Alcotest.failf "slot %d differs: %h vs %h" i x par.(i))
+    seq
+
+let test_for_exactly_once () =
+  let n = 1000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_for ~pool:(`Pool (Lazy.force pool3)) ~chunk:3 ~n (fun i ->
+      Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h ->
+      if Atomic.get h <> 1 then
+        Alcotest.failf "index %d ran %d times" i (Atomic.get h))
+    hits
+
+let test_reuse_across_jobs () =
+  let pool = `Pool (Lazy.force pool3) in
+  for round = 1 to 20 do
+    let got = Pool.parallel_mapi ~pool ~n:round (fun i -> i + round) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init round (fun i -> i + round))
+      got
+  done
+
+let test_worker_less_pool () =
+  (* domains = 1: no workers are spawned, the caller drains the job. *)
+  let p = Pool.create ~domains:1 () in
+  Alcotest.(check (array int))
+    "caller-only execution" (Array.init 10 succ)
+    (Pool.parallel_mapi ~pool:(`Pool p) ~n:10 succ);
+  Pool.shutdown p
+
+let test_empty_job () =
+  let pool = `Pool (Lazy.force pool3) in
+  Alcotest.(check (array int)) "n = 0 mapi" [||] (Pool.parallel_mapi ~pool ~n:0 succ);
+  Pool.parallel_for ~pool ~n:0 (fun _ -> Alcotest.fail "body must not run")
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let pool = `Pool (Lazy.force pool3) in
+  (try
+     Pool.parallel_for ~pool ~n:100 (fun i -> if i = 41 then raise (Boom i));
+     Alcotest.fail "expected Boom"
+   with Boom 41 -> ());
+  (* The pool survives a failed job. *)
+  Alcotest.(check (array int))
+    "pool usable after exception" (Array.init 8 succ)
+    (Pool.parallel_mapi ~pool ~n:8 succ)
+
+let test_seq_default () =
+  (* Without a pool the calls are plain loops on the calling domain. *)
+  Alcotest.(check (array int)) "seq mapi" (Array.init 9 succ)
+    (Pool.parallel_mapi ~n:9 succ);
+  let sum = ref 0 in
+  Pool.parallel_for ~n:5 (fun i -> sum := !sum + i);
+  Alcotest.(check int) "seq for" 10 !sum
+
+let test_shutdown_rejects_jobs () =
+  let p = Pool.create ~domains:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "post-shutdown job rejected"
+    (Invalid_argument "Ufp_par.Pool: job submitted after shutdown") (fun () ->
+      Pool.parallel_for ~pool:(`Pool p) ~n:4 ignore)
+
+let test_with_pool_cleans_up () =
+  let leaked = ref None in
+  let out =
+    Pool.with_pool ~domains:2 (fun choice ->
+        (match choice with `Pool p -> leaked := Some p | `Seq -> ());
+        Pool.parallel_mapi ~pool:choice ~n:6 succ)
+  in
+  Alcotest.(check (array int)) "result" (Array.init 6 succ) out;
+  match !leaked with
+  | None -> Alcotest.fail "with_pool must pass a pool"
+  | Some p ->
+    Alcotest.check_raises "pool shut down on exit"
+      (Invalid_argument "Ufp_par.Pool: job submitted after shutdown")
+      (fun () -> Pool.parallel_for ~pool:(`Pool p) ~n:1 ignore)
+
+let test_with_jobs () =
+  Alcotest.(check bool) "jobs 1 is Seq" true
+    (Pool.with_jobs 1 (function `Seq -> true | `Pool _ -> false));
+  Alcotest.(check bool) "jobs 3 is a pool of 3" true
+    (Pool.with_jobs 3 (function `Seq -> false | `Pool p -> Pool.size p = 3));
+  (* jobs = 0 resolves to the host's recommended count, which on a
+     single-core machine legitimately degenerates to `Seq. *)
+  let expected_domains = Domain.recommended_domain_count () in
+  Alcotest.(check bool) "jobs 0 uses the recommended count" true
+    (Pool.with_jobs 0 (function
+      | `Seq -> expected_domains <= 1
+      | `Pool p -> Pool.size p = expected_domains))
+
+let test_jobs_from_env () =
+  (* The suite may itself run under UFP_JOBS (CI exports it), so test
+     against whatever the environment actually says. *)
+  let expected =
+    match Sys.getenv_opt "UFP_JOBS" with
+    | None -> 7
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 0 -> j
+      | _ -> 7)
+  in
+  Alcotest.(check int) "env/default honoured" expected
+    (Pool.jobs_from_env ~default:7 ())
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          tc "create validates" `Quick test_create_invalid;
+          tc "size" `Quick test_size;
+          tc "mapi matches Array.init" `Quick test_mapi_matches_init;
+          tc "mapi floats bitwise" `Quick test_mapi_floats_bitwise;
+          tc "each index exactly once" `Quick test_for_exactly_once;
+          tc "reuse across jobs" `Quick test_reuse_across_jobs;
+          tc "worker-less pool" `Quick test_worker_less_pool;
+          tc "empty job" `Quick test_empty_job;
+          tc "exception propagates" `Quick test_exception_propagates;
+          tc "sequential default" `Quick test_seq_default;
+          tc "shutdown" `Quick test_shutdown_rejects_jobs;
+        ] );
+      ( "conveniences",
+        [
+          tc "with_pool cleans up" `Quick test_with_pool_cleans_up;
+          tc "with_jobs" `Quick test_with_jobs;
+          tc "jobs_from_env" `Quick test_jobs_from_env;
+        ] );
+    ]
