@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick examples doc clean trace-demo par-demo
+.PHONY: all build test lint bench bench-quick bench-json examples doc clean trace-demo par-demo
 
 all: build
 
@@ -41,6 +41,12 @@ bench-quick:
 
 bench-csv:
 	dune exec bench/main.exe -- --csv results
+
+# PR 5 perf artifact: list-vs-CSR Dijkstra micros and the
+# EXP-SCALE-SELECTOR end-to-end wall times, as JSON (schema in
+# EXPERIMENTS.md).
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR5.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -9,7 +9,11 @@
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --no-micro   # skip bechamel section
      dune exec bench/main.exe -- --csv DIR    # also save tables as CSV
-     dune exec bench/main.exe -- --markdown F # also save a markdown report *)
+     dune exec bench/main.exe -- --markdown F # also save a markdown report
+     dune exec bench/main.exe -- --json F     # PR 5 perf artifact only:
+                                              # list-vs-CSR Dijkstra micros +
+                                              # EXP-SCALE-SELECTOR wall times
+                                              # (schema in EXPERIMENTS.md) *)
 
 module Registry = Ufp_experiments.Registry
 module Harness = Ufp_experiments.Harness
@@ -24,12 +28,113 @@ module Reasonable = Ufp_core.Reasonable
 module Rng = Ufp_prelude.Rng
 module Float_tol = Ufp_prelude.Float_tol
 
+(* --- the pre-CSR list-based Dijkstra, kept here as the bench baseline ---
+
+   This is the adjacency-list traversal the graph core used before the
+   CSR view: prepend-lists walked with a closure-valued weight and
+   per-relaxation NaN/negative checks. The library no longer contains
+   it, so the list-vs-CSR micro comparison rebuilds it locally from the
+   public edge API. *)
+
+let legacy_adjacency g =
+  let adj = Array.make (Graph.n_vertices g) [] in
+  (* Prepend like the old core did: rows end up in reverse insertion
+     order, which is what the pre-CSR traversals actually walked. *)
+  Graph.fold_edges
+    (fun e () ->
+      adj.(e.Graph.u) <- (e.Graph.id, e.Graph.v) :: adj.(e.Graph.u);
+      if not (Graph.is_directed g) then
+        adj.(e.Graph.v) <- (e.Graph.id, e.Graph.u) :: adj.(e.Graph.v))
+    g ();
+  adj
+
+let legacy_list_dijkstra ~adj ~weight ~src ~dist ~parent_edge ~settled heap =
+  let n = Array.length dist in
+  Array.fill dist 0 n infinity;
+  Array.fill parent_edge 0 n (-1);
+  Array.fill settled 0 n false;
+  Ufp_prelude.Heap.clear heap;
+  dist.(src) <- 0.0;
+  Ufp_prelude.Heap.push heap 0.0 src;
+  let rec loop () =
+    match Ufp_prelude.Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        List.iter
+          (fun (e, v) ->
+            if not settled.(v) then begin
+              let w = weight e in
+              if Float.is_nan w then invalid_arg "Dijkstra: NaN edge weight";
+              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+              let d' = d +. w in
+              if d' < dist.(v) then begin
+                dist.(v) <- d';
+                parent_edge.(v) <- e;
+                Ufp_prelude.Heap.push heap d' v
+              end
+            end)
+          adj.(u)
+      end;
+      loop ()
+  in
+  loop ()
+
 (* --- bechamel micro-benchmarks: one per computational kernel --- *)
+
+(* The list-vs-CSR shortest-tree trio on one shared 12x12 grid:
+   the legacy list baseline, the CSR path including its per-call
+   weight-snapshot build, and the CSR inner loop alone against a
+   prebuilt snapshot (the steady-state Selector regime, where the
+   snapshot is cached across rebuilds of the same weight epoch). *)
+let dijkstra_compare_tests () =
+  let open Bechamel in
+  let grid = Gen.grid ~rows:12 ~cols:12 ~capacity:10.0 in
+  let rng = Rng.create 1 in
+  let weights =
+    Array.init (Graph.n_edges grid) (fun _ -> Rng.float_in rng 0.1 2.0)
+  in
+  let n = Graph.n_vertices grid in
+  let adj = legacy_adjacency grid in
+  let l_dist = Array.make n infinity in
+  let l_parent = Array.make n (-1) in
+  let l_settled = Array.make n false in
+  let l_heap = Ufp_prelude.Heap.create ~capacity:n () in
+  let dijkstra_list =
+    Test.make ~name:"dijkstra-list-grid-12x12"
+      (Staged.stage (fun () ->
+           legacy_list_dijkstra ~adj
+             ~weight:(fun e -> weights.(e))
+             ~src:0 ~dist:l_dist ~parent_edge:l_parent ~settled:l_settled
+             l_heap))
+  in
+  let ws = Dijkstra.create_workspace grid in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let dijkstra_csr =
+    Test.make ~name:"dijkstra-csr-grid-12x12"
+      (Staged.stage (fun () ->
+           Dijkstra.shortest_tree_into ws grid
+             ~weight:(fun e -> weights.(e))
+             ~src:0 ~dist ~parent_edge))
+  in
+  let snapshot =
+    Ufp_graph.Weight_snapshot.build grid ~weight:(fun e -> weights.(e))
+  in
+  let dijkstra_csr_snapshot =
+    Test.make ~name:"dijkstra-csr-snapshot-grid-12x12"
+      (Staged.stage (fun () ->
+           Dijkstra.shortest_tree_snapshot_into ws grid ~snapshot ~src:0 ~dist
+             ~parent_edge))
+  in
+  (grid, [ dijkstra_list; dijkstra_csr; dijkstra_csr_snapshot ])
 
 let micro_tests () =
   let open Bechamel in
-  (* Dijkstra on a 12x12 grid with random weights. *)
-  let grid = Gen.grid ~rows:12 ~cols:12 ~capacity:10.0 in
+  let grid, dijkstra_trio = dijkstra_compare_tests () in
+  (* Allocating Dijkstra on the same 12x12 grid (fresh workspace and
+     snapshot per call). *)
   let rng = Rng.create 1 in
   let weights =
     Array.init (Graph.n_edges grid) (fun _ -> Rng.float_in rng 0.1 2.0)
@@ -38,19 +143,6 @@ let micro_tests () =
     Test.make ~name:"dijkstra-grid-12x12"
       (Staged.stage (fun () ->
            ignore (Dijkstra.shortest_tree grid ~weight:(fun e -> weights.(e)) ~src:0)))
-  in
-  (* Reusable-workspace Dijkstra on the same grid (zero allocation per
-     solve once the workspace exists). *)
-  let ws = Dijkstra.create_workspace grid in
-  let n = Graph.n_vertices grid in
-  let dist = Array.make n infinity in
-  let parent_edge = Array.make n (-1) in
-  let dijkstra_ws =
-    Test.make ~name:"dijkstra-workspace-grid-12x12"
-      (Staged.stage (fun () ->
-           Dijkstra.shortest_tree_into ws grid
-             ~weight:(fun e -> weights.(e))
-             ~src:0 ~dist ~parent_edge))
   in
   (* Full Bounded-UFP solve (Theorem 3.1 instance), once per selection
      engine — the EXP-SCALE-SELECTOR comparison at micro scale. *)
@@ -137,45 +229,126 @@ let micro_tests () =
              (Ufp_mech.Single_param.payments ~rel_tol:Float_tol.coarse_slack
                 ~pool:(`Pool pay_pool) pay_model pay_inst)))
   in
-  [
-    dijkstra; dijkstra_ws; bounded_ufp; bounded_ufp_incr; bounded_muca;
-    staircase; mcf; colgen; maxflow; payment; payments_seq; payments_par;
-  ]
+  (dijkstra :: dijkstra_trio)
+  @ [
+      bounded_ufp; bounded_ufp_incr; bounded_muca; staircase; mcf; colgen;
+      maxflow; payment; payments_seq; payments_par;
+    ]
 
-let run_micro () =
+(* Run bechamel over [tests] and return [(kernel, ns_per_run, r_square)]
+   rows sorted by kernel name (the "micro " group prefix stripped). *)
+let ols_rows tests =
   let open Bechamel in
-  print_string "\n### MICRO: bechamel kernel benchmarks\n";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let table =
-    Ufp_prelude.Table.create ~title:"MICRO: ns per run (OLS on monotonic clock)"
-      ~columns:[ "kernel"; "ns/run"; "r^2" ]
+  let strip name =
+    match String.index_opt name ' ' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
   in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
       let estimate =
         match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Printf.sprintf "%.0f" x
-        | _ -> "-"
+        | Some (x :: _) -> Some x
+        | _ -> None
       in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      rows := (name, estimate, r2) :: !rows)
+      rows := (strip name, estimate, Analyze.OLS.r_square ols_result) :: !rows)
     results;
+  List.sort compare !rows
+
+let run_micro () =
+  print_string "\n### MICRO: bechamel kernel benchmarks\n";
+  let table =
+    Ufp_prelude.Table.create ~title:"MICRO: ns per run (OLS on monotonic clock)"
+      ~columns:[ "kernel"; "ns/run"; "r^2" ]
+  in
   List.iter
-    (fun (name, est, r2) -> Ufp_prelude.Table.add_row table [ name; est; r2 ])
-    (List.sort compare !rows);
+    (fun (name, est, r2) ->
+      let est =
+        match est with Some x -> Printf.sprintf "%.0f" x | None -> "-"
+      in
+      let r2 = match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+      Ufp_prelude.Table.add_row table [ name; est; r2 ])
+    (ols_rows (micro_tests ()));
   Ufp_prelude.Table.print table
+
+(* --- the PR 5 perf artifact: BENCH_PR5.json ---
+
+   `make bench-json` runs only what the CSR change claims to speed up —
+   the list-vs-CSR Dijkstra trio and the EXP-SCALE-SELECTOR end-to-end
+   wall times — and writes them as JSON (schema in EXPERIMENTS.md). *)
+
+let json_float = function
+  | Some x when Float.is_finite x -> Printf.sprintf "%.6g" x
+  | Some _ | None -> "null"
+
+let run_bench_json path =
+  let _grid, trio = dijkstra_compare_tests () in
+  print_string "### BENCH-JSON: list-vs-CSR Dijkstra micros\n";
+  let micro_rows = ols_rows trio in
+  List.iter
+    (fun (name, est, _) ->
+      Printf.printf "  %-34s %s ns/run\n" name (json_float est))
+    micro_rows;
+  print_string "### BENCH-JSON: EXP-SCALE-SELECTOR end-to-end\n";
+  let eps = 0.3 in
+  let exp_rows =
+    List.map
+      (fun (rows, cols, count) ->
+        let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+        let capacity = Harness.capacity_for ~m ~eps in
+        let inst = Harness.grid_instance ~seed:1 ~rows ~cols ~capacity ~count in
+        let naive, t_naive =
+          Harness.time_it (fun () -> Bounded_ufp.run ~eps ~selector:`Naive inst)
+        in
+        let incr, t_incr =
+          Harness.time_it (fun () ->
+              Bounded_ufp.run ~eps ~selector:`Incremental inst)
+        in
+        let equal = naive.Bounded_ufp.trace = incr.Bounded_ufp.trace in
+        Printf.printf "  %dx%d %d req: naive %.3fs incremental %.3fs equal %b\n"
+          rows cols count t_naive t_incr equal;
+        (rows, cols, count, m, t_naive, t_incr, equal))
+      [ (6, 6, 200); (8, 8, 400) ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr5/1\",\n";
+  Buffer.add_string buf "  \"dijkstra_micro\": [\n";
+  List.iteri
+    (fun i (name, est, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kernel\": %S, \"ns_per_run\": %s, \"r_square\": %s }%s\n"
+           name (json_float est) (json_float r2)
+           (if i = List.length micro_rows - 1 then "" else ",")))
+    micro_rows;
+  Buffer.add_string buf "  ],\n  \"selector_end_to_end\": [\n";
+  List.iteri
+    (fun i (rows, cols, count, m, t_naive, t_incr, equal) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"grid\": \"%dx%d\", \"edges\": %d, \"requests\": %d, \
+            \"naive_s\": %.6f, \"incremental_s\": %.6f, \"speedup\": %.4f, \
+            \"traces_equal\": %b }%s\n"
+           rows cols m count t_naive t_incr
+           (t_naive /. Float.max t_incr Float_tol.div_guard)
+           equal
+           (if i = List.length exp_rows - 1 then "" else ",")))
+    exp_rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "wrote %s\n" path
 
 (* --- driver --- *)
 
@@ -194,6 +367,11 @@ let () =
   let only = flag_value "--only" in
   let csv_dir = flag_value "--csv" in
   let markdown_path = flag_value "--markdown" in
+  (match flag_value "--json" with
+  | Some path ->
+    run_bench_json path;
+    exit 0
+  | None -> ());
   let markdown_buf = Buffer.create 4096 in
   (* Run each experiment once; print and optionally persist as CSV. *)
   let emit (entry : Registry.entry) =

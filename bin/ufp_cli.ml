@@ -157,13 +157,39 @@ let generate_cmd =
 
 (* --- solve --- *)
 
-let pick_algo name eps seed =
+(* Human-readable account of the --jobs choice; None for the silent
+   sequential default so single-domain output is unchanged. *)
+let pool_description jobs =
+  if jobs = 1 then None
+  else
+    let domains =
+      if jobs = 0 then Domain.recommended_domain_count () else jobs
+    in
+    Some
+      (if domains <= 1 then
+         Printf.sprintf "sequential (%d domain recommended)" domains
+       else Printf.sprintf "parallel across %d domains" domains)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.jobs_from_env ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the parallel regions — stale selector-tree rebuilds under \
+           $(b,solve), per-winner critical-value bisections under \
+           $(b,payments) — out over $(docv) domains (the Ufp_par pool). \
+           $(b,1) (the default) stays sequential; $(b,0) means the \
+           runtime's recommended domain count. Results are bitwise \
+           identical at any job count. Defaults to \\$UFP_JOBS when set.")
+
+let pick_algo name eps seed pool =
   match name with
-  | "bounded-ufp" -> fun inst -> Bounded_ufp.solve ~eps inst
-  | "repeat" -> fun inst -> Repeat.solve ~eps inst
+  | "bounded-ufp" -> fun inst -> Bounded_ufp.solve ~eps ~pool inst
+  | "repeat" -> fun inst -> Repeat.solve ~eps ~pool inst
   | "greedy-density" -> Baselines.greedy_by_density
   | "greedy-value" -> Baselines.greedy_by_value
-  | "threshold-pd" -> fun inst -> Baselines.threshold_pd ~eps inst
+  | "threshold-pd" -> fun inst -> Baselines.threshold_pd ~eps ~pool inst
   | "rounding" -> Baselines.randomized_rounding ~eps:(Float.min eps 0.5) ~seed
   | "exact" -> (fun inst -> Exact.solve inst)
   | other ->
@@ -182,10 +208,11 @@ let warn_premise inst ~eps =
       (Instance.bound inst)
       (log (float_of_int (Graph.n_edges (Instance.graph inst))) /. (eps *. eps))
 
-let solve path algo_name eps seed verbose audit out metrics trace =
+let solve path algo_name eps seed jobs verbose audit out metrics trace =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
-  let algo = pick_algo algo_name eps seed in
+  Pool.with_jobs jobs @@ fun pool ->
+  let algo = pick_algo algo_name eps seed pool in
   let sol, elapsed =
     try
       with_observability ~metrics ~trace (fun () ->
@@ -197,13 +224,16 @@ let solve path algo_name eps seed verbose audit out metrics trace =
   let repetitions = algo_name = "repeat" in
   let value = Solution.value inst sol in
   Printf.printf "algorithm : %s\n" algo_name;
+  (match pool_description jobs with
+  | None -> ()
+  | Some d -> Printf.printf "selector rebuilds: %s\n" d);
   Printf.printf "allocated : %d / %d requests\n" (List.length sol)
     (Instance.n_requests inst);
   Printf.printf "value     : %.6g\n" value;
   Printf.printf "feasible  : %b\n" (Solution.is_feasible ~repetitions inst sol);
   Printf.printf "time      : %.3fs\n" elapsed;
   if algo_name = "bounded-ufp" then begin
-    let run = Bounded_ufp.run ~eps inst in
+    let run = Bounded_ufp.run ~eps ~pool inst in
     Printf.printf "certified OPT upper bound: %.6g (ratio <= %.4f)\n"
       run.Bounded_ufp.certified_upper_bound
       (if value > 0.0 then run.Bounded_ufp.certified_upper_bound /. value
@@ -213,7 +243,7 @@ let solve path algo_name eps seed verbose audit out metrics trace =
     if algo_name <> "bounded-ufp" then
       Printf.printf "note: --audit applies to bounded-ufp only\n"
     else begin
-      let run = Bounded_ufp.run ~eps inst in
+      let run = Bounded_ufp.run ~eps ~pool inst in
       Format.printf "%a" Ufp_core.Audit.pp (Ufp_core.Audit.bounded_ufp_run inst run)
     end
   end;
@@ -248,23 +278,10 @@ let solve_cmd =
   let doc = "solve a UFP instance" in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
-      const solve $ file_arg $ algo_arg $ eps_arg $ seed_arg $ verbose_arg
-      $ audit_arg $ out_arg $ metrics_arg $ trace_arg)
+      const solve $ file_arg $ algo_arg $ eps_arg $ seed_arg $ jobs_arg
+      $ verbose_arg $ audit_arg $ out_arg $ metrics_arg $ trace_arg)
 
 (* --- payments --- *)
-
-(* Human-readable account of the --jobs choice; None for the silent
-   sequential default so single-domain output is unchanged. *)
-let pool_description jobs =
-  if jobs = 1 then None
-  else
-    let domains =
-      if jobs = 0 then Domain.recommended_domain_count () else jobs
-    in
-    Some
-      (if domains <= 1 then
-         Printf.sprintf "sequential (%d domain recommended)" domains
-       else Printf.sprintf "parallel across %d domains" domains)
 
 let payments path eps jobs metrics trace =
   let inst = Instance.normalize (load_instance path) in
@@ -295,18 +312,6 @@ let payments path eps jobs metrics trace =
   let revenue = Array.fold_left ( +. ) 0.0 pay in
   Printf.printf "total revenue: %.6f\n" revenue;
   0
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Pool.jobs_from_env ())
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Fan the per-winner critical-value bisections out over $(docv) \
-           domains (the Ufp_par pool). $(b,1) (the default) stays \
-           sequential; $(b,0) means the runtime's recommended domain \
-           count. Payments are bitwise identical at any job count. \
-           Defaults to \\$UFP_JOBS when set.")
 
 let payments_cmd =
   let doc = "run the truthful mechanism and print critical-value payments" in
@@ -371,7 +376,7 @@ let export_dot path algo_name eps seed out =
     match algo_name with
     | None -> Ufp_instance.Dot.instance inst
     | Some name ->
-      let sol = pick_algo name eps seed inst in
+      let sol = pick_algo name eps seed `Seq inst in
       Ufp_instance.Dot.solution inst sol
   in
   (match out with

@@ -16,7 +16,11 @@ let m_iterations = Metrics.counter "pd.iterations"
 
 let m_dual_updates = Metrics.counter "pd.dual_updates"
 
-let m_residual_rejections = Metrics.counter "pd.residual_rejections"
+(* Rejection counting moved from pd.* to selector.*: since weight
+   snapshots, the closure below runs once per edge per snapshot build
+   (selector cache economics), not once per Dijkstra relaxation, so
+   its count is no longer selection-engine-invariant. *)
+let m_residual_rejections = Metrics.counter "selector.residual_rejections"
 
 let h_path_edges = Metrics.histogram "pd.path_edges"
 
@@ -56,7 +60,7 @@ let greedy_by_value inst =
   let by_value a b = Float.compare b.Request.value a.Request.value in
   route_in_order inst (sorted_indices inst by_value)
 
-let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
+let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) ?(pool = `Seq) inst =
   if not (eps > 0.0 && eps <= 1.0) then
     invalid_arg "Baselines.threshold_pd: eps must be in (0, 1]";
   if not (Instance.is_normalized inst) then
@@ -70,7 +74,7 @@ let threshold_pd ?(eps = 0.1) ?(selector = `Incremental) inst =
   let y = Array.init m (fun e -> 1.0 /. Graph.capacity g e) in
   let residual = Array.init m (fun e -> Graph.capacity g e) in
   let sel =
-    Selector.create ~kind:selector
+    Selector.create ~kind:selector ~pool
       ~weights:
         (Selector.Per_demand
            (fun ~demand e ->

@@ -44,6 +44,7 @@ val budget : eps:float -> b:float -> float
 val run :
   ?eps:float ->
   ?selector:Selector.kind ->
+  ?pool:Ufp_par.Pool.choice ->
   Ufp_instance.Instance.t ->
   run
 (** Execute the algorithm. [eps] defaults to [0.1] and must lie in
@@ -57,11 +58,16 @@ val run :
     [O(|R| * (|R| + sources * (m + n log n)))] — one Dijkstra per
     distinct pending source per iteration; with [`Incremental] only
     the trees invalidated by the previous dual update are recomputed,
-    and only when a stale candidate surfaces at the heap top. *)
+    and only when a stale candidate surfaces at the heap top.
+
+    [pool] (default [`Seq]) fans the selector's stale-tree rebuilds
+    out across an {!Ufp_par.Pool}; decisions are bitwise identical
+    either way (see {!Selector}). *)
 
 val solve :
   ?eps:float ->
   ?selector:Selector.kind ->
+  ?pool:Ufp_par.Pool.choice ->
   Ufp_instance.Instance.t ->
   Ufp_instance.Solution.t
 (** Just the allocation of {!run}. *)

@@ -46,7 +46,11 @@ let m_iterations = Metrics.counter "pd.iterations"
 
 let m_dual_updates = Metrics.counter "pd.dual_updates"
 
-let m_residual_rejections = Metrics.counter "pd.residual_rejections"
+(* Not pd.*: since weight snapshots, a rejection is counted once per
+   edge per snapshot build — how often snapshots are built is selector
+   cache economics (it differs across engines and pool modes), so the
+   counter lives with the other selector.* counters. *)
+let m_residual_rejections = Metrics.counter "selector.residual_rejections"
 
 let g_d1_growth = Metrics.gauge "pd.d1_growth"
 
@@ -73,7 +77,8 @@ type run = {
   final_y : float array;
 }
 
-let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst =
+let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental)
+    ?(pool = `Seq) config inst =
   if not (config.eps > 0.0 && config.eps <= 1.0) then
     invalid_arg "Pd_engine: eps must be in (0, 1]";
   if not (Instance.is_normalized inst) then
@@ -105,7 +110,7 @@ let execute ?(max_iterations = 1_000_000) ?(selector = `Incremental) config inst
     else (Selector.Uniform (fun e -> y.(e)), fun _ _ -> ())
   in
   let weights, consume_residual = weights in
-  let sel = Selector.create ~kind:selector ~weights inst in
+  let sel = Selector.create ~kind:selector ~pool ~weights inst in
   let d1 = ref (float_of_int m) in
   let solution = ref [] in
   let iterations = ref 0 in

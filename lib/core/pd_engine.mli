@@ -69,6 +69,7 @@ val capacity_slack : float
 val execute :
   ?max_iterations:int ->
   ?selector:Selector.kind ->
+  ?pool:Ufp_par.Pool.choice ->
   config ->
   Ufp_instance.Instance.t ->
   run
@@ -79,14 +80,18 @@ val execute :
     the lowest request index, matching {!Bounded_ufp}.
 
     [selector] picks the {!Selector} engine (default [`Incremental];
-    both engines make identical decisions). Residual bookkeeping is
-    only maintained when [respect_residual] is set — Budget-mode runs
-    carry no residual state at all.
+    both engines make identical decisions); [pool] (default [`Seq])
+    fans the selector's stale-tree rebuilds out across an
+    {!Ufp_par.Pool} with bitwise-identical decisions. Residual
+    bookkeeping is only maintained when [respect_residual] is set —
+    Budget-mode runs carry no residual state at all.
 
     Work accounting: each run increments the [pd.*] metrics of
-    {!Ufp_obs.Metrics} (iterations, per-edge dual updates, residual
-    rejections, [D1] growth, a path-length histogram) and, when
-    {!Ufp_obs.Trace} is enabled, emits a [pd.execute] span with one
-    [pd.select] instant per iteration. The [pd.*] values are pure
-    functions of the selection trace, hence identical across selector
-    engines and across repeated runs (see docs/OBSERVABILITY.md). *)
+    {!Ufp_obs.Metrics} (iterations, per-edge dual updates, [D1]
+    growth, a path-length histogram) and, when {!Ufp_obs.Trace} is
+    enabled, emits a [pd.execute] span with one [pd.select] instant
+    per iteration. The [pd.*] values are pure functions of the
+    selection trace, hence identical across selector engines, pool
+    modes, and repeated runs (see docs/OBSERVABILITY.md); residual
+    rejections are counted per snapshot build under
+    [selector.residual_rejections] — cache economics, not pd.*. *)

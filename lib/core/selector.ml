@@ -1,7 +1,9 @@
 module Graph = Ufp_graph.Graph
 module Dijkstra = Ufp_graph.Dijkstra
+module Weight_snapshot = Ufp_graph.Weight_snapshot
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
+module Pool = Ufp_par.Pool
 
 type kind = [ `Naive | `Incremental ]
 
@@ -11,6 +13,8 @@ type kind = [ `Naive | `Incremental ]
    directly comparable because the algorithm-level counters (owned by
    the callers) are identical across engines. *)
 let m_rebuilds = Ufp_obs.Metrics.counter "selector.tree_rebuilds"
+
+let m_par_rebuilds = Ufp_obs.Metrics.counter "selector.par_rebuilds"
 
 let m_cache_hits = Ufp_obs.Metrics.counter "selector.cache_hits"
 
@@ -41,16 +45,30 @@ type group = {
   dist : float array;
   parent_edge : int array;
   mutable members : int list;  (* pending request indices, increasing *)
+  (* Per-group snapshot cache for Per_demand weights (each demand sees
+     its own residual filtering). Valid while [snap_epoch] matches the
+     selector's weight epoch. *)
+  mutable snap : Weight_snapshot.t option;
+  mutable snap_epoch : int;
 }
 
 type t = {
   graph : Graph.t;
   inst : Instance.t;
   kind : kind;
+  pool : Pool.choice;
+  uniform : bool;  (* all groups share one weight function *)
   groups : group array;  (* in order of first appearance by request *)
   group_of : group array;  (* request index -> its group *)
   pending : bool array;
   mutable n_pending : int;
+  (* Weight epoch: bumped by every update_path announcement. A cached
+     Weight_snapshot is valid exactly while its build epoch matches. *)
+  mutable epoch : int;
+  (* Shared snapshot cache for Uniform weights (one weight vector
+     serves every group in an epoch). *)
+  mutable uniform_snap : Weight_snapshot.t option;
+  mutable uniform_snap_epoch : int;
   (* edge id -> groups whose cached tree used the edge, tagged with the
      group version at registration (stale tags are dropped lazily). *)
   deps : (group * int) list array;
@@ -136,7 +154,7 @@ let heap_pop t =
 
 (* --- construction --- *)
 
-let create ?(kind = `Incremental) ~weights inst =
+let create ?(kind = `Incremental) ?(pool = `Seq) ~weights inst =
   let graph = Instance.graph inst in
   let n = Graph.n_vertices graph in
   let m = Graph.n_edges graph in
@@ -170,6 +188,8 @@ let create ?(kind = `Incremental) ~weights inst =
           dist = Array.make n infinity;
           parent_edge = Array.make n (-1);
           members = [ i ];
+          snap = None;
+          snap_epoch = -1;
         }
       in
       Hashtbl.add tbl key grp;
@@ -187,15 +207,24 @@ let create ?(kind = `Incremental) ~weights inst =
       arr
     end
   in
+  (* Force the CSR build on this domain now: pooled rebuilds must only
+     ever read the frozen view, and the graph.csr_builds count stays
+     the same whether or not a pool is attached. *)
+  ignore (Graph.csr graph);
   let t =
     {
       graph;
       inst;
       kind;
+      pool;
+      uniform = (match weights with Uniform _ -> true | Per_demand _ -> false);
       groups;
       group_of;
       pending = Array.make (max n_req 1) true;
       n_pending = n_req;
+      epoch = 0;
+      uniform_snap = None;
+      uniform_snap_epoch = -1;
       deps = Array.make (max m 1) [];
       ws = Dijkstra.create_workspace graph;
       hk = Array.make (max 16 n_req) 0.0;
@@ -217,12 +246,46 @@ let n_pending t = t.n_pending
 
 let is_empty t = t.n_pending = 0
 
+(* --- snapshot cache --- *)
+
+(* The snapshot for [grp] in the current weight epoch. Uniform weights
+   share one snapshot across all groups; Per_demand weights get one per
+   group (slot writes are race-free under the pool: each group is
+   rebuilt by exactly one task). *)
+let snapshot_for t grp =
+  if t.uniform then begin
+    match t.uniform_snap with
+    | Some s when t.uniform_snap_epoch = t.epoch -> s
+    | _ ->
+      let s = Weight_snapshot.build t.graph ~weight:grp.weight in
+      t.uniform_snap <- Some s;
+      t.uniform_snap_epoch <- t.epoch;
+      s
+  end
+  else begin
+    match grp.snap with
+    | Some s when grp.snap_epoch = t.epoch -> s
+    | _ ->
+      let s = Weight_snapshot.build t.graph ~weight:grp.weight in
+      grp.snap <- Some s;
+      grp.snap_epoch <- t.epoch;
+      s
+  end
+
 (* --- tree maintenance --- *)
 
-let rebuild t grp =
+(* A rebuild is split in two: [rebuild_tree] (the Dijkstra — pure
+   w.r.t. shared state, safe to fan out across domains with a private
+   workspace) and [commit_rebuild] (version bump + edge->dependents
+   registration — always on the calling domain, in deterministic group
+   order). *)
+let rebuild_tree t grp ws =
+  let snapshot = snapshot_for t grp in
+  Dijkstra.shortest_tree_snapshot_into ws t.graph ~snapshot ~src:grp.src
+    ~dist:grp.dist ~parent_edge:grp.parent_edge
+
+let commit_rebuild t grp =
   Ufp_obs.Metrics.incr m_rebuilds;
-  Dijkstra.shortest_tree_into t.ws t.graph ~weight:grp.weight ~src:grp.src
-    ~dist:grp.dist ~parent_edge:grp.parent_edge;
   grp.version <- grp.version + 1;
   grp.fresh <- true;
   (* Index every tree edge so a dual update on it invalidates this
@@ -232,7 +295,33 @@ let rebuild t grp =
       (fun e -> if e >= 0 then t.deps.(e) <- (grp, grp.version) :: t.deps.(e))
       grp.parent_edge
 
+let rebuild t grp =
+  rebuild_tree t grp t.ws;
+  commit_rebuild t grp
+
+(* Rebuild every group in [stale] on the pool, then commit on this
+   domain in array order. The trees are bitwise identical to
+   sequential rebuilds: each Dijkstra writes only its own group's
+   arrays (plus its private workspace) from one snapshot built for
+   this epoch, and Dijkstra itself is a pure function of (CSR,
+   snapshot, src) — see docs/PARALLELISM.md. *)
+let rebuild_parallel t p stale =
+  let n = Array.length stale in
+  if n > 0 then begin
+    if t.uniform then ignore (snapshot_for t stale.(0));
+    Pool.parallel_for ~pool:(`Pool p) ~n (fun i ->
+        let grp = stale.(i) in
+        let ws = Dijkstra.create_workspace t.graph in
+        rebuild_tree t grp ws);
+    Array.iter
+      (fun grp ->
+        Ufp_obs.Metrics.incr m_par_rebuilds;
+        commit_rebuild t grp)
+      stale
+  end
+
 let update_path t path =
+  t.epoch <- t.epoch + 1;
   List.iter
     (fun e ->
       match t.deps.(e) with
@@ -274,13 +363,24 @@ let path_for t grp i =
 
 (* Recompute every group with a pending member, scan every pending
    request — the reference implementation the incremental selector is
-   proven (and property-tested) equivalent to. *)
+   proven (and property-tested) equivalent to. With a pool, the same
+   set of rebuilds runs fanned out (scheduling changes, counts and
+   trees do not). *)
 let select_naive t =
+  (match t.pool with
+  | `Seq -> Array.iter (fun grp -> if grp.members <> [] then rebuild t grp) t.groups
+  | `Pool p ->
+    let live =
+      Array.of_list
+        (List.filter
+           (fun grp -> grp.members <> [])
+           (Array.to_list t.groups))
+    in
+    rebuild_parallel t p live);
   let best = ref None in
   Array.iter
     (fun grp ->
-      if grp.members <> [] then begin
-        rebuild t grp;
+      if grp.members <> [] then
         List.iter
           (fun i ->
             let alpha = score t grp i in
@@ -294,14 +394,30 @@ let select_naive t =
               in
               if better then best := Some (alpha, i, grp)
             end)
-          grp.members
-      end)
+          grp.members)
     t.groups;
   match !best with
   | None -> None
   | Some (alpha, i, grp) -> Some { request = i; path = path_for t grp i; alpha }
 
 let select_incremental t =
+  (* With a pool, refresh every stale live tree eagerly and in
+     parallel before consulting the heap. This can rebuild trees the
+     lazy path would have skipped (selector.tree_rebuilds is cache
+     economics and legitimately differs from `Seq), but the selection
+     itself is unchanged: a fresh tree is a pure function of the
+     current weights, so re-scored candidates pop in the same
+     (alpha, index) order either way. *)
+  (match t.pool with
+  | `Seq -> ()
+  | `Pool p ->
+    let stale =
+      Array.of_list
+        (List.filter
+           (fun grp -> grp.members <> [] && not grp.fresh)
+           (Array.to_list t.groups))
+    in
+    rebuild_parallel t p stale);
   let rec loop () =
     match heap_pop t with
     | None -> None

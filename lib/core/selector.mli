@@ -40,7 +40,29 @@
     (identical (request, path, alpha) traces on random instances), so
     the Theorem 3.1 approximation and the Lemma 3.4 monotonicity /
     truthfulness guarantees — which are statements about the selection
-    order — carry over to the incremental engine unchanged. *)
+    order — carry over to the incremental engine unchanged.
+
+    {b Weight snapshots.} Tree (re)computations run over the
+    {!Ufp_graph.Graph.csr} view with a {!Ufp_graph.Weight_snapshot}
+    materialised once per {e weight epoch} (an epoch ends at each
+    {!update_path} announcement): Uniform weights share one snapshot
+    across all groups, Per_demand weights cache one per group. The
+    snapshot is invalidated by the same announcement that invalidates
+    the trees, so stale weights can never leak into a rebuild.
+
+    {b Parallel rebuilds.} With [?pool:(`Pool p)], tree rebuilds for
+    distinct groups fan out on the {!Ufp_par.Pool} (each task gets a
+    private Dijkstra workspace; version bumps and edge->dependents
+    registration stay on the calling domain, in group order). Trees
+    are bitwise identical to sequential rebuilds — Dijkstra is a pure
+    function of (CSR view, snapshot, source) — so selections are too;
+    the QCheck laws check all four kind x pool combinations. For
+    [`Naive] the pooled run performs {e exactly} the rebuilds the
+    sequential run would. For [`Incremental] every stale live tree is
+    refreshed eagerly before the heap is consulted, which may rebuild
+    trees the lazy sequential path skips: [selector.tree_rebuilds] is
+    cache economics and may differ from [`Seq]; the selection trace
+    does not. Pooled rebuilds are counted by [selector.par_rebuilds]. *)
 
 type kind = [ `Naive | `Incremental ]
 
@@ -60,12 +82,23 @@ type choice = {
 
 type t
 
-val create : ?kind:kind -> weights:weights -> Ufp_instance.Instance.t -> t
+val create :
+  ?kind:kind ->
+  ?pool:Ufp_par.Pool.choice ->
+  weights:weights ->
+  Ufp_instance.Instance.t ->
+  t
 (** A selector over all requests of the instance, all initially
-    pending. [kind] defaults to [`Incremental]. The weight functions
-    are read lazily at (re)computation time, so passing closures over
-    the solver's mutable dual array is the intended usage — but every
-    weight change must be announced through {!update_path}. *)
+    pending. [kind] defaults to [`Incremental]; [pool] (default
+    [`Seq]) fans stale-tree rebuilds out across domains, with
+    bitwise-identical trees (see the module preamble). The weight
+    functions are read lazily at (re)computation time — materialised
+    into a {!Ufp_graph.Weight_snapshot} once per weight epoch — so
+    passing closures over the solver's mutable dual array is the
+    intended usage; but every weight change must be announced through
+    {!update_path}. Weight functions must be safe to call from worker
+    domains when a pool is attached (the repo's closures only read
+    solver arrays that are quiescent during selection). *)
 
 val select : t -> choice option
 (** The pending request minimising [(alpha, index)] lexicographically
@@ -76,8 +109,9 @@ val select : t -> choice option
 val update_path : t -> int list -> unit
 (** [update_path t p] announces that the weights of the edges of [p]
     changed (grew). Invalidates exactly the cached trees that used one
-    of those edges. Must be called after every dual/residual update and
-    before the next {!select}. *)
+    of those edges, and ends the current weight epoch (all cached
+    weight snapshots). Must be called after every dual/residual update
+    and before the next {!select}. *)
 
 val remove : t -> int -> unit
 (** Remove a request from the pending pool. Removing an

@@ -89,7 +89,7 @@ let heap_pop ws =
     Some (k, v)
   end
 
-let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
+let shortest_tree_snapshot_into ws g ~snapshot ~src ~dist ~parent_edge =
   let n = Graph.n_vertices g in
   if ws.ws_n <> n then
     invalid_arg "Dijkstra.shortest_tree_into: workspace built for another graph";
@@ -97,39 +97,53 @@ let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
     invalid_arg "Dijkstra.shortest_tree_into: bad source";
   if Array.length dist <> n || Array.length parent_edge <> n then
     invalid_arg "Dijkstra.shortest_tree_into: output arrays must have length n";
+  if Weight_snapshot.length snapshot <> Graph.n_edges g then
+    invalid_arg "Dijkstra.shortest_tree_into: snapshot built for another graph";
   Array.fill dist 0 n infinity;
   Array.fill parent_edge 0 n (-1);
   Array.fill ws.ws_settled 0 n false;
   ws.ws_size <- 0;
   Ufp_obs.Metrics.incr m_runs;
+  let csr = Graph.csr g in
+  let row_start = csr.Graph.Csr.row_start
+  and nbr = csr.Graph.Csr.nbr
+  and eid = csr.Graph.Csr.eid in
+  let settled = ws.ws_settled in
   dist.(src) <- 0.0;
   heap_push ws 0.0 src;
   let rec loop () =
     match heap_pop ws with
     | None -> ()
     | Some (d, u) ->
-      if not ws.ws_settled.(u) then begin
-        ws.ws_settled.(u) <- true;
+      if not settled.(u) then begin
+        settled.(u) <- true;
         Ufp_obs.Metrics.incr m_settled;
-        let relax (eid, v) =
-          if not ws.ws_settled.(v) then begin
+        (* The relaxation inner loop: flat-array reads only — no
+           closure call, no list cell, no validity branch (the
+           snapshot was validated at build time). Packed indices are
+           in range by CSR construction. *)
+        let hi = row_start.(u + 1) in
+        for k = row_start.(u) to hi - 1 do
+          let v = Array.unsafe_get nbr k in
+          if not (Array.unsafe_get settled v) then begin
             Ufp_obs.Metrics.incr m_relaxations;
-            let w = weight eid in
-            if Float.is_nan w then invalid_arg "Dijkstra: NaN edge weight";
-            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            let w = Weight_snapshot.unsafe_get snapshot (Array.unsafe_get eid k) in
             let d' = d +. w in
-            if d' < dist.(v) then begin
-              dist.(v) <- d';
-              parent_edge.(v) <- eid;
+            if d' < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v d';
+              Array.unsafe_set parent_edge v (Array.unsafe_get eid k);
               heap_push ws d' v
             end
           end
-        in
-        List.iter relax (Graph.out_edges g u)
+        done
       end;
       loop ()
   in
   loop ()
+
+let shortest_tree_into ws g ~weight ~src ~dist ~parent_edge =
+  let snapshot = Weight_snapshot.build g ~weight in
+  shortest_tree_snapshot_into ws g ~snapshot ~src ~dist ~parent_edge
 
 let shortest_tree g ~weight ~src =
   let n = Graph.n_vertices g in
@@ -165,21 +179,33 @@ let reachable g ~src ~dst =
   if src = dst then true
   else begin
     let n = Graph.n_vertices g in
+    let csr = Graph.csr g in
+    let row_start = csr.Graph.Csr.row_start and nbr = csr.Graph.Csr.nbr in
     let seen = Array.make n false in
-    let queue = Queue.create () in
+    (* Array-backed FIFO: each vertex enters at most once. *)
+    let queue = Array.make n 0 in
+    let head = ref 0 and tail = ref 0 in
     seen.(src) <- true;
-    Queue.add src queue;
+    queue.(!tail) <- src;
+    incr tail;
     let found = ref false in
-    while (not !found) && not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      let visit (_, v) =
+    while (not !found) && !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let hi = row_start.(u + 1) in
+      let k = ref row_start.(u) in
+      while (not !found) && !k < hi do
+        let v = nbr.(!k) in
         if not seen.(v) then begin
           seen.(v) <- true;
-          if v = dst then found := true;
-          Queue.add v queue
-        end
-      in
-      List.iter visit (Graph.out_edges g u)
+          if v = dst then found := true
+          else begin
+            queue.(!tail) <- v;
+            incr tail
+          end
+        end;
+        incr k
+      done
     done;
     !found
   end

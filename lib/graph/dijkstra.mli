@@ -35,6 +35,28 @@ val create_workspace : Graph.t -> workspace
     vertex count of [g]; using it with a graph of a different size
     raises [Invalid_argument]. *)
 
+val shortest_tree_snapshot_into :
+  workspace ->
+  Graph.t ->
+  snapshot:Weight_snapshot.t ->
+  src:int ->
+  dist:float array ->
+  parent_edge:int array ->
+  unit
+(** [shortest_tree_snapshot_into ws g ~snapshot ~src ~dist
+    ~parent_edge] runs a full Dijkstra from [src] over the
+    {!Graph.csr} rows and the pre-validated [snapshot], overwriting
+    the caller-provided [dist] and [parent_edge] arrays (both of
+    length [n_vertices g]). The relaxation inner loop performs flat
+    array reads only — no closure calls, no list traversal, no
+    per-edge validity checks. Performs no allocation beyond (amortised)
+    heap growth inside [ws] and the one-time CSR build. Raises
+    [Invalid_argument] on a bad [src], mis-sized arrays, or a
+    [snapshot] whose length does not match [n_edges g]. This is the
+    entry point for callers (the {!Ufp_core.Selector}, {!Ufp_lp.Mcf})
+    that reuse one snapshot across several tree computations under
+    unchanged weights. *)
+
 val shortest_tree_into :
   workspace ->
   Graph.t ->
@@ -43,18 +65,18 @@ val shortest_tree_into :
   dist:float array ->
   parent_edge:int array ->
   unit
-(** [shortest_tree_into ws g ~weight ~src ~dist ~parent_edge] runs a
-    full Dijkstra from [src], overwriting the caller-provided [dist]
-    and [parent_edge] arrays (both of length [n_vertices g]). Performs
-    no allocation beyond (amortised) heap growth inside [ws]. Raises
-    [Invalid_argument] on a traversed edge with negative or NaN
-    weight, on bad [src], or on mis-sized arrays. *)
+(** [shortest_tree_into ws g ~weight ~src ~dist ~parent_edge] builds a
+    fresh {!Weight_snapshot} from [weight] and runs
+    {!shortest_tree_snapshot_into}. Raises [Invalid_argument] — with
+    the edge id in the message — if {e any} edge of [g] has a negative
+    or NaN weight (validation happens at snapshot construction, so it
+    now covers all edges, not only the traversed ones). *)
 
 val shortest_tree : Graph.t -> weight:(int -> float) -> src:int -> tree
 (** Full Dijkstra tree from [src], allocating fresh arrays (a
     convenience wrapper over {!shortest_tree_into}). Raises
-    [Invalid_argument] if any traversed edge has a negative or NaN
-    weight. *)
+    [Invalid_argument] if any edge has a negative or NaN weight
+    (validated at snapshot construction). *)
 
 val path_of_tree : Graph.t -> tree -> src:int -> dst:int -> int list option
 (** Reconstruct the edge-id path [src -> dst] from a tree, or [None]

@@ -15,8 +15,9 @@ let simple_paths ?(max_paths = max_int) g ~src ~dst =
         let try_edge (eid, w) =
           if not visited.(w) then dfs w (eid :: path_rev)
         in
-        (* Reverse the adjacency list so DFS explores in insertion order. *)
-        List.iter try_edge (List.rev (Graph.out_edges g v));
+        (* out_edges is already in insertion order (the canonical CSR
+           neighbor order), which is the order DFS should explore. *)
+        List.iter try_edge (Graph.out_edges g v);
         visited.(v) <- false
       end
     end

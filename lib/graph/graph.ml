@@ -1,16 +1,27 @@
 type edge = { id : int; u : int; v : int; capacity : float }
 
+module Csr = struct
+  type t = { row_start : int array; nbr : int array; eid : int array }
+end
+
 type t = {
   directed : bool;
   n : int;
   mutable edges : edge array;
   mutable m : int;
-  adj : (int * int) list array;
+  (* Lazily built flat-array adjacency view; [None] after any
+     [add_edge] so traversals never see a stale row. *)
+  mutable csr : Csr.t option;
 }
+
+(* Cache economics (docs/OBSERVABILITY.md): graphs are append-only and
+   solvers add all edges before traversing, so a solve normally pays
+   for exactly one build per graph. *)
+let m_csr_builds = Ufp_obs.Metrics.counter "graph.csr_builds"
 
 let create ~directed ~n =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
-  { directed; n; edges = [||]; m = 0; adj = Array.make (max n 1) [] }
+  { directed; n; edges = [||]; m = 0; csr = None }
 
 let is_directed g = g.directed
 
@@ -37,9 +48,50 @@ let add_edge g ~u ~v ~capacity =
   grow g e;
   g.edges.(id) <- e;
   g.m <- g.m + 1;
-  g.adj.(u) <- (id, v) :: g.adj.(u);
-  if not g.directed then g.adj.(v) <- (id, u) :: g.adj.(v);
+  g.csr <- None;
   id
+
+let build_csr g =
+  Ufp_obs.Metrics.incr m_csr_builds;
+  let n = g.n in
+  let row_start = Array.make (n + 1) 0 in
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    row_start.(e.u + 1) <- row_start.(e.u + 1) + 1;
+    if not g.directed then row_start.(e.v + 1) <- row_start.(e.v + 1) + 1
+  done;
+  for u = 1 to n do
+    row_start.(u) <- row_start.(u) + row_start.(u - 1)
+  done;
+  let total = row_start.(n) in
+  let nbr = Array.make (max total 1) 0 in
+  let eid = Array.make (max total 1) 0 in
+  let cursor = Array.make (max n 1) 0 in
+  Array.blit row_start 0 cursor 0 n;
+  (* Filling in increasing edge id pins every row to insertion order —
+     the canonical neighbor order (see the .mli determinism note). *)
+  for i = 0 to g.m - 1 do
+    let e = g.edges.(i) in
+    let k = cursor.(e.u) in
+    nbr.(k) <- e.v;
+    eid.(k) <- e.id;
+    cursor.(e.u) <- k + 1;
+    if not g.directed then begin
+      let k = cursor.(e.v) in
+      nbr.(k) <- e.u;
+      eid.(k) <- e.id;
+      cursor.(e.v) <- k + 1
+    end
+  done;
+  { Csr.row_start; nbr; eid }
+
+let csr g =
+  match g.csr with
+  | Some c -> c
+  | None ->
+    let c = build_csr g in
+    g.csr <- Some c;
+    c
 
 let edge g id =
   if id < 0 || id >= g.m then invalid_arg "Graph.edge: id out of range";
@@ -57,7 +109,12 @@ let min_capacity g =
 
 let out_edges g u =
   if u < 0 || u >= g.n then invalid_arg "Graph.out_edges: vertex out of range";
-  g.adj.(u)
+  let c = csr g in
+  let hi = c.Csr.row_start.(u + 1) in
+  let rec gather k =
+    if k = hi then [] else (c.Csr.eid.(k), c.Csr.nbr.(k)) :: gather (k + 1)
+  in
+  gather c.Csr.row_start.(u)
 
 let fold_edges f g init =
   let acc = ref init in

@@ -8,7 +8,16 @@
     A graph is either directed or undirected. An undirected edge is a
     single edge record traversable in both directions that shares one
     capacity, matching the model of the paper's Section 3.3 (Figure 3
-    gadget). *)
+    gadget).
+
+    {b Neighbor-order determinism contract.} Every adjacency view —
+    {!out_edges} and the flat {!csr} rows — presents the edges incident
+    to a vertex in {e insertion order} (increasing edge id). This is
+    the canonical order the whole repository's determinism argument
+    rests on: Dijkstra resolves equal-distance parent ties by the first
+    relaxation that reaches the minimum, so the parent tree is only a
+    pure function of the weight vector because the relaxation order is
+    pinned. See the graph-layer section of DESIGN.md. *)
 
 type t
 (** A capacitated graph. Structure is append-only: vertices are fixed
@@ -21,6 +30,22 @@ type edge = private {
   capacity : float;  (** positive capacity [c_e] *)
 }
 
+module Csr : sig
+  type t = private {
+    row_start : int array;
+        (** length [n + 1]; vertex [u]'s neighbors occupy packed slots
+            [row_start.(u) .. row_start.(u+1) - 1] *)
+    nbr : int array;  (** packed neighbor (head) vertices *)
+    eid : int array;  (** packed edge ids, parallel to [nbr] *)
+  }
+  (** Compressed-sparse-row adjacency: three frozen flat arrays, no
+      per-neighbor allocation or pointer chasing in traversal loops.
+      Rows are in insertion order (increasing edge id). The arrays are
+      physically mutable (OCaml offers no immutable int arrays) but
+      must be treated as read-only — they are shared by every traversal
+      until the next {!add_edge}. *)
+end
+
 val create : directed:bool -> n:int -> t
 (** [create ~directed ~n] is a graph with [n] vertices and no edges.
     Raises [Invalid_argument] if [n < 0]. *)
@@ -29,13 +54,20 @@ val add_edge : t -> u:int -> v:int -> capacity:float -> int
 (** [add_edge g ~u ~v ~capacity] appends an edge and returns its id.
     Raises [Invalid_argument] on out-of-range endpoints, a self loop,
     or a capacity that is not positive and finite. Parallel edges are
-    allowed. *)
+    allowed. Invalidates the cached {!csr} view. *)
 
 val is_directed : t -> bool
 
 val n_vertices : t -> int
 
 val n_edges : t -> int
+
+val csr : t -> Csr.t
+(** The CSR adjacency view, built on demand and cached until the next
+    {!add_edge} (the [graph.csr_builds] counter tracks builds). In an
+    undirected graph each edge appears in both endpoints' rows with the
+    opposite endpoint as [nbr]. Solvers add all edges before
+    traversing, so a solve normally pays for exactly one build. *)
 
 val edge : t -> int -> edge
 (** [edge g id] is the edge with identifier [id]. Raises
@@ -52,8 +84,11 @@ val min_capacity : t -> float
 val out_edges : t -> int -> (int * int) list
 (** [out_edges g u] lists [(edge_id, head)] pairs for edges leaving
     [u]. In an undirected graph an edge incident to [u] appears with
-    the opposite endpoint as head. Order is reverse insertion order and
-    deterministic. *)
+    the opposite endpoint as head. Order is insertion order (increasing
+    edge id) — the canonical order shared with {!csr}. (Before the CSR
+    core this was reverse insertion order; the trace-equivalence
+    fixtures were re-pinned once for the flip.) Allocates: hot loops
+    should iterate the {!csr} rows instead. *)
 
 val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over all edges in increasing id order. *)

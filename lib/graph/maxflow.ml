@@ -2,12 +2,17 @@ module Float_tol = Ufp_prelude.Float_tol
 
 type result = { value : float; flow : float array }
 
-(* Residual network: arcs in pairs, arc [a] and its reverse [a lxor 1]. *)
+(* Residual network: arcs in pairs, arc [a] and its reverse [a lxor 1].
+   Adjacency is CSR-style flat arrays (mirroring Graph.Csr): vertex
+   [u]'s outgoing arc indices occupy [adj.(adj_start.(u) ..
+   adj_start.(u+1) - 1)], in arc-insertion order, so the BFS/DFS hot
+   loops below traverse packed int arrays instead of cons chains. *)
 type residual = {
   n : int;
   arc_to : int array;
   mutable cap : float array;
-  adj : int list array;  (* arc indices leaving each vertex *)
+  adj_start : int array;  (* length n + 1 *)
+  adj : int array;  (* packed arc indices leaving each vertex *)
   (* Original-edge bookkeeping: for arc [a], [orig.(a)] is the edge id
      it was built from, or -1 for auxiliary (super source/sink) arcs. *)
   orig : int array;
@@ -26,57 +31,80 @@ let build g ~extra_vertices ~extra_arcs =
   let n = Graph.n_vertices g + extra_vertices in
   let m = Graph.n_edges g in
   let n_arcs = (2 * m) + (2 * List.length extra_arcs) in
-  let arc_to = Array.make n_arcs 0 in
-  let cap = Array.make n_arcs 0.0 in
-  let orig = Array.make n_arcs (-1) in
-  let adj = Array.make n [] in
-  let next = ref 0 in
-  let add_pair u v cap_uv cap_vu edge_id =
-    let a = !next in
-    next := !next + 2;
-    arc_to.(a) <- v;
-    cap.(a) <- cap_uv;
-    orig.(a) <- edge_id;
-    adj.(u) <- a :: adj.(u);
-    arc_to.(a + 1) <- u;
-    cap.(a + 1) <- cap_vu;
-    orig.(a + 1) <- edge_id;
-    adj.(v) <- (a + 1) :: adj.(v)
+  let arc_to = Array.make (max n_arcs 1) 0 in
+  let cap = Array.make (max n_arcs 1) 0.0 in
+  let orig = Array.make (max n_arcs 1) (-1) in
+  (* Two passes, like Graph.build_csr: count per-vertex out-degrees,
+     prefix-sum into row offsets, then fill in arc order so each row
+     is pinned to insertion order. *)
+  let adj_start = Array.make (n + 1) 0 in
+  let count u = adj_start.(u + 1) <- adj_start.(u + 1) + 1 in
+  let each_pair f =
+    Graph.fold_edges
+      (fun e () ->
+        if Graph.is_directed g then
+          f e.Graph.u e.Graph.v e.Graph.capacity 0.0 e.Graph.id
+        else f e.Graph.u e.Graph.v e.Graph.capacity e.Graph.capacity e.Graph.id)
+      g ();
+    List.iter (fun (u, v, c) -> f u v c 0.0 (-1)) extra_arcs
   in
-  Graph.fold_edges
-    (fun e () ->
-      if Graph.is_directed g then
-        add_pair e.Graph.u e.Graph.v e.Graph.capacity 0.0 e.Graph.id
-      else add_pair e.Graph.u e.Graph.v e.Graph.capacity e.Graph.capacity e.Graph.id)
-    g ();
-  List.iter (fun (u, v, c) -> add_pair u v c 0.0 (-1)) extra_arcs;
-  { n; arc_to; cap; adj; orig }
+  each_pair (fun u v _ _ _ ->
+      count u;
+      count v);
+  for u = 1 to n do
+    adj_start.(u) <- adj_start.(u) + adj_start.(u - 1)
+  done;
+  let adj = Array.make (max adj_start.(n) 1) 0 in
+  let cursor = Array.make (max n 1) 0 in
+  Array.blit adj_start 0 cursor 0 n;
+  let next = ref 0 in
+  each_pair (fun u v cap_uv cap_vu edge_id ->
+      let a = !next in
+      next := !next + 2;
+      arc_to.(a) <- v;
+      cap.(a) <- cap_uv;
+      orig.(a) <- edge_id;
+      adj.(cursor.(u)) <- a;
+      cursor.(u) <- cursor.(u) + 1;
+      arc_to.(a + 1) <- u;
+      cap.(a + 1) <- cap_vu;
+      orig.(a + 1) <- edge_id;
+      adj.(cursor.(v)) <- a + 1;
+      cursor.(v) <- cursor.(v) + 1);
+  { n; arc_to; cap; adj_start; adj; orig }
 
 let bfs_levels r ~src ~dst =
   let levels = Array.make r.n (-1) in
-  let queue = Queue.create () in
+  (* Array-backed FIFO: each vertex enters at most once. *)
+  let queue = Array.make r.n 0 in
+  let head = ref 0 and tail = ref 0 in
   levels.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    List.iter
-      (fun a ->
-        let v = r.arc_to.(a) in
-        if r.cap.(a) > eps && levels.(v) < 0 then begin
-          levels.(v) <- levels.(u) + 1;
-          Queue.add v queue
-        end)
-      r.adj.(u)
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for k = r.adj_start.(u) to r.adj_start.(u + 1) - 1 do
+      let a = r.adj.(k) in
+      let v = r.arc_to.(a) in
+      if r.cap.(a) > eps && levels.(v) < 0 then begin
+        levels.(v) <- levels.(u) + 1;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
   if levels.(dst) < 0 then None else Some levels
 
-(* Blocking-flow DFS with per-vertex arc cursors. *)
+(* Blocking-flow DFS; [cursors.(u)] indexes into the packed [adj] row
+   of [u], remembering which arcs this phase has exhausted. *)
 let rec dfs r levels cursors ~dst u pushed =
   if u = dst then pushed
   else begin
-    match cursors.(u) with
-    | [] -> 0.0
-    | a :: rest ->
+    let k = cursors.(u) in
+    if k >= r.adj_start.(u + 1) then 0.0
+    else begin
+      let a = r.adj.(k) in
       let v = r.arc_to.(a) in
       let sent =
         if r.cap.(a) > eps && levels.(v) = levels.(u) + 1 then
@@ -89,9 +117,10 @@ let rec dfs r levels cursors ~dst u pushed =
         sent
       end
       else begin
-        cursors.(u) <- rest;
+        cursors.(u) <- k + 1;
         dfs r levels cursors ~dst u pushed
       end
+    end
   end
 
 let run_dinic r ~src ~dst =
@@ -103,7 +132,7 @@ let run_dinic r ~src ~dst =
     | None -> continue := false
     | Some levels ->
       Ufp_obs.Metrics.incr m_phases;
-      let cursors = Array.copy r.adj in
+      let cursors = Array.sub r.adj_start 0 r.n in
       let phase = ref true in
       while !phase do
         let sent = dfs r levels cursors ~dst src infinity in

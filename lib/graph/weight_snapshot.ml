@@ -1,0 +1,27 @@
+type t = floatarray
+
+(* One materialisation per Dijkstra/selector tree rebuild
+   (docs/OBSERVABILITY.md); compare against selector.tree_rebuilds to
+   see snapshot-cache hits. *)
+let m_builds = Ufp_obs.Metrics.counter "dijkstra.snapshot_builds"
+
+let build g ~weight =
+  Ufp_obs.Metrics.incr m_builds;
+  let m = Graph.n_edges g in
+  let a = Float.Array.create m in
+  for e = 0 to m - 1 do
+    let w = weight e in
+    if Float.is_nan w then
+      invalid_arg (Printf.sprintf "Weight_snapshot: NaN weight on edge %d" e);
+    if w < 0.0 then
+      invalid_arg
+        (Printf.sprintf "Weight_snapshot: negative weight on edge %d" e);
+    Float.Array.unsafe_set a e w
+  done;
+  a
+
+let length = Float.Array.length
+
+let get = Float.Array.get
+
+let unsafe_get = Float.Array.unsafe_get

@@ -1,0 +1,47 @@
+(** Frozen per-edge weight vectors for the shortest-path hot loop.
+
+    The solvers supply weights as closures over their mutable dual
+    state ([fun e -> y.(e)], residual filters, ...). Calling such a
+    closure once per Dijkstra relaxation — plus the NaN/negativity
+    guard that must follow it — is pure per-relaxation overhead: the
+    weight vector cannot change {e during} one tree computation, only
+    between computations. A snapshot materialises the closure into an
+    unboxed [floatarray] once per rebuild and validates every entry up
+    front, so the relaxation loop is reduced to two flat-array loads
+    and an add.
+
+    Validation at build time is also {e stricter} than the old
+    per-relaxation check: every edge of the graph is validated, not
+    just the edges a particular traversal happens to relax. [infinity]
+    is a legal weight (the residual filters use it to price out edges
+    that cannot fit a demand); NaN and negative weights raise
+    [Invalid_argument] naming the offending edge id.
+
+    Lifetime: a snapshot is immutable and stays valid for the graph it
+    was built from (edge ids are dense and append-only); it goes
+    {e stale} — silently — the moment the underlying duals/residuals
+    move, so callers must rebuild after every weight update. The
+    {!Ufp_core.Selector} caches one snapshot per weight epoch and
+    invalidates it through the same [update_path] announcement that
+    invalidates its trees. *)
+
+type t
+(** An immutable per-edge weight vector: slot [e] holds the weight of
+    edge id [e] at snapshot time. Unboxed ([floatarray]). *)
+
+val build : Graph.t -> weight:(int -> float) -> t
+(** [build g ~weight] evaluates [weight e] for every edge id of [g],
+    in increasing id order. Raises [Invalid_argument] with the edge id
+    in the message on a NaN or negative weight ([infinity] is
+    allowed). Counted by [dijkstra.snapshot_builds]. *)
+
+val length : t -> int
+(** Number of edges covered ([Graph.n_edges] at build time). *)
+
+val get : t -> int -> float
+(** [get s e] is the snapshot weight of edge [e]. Bounds-checked. *)
+
+val unsafe_get : t -> int -> float
+(** Unchecked read for traversal inner loops that have already
+    validated [length s] against the graph (every packed edge id of a
+    CSR row built for the same graph is in range). *)

@@ -65,13 +65,23 @@ let solve ?(eps = 0.1) inst =
         Hashtbl.replace by_source r.Request.src ((i, r) :: cur))
       requests;
     let weight e = y.(e) in
+    (* One reusable Dijkstra workspace plus a weight snapshot built
+       once per pricing iteration: the duals are fixed during a
+       best-column search, so every distinct source prices against the
+       same frozen vector over the CSR view. *)
+    let ws = Dijkstra.create_workspace g in
+    let dist = Array.make (Graph.n_vertices g) infinity in
+    let parent_edge = Array.make (Graph.n_vertices g) (-1) in
     (* Best (request, path) column: minimises
        (zr_r + d_r * dist) / v_r. *)
     let best_column () =
+      let snapshot = Ufp_graph.Weight_snapshot.build g ~weight in
       let best = ref None in
       Hashtbl.iter
         (fun src group ->
-          let tree = Dijkstra.shortest_tree g ~weight ~src in
+          Dijkstra.shortest_tree_snapshot_into ws g ~snapshot ~src ~dist
+            ~parent_edge;
+          let tree = { Dijkstra.dist; parent_edge } in
           let consider (i, (r : Request.t)) =
             let dist = tree.Dijkstra.dist.(r.Request.dst) in
             if dist < infinity then begin

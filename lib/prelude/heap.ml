@@ -5,6 +5,9 @@ type 'a t = {
 }
 
 let create ?(capacity = 16) () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  (* Zero is allowed and clamps to one slot: the backing array doubles
+     on growth, so it can never start empty. *)
   let capacity = max capacity 1 in
   { keys = Array.make capacity 0.0; vals = [||]; size = 0 }
 

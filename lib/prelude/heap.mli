@@ -10,7 +10,10 @@ type 'a t
 (** Min-heap holding values of type ['a] with [float] keys. *)
 
 val create : ?capacity:int -> unit -> 'a t
-(** Fresh empty heap. [capacity] pre-sizes the backing array. *)
+(** Fresh empty heap. [capacity] pre-sizes the backing array (default
+    16). [0] is allowed and clamps to one slot (the array doubles on
+    growth, so it cannot start empty); a negative capacity raises
+    [Invalid_argument] instead of being silently clamped. *)
 
 val length : 'a t -> int
 (** Number of stored entries (including stale ones pushed by the

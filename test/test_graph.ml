@@ -2,6 +2,7 @@
 
 module Graph = Ufp_graph.Graph
 module Dijkstra = Ufp_graph.Dijkstra
+module Weight_snapshot = Ufp_graph.Weight_snapshot
 module Path = Ufp_graph.Path
 module Enumerate = Ufp_graph.Enumerate
 module Gen = Ufp_graph.Generators
@@ -79,6 +80,58 @@ let test_out_edges_undirected () =
     (List.sort compare [ (e01, 0); (e12, 2) ])
     out1
 
+(* The neighbor-order determinism contract (graph.mli): out_edges and
+   the CSR rows present incident edges in insertion order. Dijkstra
+   parent ties on equal-distance relaxations depend on this order, so
+   it is pinned here, not merely sorted-and-compared. *)
+let test_out_edges_insertion_order () =
+  let g, e01, _, e02, _, e03 = diamond () in
+  Alcotest.(check (list (pair int int)))
+    "out of 0, pinned insertion order"
+    [ (e01, 1); (e02, 2); (e03, 3) ]
+    (Graph.out_edges g 0)
+
+let test_csr_pinned_rows () =
+  let g, e01, e13, e02, e23, e03 = diamond () in
+  let c = Graph.csr g in
+  Alcotest.(check (array int)) "row_start" [| 0; 3; 4; 5; 5 |]
+    c.Graph.Csr.row_start;
+  Alcotest.(check (array int)) "eid, insertion order per row"
+    [| e01; e02; e03; e13; e23 |] c.Graph.Csr.eid;
+  Alcotest.(check (array int)) "nbr" [| 1; 2; 3; 3; 3 |] c.Graph.Csr.nbr
+
+let test_csr_undirected_both_rows () =
+  let g = Graph.create ~directed:false ~n:3 in
+  let e01 = Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0 in
+  let e12 = Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0 in
+  let c = Graph.csr g in
+  Alcotest.(check (array int)) "row_start" [| 0; 1; 3; 4 |] c.Graph.Csr.row_start;
+  (* Vertex 1 sees both incident edges, in insertion order, each with
+     the opposite endpoint as neighbor. *)
+  Alcotest.(check (array int)) "eid" [| e01; e01; e12; e12 |] c.Graph.Csr.eid;
+  Alcotest.(check (array int)) "nbr" [| 1; 0; 2; 1 |] c.Graph.Csr.nbr
+
+let test_csr_cached_and_invalidated () =
+  let count () =
+    match
+      List.assoc_opt "graph.csr_builds" (Ufp_obs.Metrics.snapshot ()).Ufp_obs.Metrics.counters
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let g = Graph.create ~directed:true ~n:3 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  let before = count () in
+  let c1 = Graph.csr g in
+  let c2 = Graph.csr g in
+  Alcotest.(check bool) "cached: same physical view" true (c1 == c2);
+  Alcotest.(check int) "one build" (before + 1) (count ());
+  ignore (Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0);
+  let c3 = Graph.csr g in
+  Alcotest.(check int) "add_edge invalidates" (before + 2) (count ());
+  Alcotest.(check (array int)) "rebuilt row_start" [| 0; 1; 2; 2 |]
+    c3.Graph.Csr.row_start
+
 let test_fold_edges_order () =
   let g, _, _, _, _, _ = diamond () in
   let ids = Graph.fold_edges (fun e acc -> e.Graph.id :: acc) g [] |> List.rev in
@@ -140,19 +193,47 @@ let test_dijkstra_directed_respects_orientation () =
   Alcotest.(check bool) "backwards unreachable" true
     (Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:1 ~dst:0 = None)
 
+(* Validation now happens at Weight_snapshot construction — before any
+   relaxation — and the message names the offending edge id. *)
 let test_dijkstra_negative_raises () =
   let g = Graph.create ~directed:true ~n:2 in
   ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
   Alcotest.check_raises "negative weight"
-    (Invalid_argument "Dijkstra: negative edge weight") (fun () ->
+    (Invalid_argument "Weight_snapshot: negative weight on edge 0") (fun () ->
       ignore (Dijkstra.shortest_tree g ~weight:(fun _ -> -1.0) ~src:0))
 
 let test_dijkstra_nan_raises () =
-  let g = Graph.create ~directed:true ~n:2 in
+  (* The NaN sits on edge 2, which is not even reachable from the
+     source: snapshot-time validation still catches it, with the edge
+     id in the message. *)
+  let g = Graph.create ~directed:true ~n:4 in
   ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:3 ~v:2 ~capacity:1.0);
   Alcotest.check_raises "nan weight"
-    (Invalid_argument "Dijkstra: NaN edge weight") (fun () ->
-      ignore (Dijkstra.shortest_tree g ~weight:(fun _ -> nan) ~src:0))
+    (Invalid_argument "Weight_snapshot: NaN weight on edge 2") (fun () ->
+      ignore
+        (Dijkstra.shortest_tree g
+           ~weight:(fun e -> if e = 2 then nan else 1.0)
+           ~src:0))
+
+let test_snapshot_build_and_get () =
+  let g = Graph.create ~directed:true ~n:3 in
+  let e01 = Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0 in
+  let e12 = Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0 in
+  let w = Array.make 2 0.0 in
+  w.(e01) <- 2.5;
+  (* infinity is a legal weight: the residual filters price edges out
+     with it. *)
+  w.(e12) <- infinity;
+  let s = Weight_snapshot.build g ~weight:(fun e -> w.(e)) in
+  Alcotest.(check int) "length" 2 (Weight_snapshot.length s);
+  check_float "edge 0" 2.5 (Weight_snapshot.get s e01);
+  Alcotest.(check bool) "edge 1 infinite" true
+    (Float.equal (Weight_snapshot.get s e12) infinity);
+  (* The snapshot is a frozen copy: later weight changes do not leak. *)
+  w.(e01) <- 9.0;
+  check_float "frozen" 2.5 (Weight_snapshot.get s e01)
 
 let test_dijkstra_src_eq_dst () =
   (* Self-loop edges cannot exist (Graph.add_edge rejects them), so the
@@ -706,6 +787,13 @@ let () =
           Alcotest.test_case "min_capacity empty" `Quick test_min_capacity_empty;
           Alcotest.test_case "out_edges directed" `Quick test_out_edges_directed;
           Alcotest.test_case "out_edges undirected" `Quick test_out_edges_undirected;
+          Alcotest.test_case "out_edges insertion order" `Quick
+            test_out_edges_insertion_order;
+          Alcotest.test_case "csr pinned rows" `Quick test_csr_pinned_rows;
+          Alcotest.test_case "csr undirected rows" `Quick
+            test_csr_undirected_both_rows;
+          Alcotest.test_case "csr cached + invalidated" `Quick
+            test_csr_cached_and_invalidated;
           Alcotest.test_case "fold order" `Quick test_fold_edges_order;
           Alcotest.test_case "other endpoint" `Quick test_other_endpoint;
           Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
@@ -720,6 +808,7 @@ let () =
             test_dijkstra_directed_respects_orientation;
           Alcotest.test_case "negative raises" `Quick test_dijkstra_negative_raises;
           Alcotest.test_case "nan raises" `Quick test_dijkstra_nan_raises;
+          Alcotest.test_case "weight snapshot" `Quick test_snapshot_build_and_get;
           Alcotest.test_case "src = dst" `Quick test_dijkstra_src_eq_dst;
           Alcotest.test_case "path_of_tree disconnected" `Quick
             test_dijkstra_path_of_tree_disconnected;

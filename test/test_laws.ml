@@ -267,40 +267,58 @@ let qcheck_gk_upper_bound_improves =
    The incremental selector (cached Dijkstra trees + lazy-deletion
    candidate heap) must reproduce the naive recompute-everything
    selection byte for byte: same request, same path, same alpha, in
-   every iteration. Full structural equality of the traces — not just
-   the winner sets — so a divergence in tie-breaking or invalidation
-   shows up immediately. *)
+   every iteration — and pooled stale-tree rebuilds (`Pool) must not
+   move a single decision either. Full structural equality of the
+   traces across all four kind x pool combinations — not just the
+   winner sets — so a divergence in tie-breaking, invalidation, or
+   parallel scheduling shows up immediately. *)
 let qcheck_selector_trace_equivalence =
   QCheck.Test.make ~name:"naive and incremental selectors yield identical traces"
     ~count:40
     QCheck.(pair small_int (int_range 5 25))
     (fun (seed, count) ->
       let inst = grid_instance ~rows:4 ~cols:4 ~capacity:20.0 ~count (seed + 17) in
-      let naive = Bounded_ufp.run ~eps:0.3 ~selector:`Naive inst in
-      let incr = Bounded_ufp.run ~eps:0.3 ~selector:`Incremental inst in
-      naive.Bounded_ufp.trace = incr.Bounded_ufp.trace
-      && naive.Bounded_ufp.final_y = incr.Bounded_ufp.final_y)
+      let reference = Bounded_ufp.run ~eps:0.3 ~selector:`Naive inst in
+      Ufp_par.Pool.with_pool ~domains:2 (fun pool ->
+          List.for_all
+            (fun (selector, pool) ->
+              let run = Bounded_ufp.run ~eps:0.3 ~selector ~pool inst in
+              run.Bounded_ufp.trace = reference.Bounded_ufp.trace
+              && run.Bounded_ufp.final_y = reference.Bounded_ufp.final_y)
+            [
+              (`Naive, pool);
+              (`Incremental, `Seq);
+              (`Incremental, pool);
+            ]))
 
 (* --- Law 12: the same equivalence across the Pd_engine design space,
    including the residual-filtered (Per_demand weights) threshold rule
-   and the with-repetitions pool. *)
+   and the with-repetitions pool — again over kind x pool. *)
 let qcheck_selector_engine_equivalence =
   QCheck.Test.make
     ~name:"selector engines agree across the Pd_engine design space" ~count:20
     QCheck.small_int (fun seed ->
       let inst = grid_instance ~capacity:12.0 ~count:10 (seed + 41) in
       let b = Graph.min_capacity (Instance.graph inst) in
-      List.for_all
-        (fun config ->
-          let naive = Pd_engine.execute ~selector:`Naive config inst in
-          let incr = Pd_engine.execute ~selector:`Incremental config inst in
-          naive.Pd_engine.solution = incr.Pd_engine.solution
-          && naive.Pd_engine.final_y = incr.Pd_engine.final_y)
-        [
-          Pd_engine.algorithm_1 ~eps:0.3 ~b;
-          Pd_engine.algorithm_3 ~eps:0.3 ~b;
-          Pd_engine.threshold_rule ~eps:0.3 ~b;
-        ])
+      Ufp_par.Pool.with_pool ~domains:2 (fun pool ->
+          List.for_all
+            (fun config ->
+              let reference = Pd_engine.execute ~selector:`Naive config inst in
+              List.for_all
+                (fun (selector, pool) ->
+                  let run = Pd_engine.execute ~selector ~pool config inst in
+                  run.Pd_engine.solution = reference.Pd_engine.solution
+                  && run.Pd_engine.final_y = reference.Pd_engine.final_y)
+                [
+                  (`Naive, pool);
+                  (`Incremental, `Seq);
+                  (`Incremental, pool);
+                ])
+            [
+              Pd_engine.algorithm_1 ~eps:0.3 ~b;
+              Pd_engine.algorithm_3 ~eps:0.3 ~b;
+              Pd_engine.threshold_rule ~eps:0.3 ~b;
+            ]))
 
 let () =
   Alcotest.run "laws"

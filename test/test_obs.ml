@@ -7,9 +7,12 @@
    Laws (ISSUE 3):
      - determinism: two runs of Pd_engine.execute on the same instance
        produce structurally equal metric snapshots;
-     - engine invariance (QCheck): `Naive and `Incremental runs agree
-       exactly on the algorithm-level pd.* counters and differ only in
-       selector cache/heap accounting. *)
+     - engine invariance (QCheck): `Naive and `Incremental runs, on
+       `Seq and on a `Pool, agree exactly on the algorithm-level pd.*
+       counters and differ only in selector cache/heap accounting; for
+       the naive engine even the rebuild/snapshot counts must match
+       between `Seq and `Pool (pooling it is scheduling-only), with
+       selector.par_rebuilds accounting exactly the pooled share. *)
 
 module Metrics = Ufp_obs.Metrics
 module Trace = Ufp_obs.Trace
@@ -264,9 +267,9 @@ let grid_instance ~rows ~cols ~capacity ~count seed =
   let g = Gen.grid ~rows ~cols ~capacity in
   Instance.create g (Workloads.random_requests rng g ~count ())
 
-let snapshot_of_run ?(selector = `Incremental) config inst =
+let snapshot_of_run ?(selector = `Incremental) ?(pool = `Seq) config inst =
   Metrics.reset ();
-  let run = Pd_engine.execute ~selector config inst in
+  let run = Pd_engine.execute ~selector ~pool config inst in
   (Metrics.snapshot (), run)
 
 let test_metrics_deterministic () =
@@ -291,7 +294,7 @@ let pd_counters snapshot =
 
 let engine_agreement_law =
   QCheck.Test.make ~count:30
-    ~name:"naive and incremental engines agree on pd.* metrics"
+    ~name:"engines agree on pd.* metrics across `Seq and `Pool"
     QCheck.(
       triple (int_range 3 5) (int_range 3 5) (int_range 1 1000))
     (fun (rows, cols, seed) ->
@@ -300,28 +303,72 @@ let engine_agreement_law =
       let capacity = Float.ceil (log (float_of_int m) /. (eps *. eps)) in
       let inst = grid_instance ~rows ~cols ~capacity ~count:25 seed in
       let config = Pd_engine.algorithm_1 ~eps ~b:capacity in
-      let s_naive, r_naive = snapshot_of_run ~selector:`Naive config inst in
-      let s_incr, r_incr = snapshot_of_run ~selector:`Incremental config inst in
-      if r_naive.Pd_engine.solution <> r_incr.Pd_engine.solution then
-        QCheck.Test.fail_report "solutions differ";
-      if pd_counters s_naive <> pd_counters s_incr then
-        QCheck.Test.fail_report "pd.* counters differ between engines";
-      if
-        List.assoc "pd.d1_growth" s_naive.Metrics.gauges
-        <> List.assoc "pd.d1_growth" s_incr.Metrics.gauges
-      then QCheck.Test.fail_report "pd.d1_growth differs between engines";
-      if
-        List.assoc "pd.path_edges" s_naive.Metrics.histograms
-        <> List.assoc "pd.path_edges" s_incr.Metrics.histograms
-      then QCheck.Test.fail_report "pd.path_edges differs between engines";
-      (* And the counters that SHOULD differ do: the naive engine never
-         touches the candidate heap. *)
-      let heap s = List.assoc "selector.heap_pops" s.Metrics.counters in
-      if heap s_naive <> 0 then
-        QCheck.Test.fail_report "naive engine used the candidate heap";
-      if r_incr.Pd_engine.iterations > 0 && heap s_incr = 0 then
-        QCheck.Test.fail_report "incremental engine bypassed the heap";
-      true)
+      Pool.with_pool ~domains:2 (fun pool ->
+          let s_naive, r_naive = snapshot_of_run ~selector:`Naive config inst in
+          let s_incr, r_incr =
+            snapshot_of_run ~selector:`Incremental config inst
+          in
+          let s_naive_p, r_naive_p =
+            snapshot_of_run ~selector:`Naive ~pool config inst
+          in
+          let s_incr_p, r_incr_p =
+            snapshot_of_run ~selector:`Incremental ~pool config inst
+          in
+          let counter name s = List.assoc name s.Metrics.counters in
+          List.iter
+            (fun (label, s, r) ->
+              if r.Pd_engine.solution <> r_naive.Pd_engine.solution then
+                QCheck.Test.fail_reportf "solutions differ (%s)" label;
+              if pd_counters s <> pd_counters s_naive then
+                QCheck.Test.fail_reportf "pd.* counters differ (%s)" label;
+              if
+                List.assoc "pd.d1_growth" s.Metrics.gauges
+                <> List.assoc "pd.d1_growth" s_naive.Metrics.gauges
+              then QCheck.Test.fail_reportf "pd.d1_growth differs (%s)" label;
+              if
+                List.assoc "pd.path_edges" s.Metrics.histograms
+                <> List.assoc "pd.path_edges" s_naive.Metrics.histograms
+              then QCheck.Test.fail_reportf "pd.path_edges differs (%s)" label)
+            [
+              ("incremental/seq", s_incr, r_incr);
+              ("naive/pool", s_naive_p, r_naive_p);
+              ("incremental/pool", s_incr_p, r_incr_p);
+            ];
+          (* And the counters that SHOULD differ do: the naive engine never
+             touches the candidate heap, pooled or not. *)
+          let heap s = counter "selector.heap_pops" s in
+          if heap s_naive <> 0 || heap s_naive_p <> 0 then
+            QCheck.Test.fail_report "naive engine used the candidate heap";
+          if r_incr.Pd_engine.iterations > 0 && heap s_incr = 0 then
+            QCheck.Test.fail_report "incremental engine bypassed the heap";
+          (* Pooling the naive engine is scheduling-only: it rebuilds the
+             exact same set of trees (and hence builds the same
+             snapshots) as the sequential run, just on worker domains. *)
+          if
+            counter "selector.tree_rebuilds" s_naive_p
+            <> counter "selector.tree_rebuilds" s_naive
+          then
+            QCheck.Test.fail_report
+              "pooled naive rebuilt a different tree set than seq";
+          if
+            counter "dijkstra.snapshot_builds" s_naive_p
+            <> counter "dijkstra.snapshot_builds" s_naive
+          then
+            QCheck.Test.fail_report
+              "pooled naive built a different snapshot count than seq";
+          (* selector.par_rebuilds accounts exactly the pooled rebuilds:
+             zero in `Seq runs, everything in a pooled naive run. *)
+          if
+            counter "selector.par_rebuilds" s_naive <> 0
+            || counter "selector.par_rebuilds" s_incr <> 0
+          then QCheck.Test.fail_report "seq run counted par_rebuilds";
+          if
+            counter "selector.par_rebuilds" s_naive_p
+            <> counter "selector.tree_rebuilds" s_naive_p
+          then
+            QCheck.Test.fail_report
+              "pooled naive rebuild not fully accounted as par_rebuilds";
+          true))
 
 let () =
   Alcotest.run "obs"

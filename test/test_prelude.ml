@@ -164,6 +164,26 @@ let test_sample_without_replacement () =
 
 (* --- Heap --- *)
 
+let test_heap_capacity_edge_cases () =
+  (* Negative capacities are rejected (they used to clamp silently). *)
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Heap.create: negative capacity") (fun () ->
+      ignore (Heap.create ~capacity:(-1) ()));
+  Alcotest.check_raises "very negative capacity"
+    (Invalid_argument "Heap.create: negative capacity") (fun () ->
+      ignore (Heap.create ~capacity:min_int ()));
+  (* Zero still clamps to one slot and the heap grows normally. *)
+  let h = Heap.create ~capacity:0 () in
+  Alcotest.(check bool) "zero-capacity heap is empty" true (Heap.is_empty h);
+  Heap.push h 2.0 2;
+  Heap.push h 1.0 1;
+  Heap.push h 3.0 3;
+  Alcotest.(check bool) "grows past the clamp" true (Heap.pop_min h = Some (1.0, 1));
+  (* Capacity one is taken as given. *)
+  let h1 = Heap.create ~capacity:1 () in
+  Heap.push h1 1.0 1;
+  Alcotest.(check int) "capacity one usable" 1 (Heap.length h1)
+
 let test_heap_empty () =
   let h = Heap.create () in
   Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
@@ -439,6 +459,8 @@ let () =
         ] );
       ( "heap",
         [
+          Alcotest.test_case "capacity edge cases" `Quick
+            test_heap_capacity_edge_cases;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
           Alcotest.test_case "peek matches pop" `Quick test_heap_peek_matches_pop;
