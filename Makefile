@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-json examples doc clean trace-demo par-demo
+.PHONY: all build test lint bench bench-quick bench-json examples doc clean trace-demo par-demo rmat-demo
 
 all: build
 
@@ -42,11 +42,21 @@ bench-quick:
 bench-csv:
 	dune exec bench/main.exe -- --csv results
 
-# PR 5 perf artifact: list-vs-CSR Dijkstra micros and the
-# EXP-SCALE-SELECTOR end-to-end wall times, as JSON (schema in
-# EXPERIMENTS.md).
+# Perf artifacts (schemas in EXPERIMENTS.md):
+#   BENCH_PR5.json — list-vs-CSR Dijkstra micros + EXP-SCALE-SELECTOR
+#   BENCH_PR6.json — RMAT TEPS trials (up to scale 18, ~2.6M edges) +
+#                    end-to-end RMAT solves, seq vs 2-domain pool
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR5.json
+	dune exec bench/main.exe -- --json-pr6 BENCH_PR6.json
+
+# Million-edge end-to-end demo: a scale-18 RMAT instance (~2.6M edges)
+# generated, solved with pooled selector rebuilds, and audited.
+# Capacity 165 satisfies the Theorem 3.1 premise B >= ln m / eps^2 at
+# the default eps = 0.3.
+rmat-demo:
+	dune exec bin/ufp_cli.exe -- generate -t rmat --scale 18 --edge-factor 10 --capacity 165 -r 200 -o rmat-demo.inst
+	dune exec bin/ufp_cli.exe -- solve rmat-demo.inst --jobs 2 --audit -o rmat-demo.sol
 
 examples:
 	dune exec examples/quickstart.exe

@@ -13,7 +13,11 @@
      dune exec bench/main.exe -- --json F     # PR 5 perf artifact only:
                                               # list-vs-CSR Dijkstra micros +
                                               # EXP-SCALE-SELECTOR wall times
-                                              # (schema in EXPERIMENTS.md) *)
+                                              # (schema in EXPERIMENTS.md)
+     dune exec bench/main.exe -- --json-pr6 F # PR 6 scale artifact only:
+                                              # RMAT TEPS trials + end-to-end
+                                              # RMAT solves, seq vs pool
+                                              # (honours --quick) *)
 
 module Registry = Ufp_experiments.Registry
 module Harness = Ufp_experiments.Harness
@@ -350,6 +354,114 @@ let run_bench_json path =
     (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "wrote %s\n" path
 
+(* --- the PR 6 scale artifact: BENCH_PR6.json ---
+
+   `make bench-json` also runs the million-edge-scale certification:
+   RMAT TEPS trials through the streaming CSR builder (the full sweep
+   tops out at scale 18 — ~2.6M edges) plus an end-to-end Bounded-UFP
+   solve over an RMAT instance with hub-laid requests, sequential vs
+   2-domain pool with byte-identical traces asserted. [--quick] drops
+   to CI-sized scales. Schema in EXPERIMENTS.md. *)
+
+let run_bench_json_pr6 ~quick path =
+  print_string "### BENCH-JSON-PR6: RMAT many-source Dijkstra TEPS\n";
+  let teps_configs =
+    if quick then [ (12, 16, 4) ] else [ (14, 16, 8); (18, 10, 4) ]
+  in
+  let teps_rows =
+    List.map
+      (fun (scale, edge_factor, trials) ->
+        let t =
+          Ufp_experiments.Exp_rmat.run_trial ~scale ~edge_factor ~trials
+            ~seed:1
+        in
+        Printf.printf
+          "  scale %2d ef %2d: n=%d m=%d gen %.3fs trials %.3fs %.2f MTEPS\n%!"
+          scale edge_factor t.Ufp_experiments.Exp_rmat.vertices
+          t.Ufp_experiments.Exp_rmat.edges t.Ufp_experiments.Exp_rmat.gen_s
+          t.Ufp_experiments.Exp_rmat.trial_s
+          (t.Ufp_experiments.Exp_rmat.teps /. 1e6);
+        t)
+      teps_configs
+  in
+  print_string "### BENCH-JSON-PR6: RMAT Bounded-UFP solve, seq vs pool\n";
+  let eps = 0.3 in
+  let solve_configs = if quick then [ (10, 8, 100) ] else [ (12, 8, 200) ] in
+  let solve_rows =
+    List.map
+      (fun (scale, edge_factor, count) ->
+        let rng = Rng.create 7 in
+        let m = edge_factor * (1 lsl scale) in
+        let capacity = Harness.capacity_for ~m ~eps in
+        let g =
+          Gen.rmat rng ~scale ~edge_factor ~capacity_lo:capacity
+            ~capacity_hi:(capacity *. 1.5) ()
+        in
+        let inst = Instance.create g (Workloads.hub_requests rng g ~count ()) in
+        let seq, seq_s =
+          Harness.time_it (fun () -> Bounded_ufp.run ~eps ~pool:`Seq inst)
+        in
+        let pool = Ufp_par.Pool.create ~domains:2 () in
+        let par, pool_s =
+          Fun.protect
+            ~finally:(fun () -> Ufp_par.Pool.shutdown pool)
+            (fun () ->
+              Harness.time_it (fun () ->
+                  Bounded_ufp.run ~eps ~pool:(`Pool pool) inst))
+        in
+        let equal = seq.Bounded_ufp.trace = par.Bounded_ufp.trace in
+        let accepted = List.length seq.Bounded_ufp.solution in
+        Printf.printf
+          "  scale %2d ef %2d %d req: seq %.3fs pool2 %.3fs accepted %d equal \
+           %b\n\
+           %!"
+          scale edge_factor count seq_s pool_s accepted equal;
+        if not equal then
+          failwith "BENCH-JSON-PR6: seq and pool traces differ on RMAT solve";
+        (scale, edge_factor, Graph.n_vertices g, Graph.n_edges g, count,
+         accepted, seq_s, pool_s, equal))
+      solve_configs
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr6/1\",\n";
+  Buffer.add_string buf "  \"rmat_teps\": [\n";
+  List.iteri
+    (fun i (t : Ufp_experiments.Exp_rmat.trial) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"scale\": %d, \"edge_factor\": %d, \"vertices\": %d, \
+            \"edges\": %d, \"trials\": %d, \"gen_s\": %.6f, \"trials_s\": \
+            %.6f, \"relaxations\": %d, \"teps\": %.6g }%s\n"
+           t.Ufp_experiments.Exp_rmat.scale
+           t.Ufp_experiments.Exp_rmat.edge_factor
+           t.Ufp_experiments.Exp_rmat.vertices t.Ufp_experiments.Exp_rmat.edges
+           t.Ufp_experiments.Exp_rmat.trials t.Ufp_experiments.Exp_rmat.gen_s
+           t.Ufp_experiments.Exp_rmat.trial_s
+           t.Ufp_experiments.Exp_rmat.relaxations
+           t.Ufp_experiments.Exp_rmat.teps
+           (if i = List.length teps_rows - 1 then "" else ",")))
+    teps_rows;
+  Buffer.add_string buf "  ],\n  \"rmat_solve\": [\n";
+  List.iteri
+    (fun i (scale, ef, n, m, count, accepted, seq_s, pool_s, equal) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"scale\": %d, \"edge_factor\": %d, \"vertices\": %d, \
+            \"edges\": %d, \"requests\": %d, \"accepted\": %d, \"seq_s\": \
+            %.6f, \"pool2_s\": %.6f, \"speedup\": %.4f, \"traces_equal\": %b \
+            }%s\n"
+           scale ef n m count accepted seq_s pool_s
+           (seq_s /. Float.max pool_s Float_tol.div_guard)
+           equal
+           (if i = List.length solve_rows - 1 then "" else ",")))
+    solve_rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "wrote %s\n" path
+
 (* --- driver --- *)
 
 let () =
@@ -370,6 +482,11 @@ let () =
   (match flag_value "--json" with
   | Some path ->
     run_bench_json path;
+    exit 0
+  | None -> ());
+  (match flag_value "--json-pr6" with
+  | Some path ->
+    run_bench_json_pr6 ~quick path;
     exit 0
   | None -> ());
   let markdown_buf = Buffer.create 4096 in

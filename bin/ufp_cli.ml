@@ -86,7 +86,8 @@ let with_observability ~metrics ~trace f =
 
 (* --- generate --- *)
 
-let generate topology seed rows cols capacity requests levels b out =
+let generate topology seed rows cols capacity requests levels b scale
+    edge_factor out =
   let inst =
     match topology with
     | "grid" ->
@@ -107,8 +108,20 @@ let generate topology seed rows cols capacity requests levels b out =
       Instance.create
         (Gen.gadget7 ~capacity:(float_of_int b))
         (Workloads.gadget7_requests ~per_pair:b)
+    | "rmat" ->
+      (* Degree-skewed Graph500-style instance: requests are laid from
+         the highest-degree hubs so the workload survives the sparse
+         directed topology (a uniformly random pair is usually
+         unreachable at scale). *)
+      let rng = Rng.create seed in
+      let g =
+        Gen.rmat rng ~scale ~edge_factor ~capacity_lo:capacity
+          ~capacity_hi:(capacity *. 1.5) ()
+      in
+      Instance.create g (Workloads.hub_requests rng g ~count:requests ())
     | other ->
-      Printf.eprintf "error: unknown topology %S (grid|er|staircase|gadget)\n" other;
+      Printf.eprintf
+        "error: unknown topology %S (grid|er|staircase|gadget|rmat)\n" other;
       exit 1
   in
   (match out with
@@ -123,7 +136,9 @@ let generate topology seed rows cols capacity requests levels b out =
 
 let topology_arg =
   Arg.(value & opt string "grid" & info [ "topology"; "t" ] ~docv:"KIND"
-         ~doc:"Instance family: grid, er, staircase (Figure 2), gadget (Figure 3).")
+         ~doc:"Instance family: grid, er, staircase (Figure 2), gadget \
+               (Figure 3), rmat (Graph500-style recursive matrix; see \
+               $(b,--scale) and $(b,--edge-factor)).")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -144,6 +159,14 @@ let levels_arg =
 let b_arg =
   Arg.(value & opt int 8 & info [ "b" ] ~doc:"Capacity parameter B for the lower-bound families.")
 
+let scale_arg =
+  Arg.(value & opt int 14 & info [ "scale" ] ~docv:"S"
+         ~doc:"RMAT scale: the graph has $(b,2^S) vertices.")
+
+let edge_factor_arg =
+  Arg.(value & opt int 16 & info [ "edge-factor" ] ~docv:"EF"
+         ~doc:"RMAT edges per vertex: $(b,EF * 2^scale) edges are drawn.")
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
          ~doc:"Output file (stdout when omitted).")
@@ -153,7 +176,8 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(
       const generate $ topology_arg $ seed_arg $ rows_arg $ cols_arg
-      $ capacity_arg $ requests_arg $ levels_arg $ b_arg $ out_arg)
+      $ capacity_arg $ requests_arg $ levels_arg $ b_arg $ scale_arg
+      $ edge_factor_arg $ out_arg)
 
 (* --- solve --- *)
 

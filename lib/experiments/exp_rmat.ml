@@ -1,0 +1,120 @@
+module Table = Ufp_prelude.Table
+module Rng = Ufp_prelude.Rng
+module Gen = Ufp_graph.Generators
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Weight_snapshot = Ufp_graph.Weight_snapshot
+
+type trial = {
+  scale : int;
+  edge_factor : int;
+  vertices : int;
+  edges : int;
+  trials : int;
+  gen_s : float;
+  trial_s : float;
+  relaxations : int;
+  teps : float;
+}
+
+(* Graph500-style source sampling: uniformly random vertices with
+   nonzero out-degree, distinct, drawn from the seeded stream.  On an
+   RMAT graph a bounded rejection loop is safe — a large fraction of
+   vertices keeps nonzero degree at any edge_factor >= 1 — but the
+   attempt bound still turns a pathological graph into a clean error
+   instead of a hang. *)
+let trial_sources rng g ~trials =
+  let n = Graph.n_vertices g in
+  let csr = Graph.csr g in
+  let deg v = csr.Graph.Csr.row_start.(v + 1) - csr.Graph.Csr.row_start.(v) in
+  let chosen = Hashtbl.create trials in
+  let sources = Array.make trials 0 in
+  let attempts = ref 0 in
+  let k = ref 0 in
+  while !k < trials do
+    if !attempts > 100 * trials then
+      failwith "Exp_rmat: could not sample distinct nonzero-degree sources";
+    incr attempts;
+    let v = Rng.int rng n in
+    if deg v > 0 && not (Hashtbl.mem chosen v) then begin
+      Hashtbl.add chosen v ();
+      sources.(!k) <- v;
+      incr k
+    end
+  done;
+  sources
+
+(* One TEPS measurement: generate the graph, then run a full Dijkstra
+   tree per sampled source against one shared uniform-weight snapshot
+   (the steady-state Selector regime). The work figure is the
+   [dijkstra.relaxations] Ufp_obs counter delta — every packed CSR slot
+   examined — so TEPS is edges-traversed-per-second in the literal
+   sense, not a quotient of nominal edge counts. *)
+let run_trial ~scale ~edge_factor ~trials ~seed =
+  let rng = Rng.create seed in
+  let g, gen_s =
+    Harness.time_it (fun () ->
+        Gen.rmat rng ~scale ~edge_factor ~capacity_lo:1.0 ~capacity_hi:4.0 ())
+  in
+  let sources = trial_sources rng g ~trials in
+  let n = Graph.n_vertices g in
+  let snapshot = Weight_snapshot.build g ~weight:(fun _ -> 1.0) in
+  let ws = Dijkstra.create_workspace g in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let ((), trial_s), work =
+    Harness.counters_during (fun () ->
+        Harness.time_it (fun () ->
+            Array.iter
+              (fun src ->
+                Dijkstra.shortest_tree_snapshot_into ws g ~snapshot ~src ~dist
+                  ~parent_edge)
+              sources))
+  in
+  let relaxations = Harness.counter_delta work "dijkstra.relaxations" in
+  {
+    scale;
+    edge_factor;
+    vertices = n;
+    edges = Graph.n_edges g;
+    trials;
+    gen_s;
+    trial_s;
+    relaxations;
+    teps =
+      float_of_int relaxations
+      /. Float.max trial_s Ufp_prelude.Float_tol.div_guard;
+  }
+
+let run ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "EXP-RMAT: Graph500-style RMAT generation + many-source \
+         shortest-path trials (TEPS)"
+      ~columns:
+        [
+          "scale"; "edge_factor"; "n"; "m"; "trials"; "gen (s)"; "trials (s)";
+          "relaxations"; "MTEPS";
+        ]
+  in
+  let configs =
+    if quick then [ (10, 16, 4) ] else [ (12, 16, 8); (14, 16, 8); (16, 16, 8) ]
+  in
+  List.iter
+    (fun (scale, edge_factor, trials) ->
+      let t = run_trial ~scale ~edge_factor ~trials ~seed:1 in
+      Table.add_row table
+        [
+          Table.cell_i t.scale;
+          Table.cell_i t.edge_factor;
+          Table.cell_i t.vertices;
+          Table.cell_i t.edges;
+          Table.cell_i t.trials;
+          Table.cell_f t.gen_s;
+          Table.cell_f t.trial_s;
+          Table.cell_i t.relaxations;
+          Printf.sprintf "%.1f" (t.teps /. 1e6);
+        ])
+    configs;
+  [ table ]

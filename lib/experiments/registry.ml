@@ -110,6 +110,14 @@ let all =
       run = Exp_par_payments.run;
     };
     {
+      id = "EXP-RMAT";
+      paper_artifact = "infrastructure";
+      description =
+        "Graph500-style scale test: RMAT generation via the streaming CSR \
+         builder + many-source Dijkstra trials, TEPS from obs counters";
+      run = Exp_rmat.run;
+    };
+    {
       id = "EXP-GAP";
       paper_artifact = "Section 1 motivation";
       description = "integrality gap OPT_LP/OPT_ILP collapses to 1 as B grows";

@@ -100,8 +100,16 @@ let grid ~rows ~cols ~capacity =
   done;
   g
 
+(* NaN fails both comparisons, so it is rejected alongside the
+   out-of-range values instead of silently acting like "never" (the
+   pre-PR-6 behavior: [Rng.float rng 1.0 < nan] is false forever). *)
+let check_edge_prob fname edge_prob =
+  if not (edge_prob >= 0.0 && edge_prob <= 1.0) then
+    invalid_arg (fname ^ ": edge_prob must be in [0, 1]")
+
 let layered rng ~layers ~width ~edge_prob ~capacity_lo ~capacity_hi =
   if layers < 2 || width <= 0 then invalid_arg "Generators.layered";
+  check_edge_prob "Generators.layered" edge_prob;
   if not (capacity_lo > 0.0 && capacity_hi >= capacity_lo) then
     invalid_arg "Generators.layered: bad capacity range";
   let g = Graph.create ~directed:true ~n:(layers * width) in
@@ -123,6 +131,7 @@ let layered rng ~layers ~width ~edge_prob ~capacity_lo ~capacity_hi =
 
 let erdos_renyi rng ~n ~edge_prob ~directed ~capacity_lo ~capacity_hi =
   if n <= 1 then invalid_arg "Generators.erdos_renyi";
+  check_edge_prob "Generators.erdos_renyi" edge_prob;
   if not (capacity_lo > 0.0 && capacity_hi >= capacity_lo) then
     invalid_arg "Generators.erdos_renyi: bad capacity range";
   let g = Graph.create ~directed ~n in
@@ -135,6 +144,59 @@ let erdos_renyi rng ~n ~edge_prob ~directed ~capacity_lo ~capacity_hi =
     done
   done;
   g
+
+(* Graph500-style recursive-matrix generator.  Each edge picks one of
+   the four quadrants of the adjacency matrix per bit level (top-left
+   with probability [a], then [b], [c], [d]), so with the standard
+   skewed (0.57, 0.19, 0.19, 0.05) split the degree distribution comes
+   out heavy-tailed: a few hub vertices of degree 10^4..10^6 at
+   million-edge scale — exactly the structure-skewed regime the
+   scale-hardening fixes of PR 6 target. *)
+let rmat rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19)
+    ?(d = 0.05) ?(directed = true) ~capacity_lo ~capacity_hi () =
+  (* [1 lsl scale] vertices and [edge_factor] times as many edges must
+     both stay well inside the int range; 30 already means a billion
+     vertices, far past what one address space holds as edge records. *)
+  if scale < 1 || scale > 30 then
+    invalid_arg "Generators.rmat: scale must be in [1, 30]";
+  if edge_factor < 1 then invalid_arg "Generators.rmat: edge_factor < 1";
+  let check_prob name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg ("Generators.rmat: probability " ^ name ^ " must be in [0, 1]")
+  in
+  check_prob "a" a;
+  check_prob "b" b;
+  check_prob "c" c;
+  check_prob "d" d;
+  if not (Ufp_prelude.Float_tol.approx_eq (a +. b +. c +. d) 1.0) then
+    invalid_arg "Generators.rmat: quadrant probabilities must sum to 1";
+  if not (capacity_lo > 0.0 && capacity_hi >= capacity_lo) then
+    invalid_arg "Generators.rmat: bad capacity range";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let ab = a +. b in
+  let abc = ab +. c in
+  (* One (u, v) endpoint pair: descend [scale] quadrant choices.  Self
+     loops are illegal in Graph, so they are redrawn — still a pure
+     function of the seed, just a longer draw for the affected edge. *)
+  let rec draw_pair () =
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Rng.float rng 1.0 in
+      let du, dv =
+        if r < a then (0, 0)
+        else if r < ab then (0, 1)
+        else if r < abc then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor du;
+      v := (!v lsl 1) lor dv
+    done;
+    if !u = !v then draw_pair () else (!u, !v)
+  in
+  Graph.of_edge_stream ~directed ~n ~m ~f:(fun _ ->
+      let u, v = draw_pair () in
+      (u, v, Rng.float_in rng capacity_lo capacity_hi))
 
 let ring ~n ~capacity =
   if n < 3 then invalid_arg "Generators.ring: n < 3";

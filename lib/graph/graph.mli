@@ -56,6 +56,26 @@ val add_edge : t -> u:int -> v:int -> capacity:float -> int
     or a capacity that is not positive and finite. Parallel edges are
     allowed. Invalidates the cached {!csr} view. *)
 
+val of_edge_stream :
+  directed:bool -> n:int -> m:int -> f:(int -> int * int * float) -> t
+(** [of_edge_stream ~directed ~n ~m ~f] builds a graph with [n]
+    vertices and the [m] edges [f 0 .. f (m-1)], where [f i] is
+    [(u, v, capacity)] of the edge that gets id [i]. [f] is called
+    exactly once per index, in increasing order — a stateful generator
+    (e.g. one threading an {!Ufp_prelude.Rng.t}) is a legal stream.
+
+    This is the streaming CSR builder for million-edge instances: the
+    stream is drained straight into exactly-sized flat arrays (the
+    edge records plus the frozen [row_start]/[nbr]/[eid] of the CSR
+    view, degrees counted during the drain), never touching the
+    doubling growth path of repeated {!add_edge} — one allocation per
+    array at final size instead of ~log m copies and a 2x peak. The
+    CSR view is built eagerly, so the first traversal pays nothing.
+
+    Per-edge validation matches {!add_edge} (endpoints in range, no
+    self loops, positive finite capacity); [Invalid_argument] is
+    raised on the first offending edge, and on [n < 0] or [m < 0]. *)
+
 val is_directed : t -> bool
 
 val n_vertices : t -> int

@@ -49,6 +49,20 @@ let of_string text =
       | _ -> fail "expected %S line, got %S" key l)
     | [] -> fail "unexpected end of input, expected %S" key
   in
+  (* Counts drive how many lines the reader consumes: a negative count
+     must fail here, with its name, not later as a misleading
+     "unexpected end of input" once the reader walks off the end. *)
+  let expect_count key lines =
+    let v, rest = expect_kv key lines in
+    if v < 0 then fail "negative %s count %d" key v;
+    (v, rest)
+  in
+  (* Structural validation lives in the constructors (Graph.add_edge,
+     Request.make, Instance.create); only around those calls is an
+     [Invalid_argument] a malformed-input symptom worth converting to a
+     parse error. Anywhere else it is a programmer error and must keep
+     propagating instead of being silently folded into [Error]. *)
+  let constructed f = try f () with Invalid_argument msg -> raise (Parse_error msg) in
   let parse () =
     match lines with
     | [] -> fail "empty input"
@@ -57,8 +71,8 @@ let of_string text =
       | [ "ufp"; "1" ] -> ()
       | _ -> fail "bad header %S (expected \"ufp 1\")" header);
       let directed, rest = expect_kv "directed" rest in
-      let n, rest = expect_kv "vertices" rest in
-      let m, rest = expect_kv "edges" rest in
+      let n, rest = expect_count "vertices" rest in
+      let m, rest = expect_count "edges" rest in
       let g = Graph.create ~directed:(directed <> 0) ~n in
       let rec read_edges k rest =
         if k = 0 then rest
@@ -68,14 +82,15 @@ let of_string text =
           | l :: rest -> (
             match words l with
             | [ "e"; u; v; c ] ->
-              ignore
-                (Graph.add_edge g ~u:(int_of l u) ~v:(int_of l v)
-                   ~capacity:(float_of l c));
+              constructed (fun () ->
+                  ignore
+                    (Graph.add_edge g ~u:(int_of l u) ~v:(int_of l v)
+                       ~capacity:(float_of l c)));
               read_edges (k - 1) rest
             | _ -> fail "bad edge line %S" l)
       in
       let rest = read_edges m rest in
-      let r_count, rest = expect_kv "requests" rest in
+      let r_count, rest = expect_count "requests" rest in
       let reqs = ref [] in
       let rec read_requests k rest =
         if k = 0 then rest
@@ -86,20 +101,20 @@ let of_string text =
             match words l with
             | [ "r"; s; t; d; v ] ->
               reqs :=
-                Request.make ~src:(int_of l s) ~dst:(int_of l t)
-                  ~demand:(float_of l d) ~value:(float_of l v)
+                constructed (fun () ->
+                    Request.make ~src:(int_of l s) ~dst:(int_of l t)
+                      ~demand:(float_of l d) ~value:(float_of l v))
                 :: !reqs;
               read_requests (k - 1) rest
             | _ -> fail "bad request line %S" l)
       in
       let leftover = read_requests r_count rest in
       if leftover <> [] then fail "trailing content: %S" (List.hd leftover);
-      Instance.create g (Array.of_list (List.rev !reqs))
+      constructed (fun () -> Instance.create g (Array.of_list (List.rev !reqs)))
   in
   match parse () with
   | inst -> Ok inst
   | exception Parse_error msg -> Error msg
-  | exception Invalid_argument msg -> Error msg
 
 let write_file path text =
   let oc = open_out path in
@@ -150,7 +165,13 @@ let solution_of_string text =
         match rest with
         | l :: rest -> (
           match words l with
-          | [ "allocations"; n ] -> (int_of l n, rest)
+          | [ "allocations"; n ] ->
+            let n = int_of l n in
+            (* Same scale-hardening rule as the instance reader: a
+               negative count fails here with its name, not as a bogus
+               end-of-input error after reading past the list. *)
+            if n < 0 then fail "negative allocations count %d" n;
+            (n, rest)
           | _ -> fail "expected \"allocations\" line, got %S" l)
         | [] -> fail "unexpected end of input"
       in

@@ -19,7 +19,12 @@
 val to_string : Instance.t -> string
 
 val of_string : string -> (Instance.t, string) result
-(** Parse; the error string names the offending line. *)
+(** Parse; the error string names the offending line. Negative
+    [vertices]/[edges]/[requests] counts are rejected up front with
+    the count's name in the message. Malformed {e content} — an
+    out-of-range endpoint, a self loop, a non-positive capacity or
+    demand — surfaces as [Error] via the constructors' validation;
+    exceptions raised anywhere else (programmer errors) propagate. *)
 
 val save : string -> Instance.t -> unit
 (** [save path inst] writes the instance to a file. *)

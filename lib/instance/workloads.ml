@@ -38,6 +38,80 @@ let random_requests_value_per_hop rng g ~count ?(demand = (0.2, 1.0))
       let v = d *. hops *. value_per_hop *. Rng.float_in rng 0.5 1.5 in
       Request.make ~src ~dst ~demand:d ~value:v)
 
+(* Forward-reachable vertices of [src] (excluding [src] itself), by an
+   array-backed BFS over the CSR rows — one linear pass, no per-pair
+   Dijkstra.  [random_reachable_pair] is fine on small dense topologies
+   but hopeless on million-edge RMAT graphs, where a uniformly random
+   pair is usually unreachable and each rejection costs a traversal. *)
+let reached_from g src =
+  let n = Graph.n_vertices g in
+  let csr = Graph.csr g in
+  let row_start = csr.Graph.Csr.row_start and nbr = csr.Graph.Csr.nbr in
+  let seen = Array.make n false in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  seen.(src) <- true;
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for k = row_start.(u) to row_start.(u + 1) - 1 do
+      let v = nbr.(k) in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  (* queue.(1 .. tail-1) is exactly the reached set minus the source,
+     in BFS order — deterministic, since CSR rows are pinned. *)
+  Array.sub queue 1 (max 0 (!tail - 1))
+
+let hub_requests rng g ~count ?(sources = 8) ?(demand = (0.2, 1.0))
+    ?(value = (0.5, 2.0)) () =
+  if count < 0 then invalid_arg "Workloads.hub_requests: negative count";
+  if sources <= 0 then invalid_arg "Workloads.hub_requests: sources <= 0";
+  let n = Graph.n_vertices g in
+  if n = 0 then invalid_arg "Workloads.hub_requests: empty graph";
+  let csr = Graph.csr g in
+  let deg v = csr.Graph.Csr.row_start.(v + 1) - csr.Graph.Csr.row_start.(v) in
+  (* Highest out-degree first, ties by vertex id: on a degree-skewed
+     graph (RMAT) this picks the hubs, whose forward cones cover most
+     of the giant component, so one BFS per source is enough to lay
+     any number of requests. Deterministic given graph + seed. *)
+  let order = Array.init n (fun v -> v) in
+  Array.sort
+    (fun x y ->
+      let c = Int.compare (deg y) (deg x) in
+      if c <> 0 then c else Int.compare x y)
+    order;
+  let picked = ref [] in
+  let n_picked = ref 0 in
+  let i = ref 0 in
+  while !n_picked < sources && !i < n do
+    let src = order.(!i) in
+    incr i;
+    if deg src > 0 then begin
+      let reached = reached_from g src in
+      if Array.length reached > 0 then begin
+        picked := (src, reached) :: !picked;
+        incr n_picked
+      end
+    end
+  done;
+  if !picked = [] then
+    failwith "Workloads.hub_requests: no vertex reaches any other vertex";
+  let picked = Array.of_list (List.rev !picked) in
+  let dlo, dhi = demand and vlo, vhi = value in
+  Array.init count (fun k ->
+      let src, reached = picked.(k mod Array.length picked) in
+      let dst = reached.(Rng.int rng (Array.length reached)) in
+      Request.make ~src ~dst
+        ~demand:(Rng.float_in rng dlo dhi)
+        ~value:(Rng.float_in rng vlo vhi))
+
 let per_source_requests sources sink ~per_source =
   let l = Array.length sources in
   Array.init (l * per_source) (fun k ->

@@ -20,6 +20,21 @@ val random_requests_value_per_hop :
     value correlates with resource consumption, the economically
     natural regime. *)
 
+val hub_requests :
+  Ufp_prelude.Rng.t -> Ufp_graph.Graph.t -> count:int -> ?sources:int ->
+  ?demand:float * float -> ?value:float * float -> unit -> Request.t array
+(** [count] requests laid over a (possibly huge, degree-skewed) graph:
+    the [sources] (default 8) highest-out-degree vertices that reach at
+    least one other vertex become request sources, assigned round-robin;
+    each request's destination is uniform over the forward-reachable
+    set of its source (computed once per source by a BFS over the CSR
+    rows — no per-pair reachability probing, which is what makes this
+    the demand generator for million-edge RMAT instances). Demand and
+    value ranges as in {!random_requests}. Deterministic given graph
+    and seed. Raises [Invalid_argument] on a negative [count],
+    non-positive [sources] or an empty graph, and [Failure] when no
+    vertex reaches any other vertex. *)
+
 val staircase_requests :
   Ufp_graph.Generators.staircase -> per_source:int -> Request.t array
 (** The Theorem 3.11 request multiset: [per_source] unit-demand,

@@ -776,6 +776,159 @@ let qcheck_enumerate_simple =
       List.for_all (fun p -> Path.is_valid g ~src:0 ~dst:5 p) paths
       && List.length (List.sort_uniq compare paths) = List.length paths)
 
+(* --- streaming CSR builder + scale regressions --- *)
+
+(* Regression: out_edges used a non-tail-recursive gather and blew the
+   stack on hub-degree rows (RMAT's degree skew hits this first). A
+   500k-out-degree star must come back intact, in insertion order. *)
+let test_out_edges_hub_degree () =
+  let deg = 500_000 in
+  let g =
+    Graph.of_edge_stream ~directed:true ~n:(deg + 1) ~m:deg ~f:(fun i ->
+        (0, i + 1, 1.0))
+  in
+  let es = Graph.out_edges g 0 in
+  Alcotest.(check int) "degree" deg (List.length es);
+  Alcotest.(check (pair int int)) "first" (0, 1) (List.hd es);
+  Alcotest.(check (pair int int))
+    "last"
+    (deg - 1, deg)
+    (List.nth es (deg - 1))
+
+let test_of_edge_stream_matches_add_edge () =
+  List.iter
+    (fun directed ->
+      let spec = [ (0, 1, 2.0); (2, 1, 3.0); (0, 3, 1.0); (1, 3, 5.0) ] in
+      let arr = Array.of_list spec in
+      let a = Graph.create ~directed ~n:4 in
+      List.iter (fun (u, v, capacity) -> ignore (Graph.add_edge a ~u ~v ~capacity)) spec;
+      let b =
+        Graph.of_edge_stream ~directed ~n:4 ~m:(Array.length arr)
+          ~f:(fun i -> arr.(i))
+      in
+      Alcotest.(check int) "edge count" (Graph.n_edges a) (Graph.n_edges b);
+      for v = 0 to 3 do
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "row %d (directed %b)" v directed)
+          (Graph.out_edges a v) (Graph.out_edges b v)
+      done;
+      for i = 0 to Graph.n_edges a - 1 do
+        let ea = Graph.edge a i and eb = Graph.edge b i in
+        Alcotest.(check bool) "edge record" true
+          (ea.Graph.u = eb.Graph.u && ea.Graph.v = eb.Graph.v
+          && ea.Graph.capacity = eb.Graph.capacity)
+      done)
+    [ true; false ]
+
+let test_of_edge_stream_empty () =
+  let g = Graph.of_edge_stream ~directed:true ~n:3 ~m:0 ~f:(fun _ -> assert false) in
+  Alcotest.(check int) "no edges" 0 (Graph.n_edges g);
+  Alcotest.(check (list (pair int int))) "empty row" [] (Graph.out_edges g 2)
+
+let test_of_edge_stream_validation () =
+  let stream ~n ~m f () = ignore (Graph.of_edge_stream ~directed:true ~n ~m ~f) in
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Graph.of_edge_stream: negative vertex count")
+    (stream ~n:(-1) ~m:0 (fun _ -> assert false));
+  Alcotest.check_raises "negative m"
+    (Invalid_argument "Graph.of_edge_stream: negative edge count")
+    (stream ~n:2 ~m:(-1) (fun _ -> assert false));
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Graph.of_edge_stream: endpoint out of range")
+    (stream ~n:2 ~m:1 (fun _ -> (0, 2, 1.0)));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.of_edge_stream: self loop")
+    (stream ~n:2 ~m:1 (fun _ -> (1, 1, 1.0)));
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Graph.of_edge_stream: capacity must be positive and finite")
+    (stream ~n:2 ~m:1 (fun _ -> (0, 1, nan)))
+
+(* --- RMAT generator --- *)
+
+let test_rmat_deterministic () =
+  let build () =
+    let rng = Rng.create 11 in
+    Gen.rmat rng ~scale:6 ~edge_factor:4 ~capacity_lo:1.0 ~capacity_hi:2.0 ()
+  in
+  let a = build () and b = build () in
+  Alcotest.(check int) "same edge count" (Graph.n_edges a) (Graph.n_edges b);
+  for i = 0 to Graph.n_edges a - 1 do
+    let ea = Graph.edge a i and eb = Graph.edge b i in
+    Alcotest.(check bool) "same edge" true
+      (ea.Graph.u = eb.Graph.u && ea.Graph.v = eb.Graph.v
+      && ea.Graph.capacity = eb.Graph.capacity)
+  done
+
+(* The CSR row widths must account for every drawn edge: their sum is
+   m on a directed graph and 2m undirected (each edge in both rows). *)
+let test_rmat_degree_sum () =
+  List.iter
+    (fun directed ->
+      let rng = Rng.create 3 in
+      let g =
+        Gen.rmat rng ~scale:7 ~edge_factor:5 ~directed ~capacity_lo:1.0
+          ~capacity_hi:2.0 ()
+      in
+      let n = Graph.n_vertices g and m = Graph.n_edges g in
+      Alcotest.(check int) "vertices" 128 n;
+      Alcotest.(check int) "edges" (5 * 128) m;
+      let sum = ref 0 in
+      for v = 0 to n - 1 do
+        sum := !sum + List.length (Graph.out_edges g v)
+      done;
+      Alcotest.(check int) "degree sum" (if directed then m else 2 * m) !sum;
+      Graph.fold_edges
+        (fun e () ->
+          if e.Graph.u = e.Graph.v then Alcotest.fail "self loop survived")
+        g ())
+    [ true; false ]
+
+let test_rmat_validation () =
+  let rng = Rng.create 1 in
+  let rmat ?a ?b ?c ?d ?(scale = 4) ?(edge_factor = 2) ?(capacity_lo = 1.0)
+      ?(capacity_hi = 2.0) () () =
+    ignore (Gen.rmat rng ~scale ~edge_factor ?a ?b ?c ?d ~capacity_lo ~capacity_hi ())
+  in
+  Alcotest.check_raises "scale 0"
+    (Invalid_argument "Generators.rmat: scale must be in [1, 30]")
+    (rmat ~scale:0 ());
+  Alcotest.check_raises "scale 31"
+    (Invalid_argument "Generators.rmat: scale must be in [1, 30]")
+    (rmat ~scale:31 ());
+  Alcotest.check_raises "edge factor"
+    (Invalid_argument "Generators.rmat: edge_factor < 1")
+    (rmat ~edge_factor:0 ());
+  Alcotest.check_raises "prob out of range"
+    (Invalid_argument "Generators.rmat: probability a must be in [0, 1]")
+    (rmat ~a:1.2 ());
+  Alcotest.check_raises "prob nan"
+    (Invalid_argument "Generators.rmat: probability b must be in [0, 1]")
+    (rmat ~b:nan ());
+  Alcotest.check_raises "prob sum"
+    (Invalid_argument "Generators.rmat: quadrant probabilities must sum to 1")
+    (rmat ~a:0.5 ~b:0.5 ~c:0.5 ~d:0.5 ());
+  Alcotest.check_raises "capacity range"
+    (Invalid_argument "Generators.rmat: bad capacity range")
+    (rmat ~capacity_lo:2.0 ~capacity_hi:1.0 ())
+
+let test_edge_prob_validation () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "layered"
+        (Invalid_argument "Generators.layered: edge_prob must be in [0, 1]")
+        (fun () ->
+          ignore
+            (Gen.layered rng ~layers:2 ~width:2 ~edge_prob:p ~capacity_lo:1.0
+               ~capacity_hi:2.0));
+      Alcotest.check_raises "erdos_renyi"
+        (Invalid_argument "Generators.erdos_renyi: edge_prob must be in [0, 1]")
+        (fun () ->
+          ignore
+            (Gen.erdos_renyi rng ~n:4 ~edge_prob:p ~directed:false
+               ~capacity_lo:1.0 ~capacity_hi:2.0)))
+    [ -0.1; 1.5; nan ]
+
 let () =
   Alcotest.run "graph"
     [
@@ -798,6 +951,14 @@ let () =
           Alcotest.test_case "other endpoint" `Quick test_other_endpoint;
           Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
           Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+          Alcotest.test_case "out_edges hub degree 500k" `Quick
+            test_out_edges_hub_degree;
+          Alcotest.test_case "of_edge_stream matches add_edge" `Quick
+            test_of_edge_stream_matches_add_edge;
+          Alcotest.test_case "of_edge_stream empty" `Quick
+            test_of_edge_stream_empty;
+          Alcotest.test_case "of_edge_stream validation" `Quick
+            test_of_edge_stream_validation;
         ] );
       ( "dijkstra",
         [
@@ -849,6 +1010,11 @@ let () =
           Alcotest.test_case "layered" `Quick test_layered_structure;
           Alcotest.test_case "erdos-renyi deterministic" `Quick
             test_erdos_renyi_deterministic;
+          Alcotest.test_case "edge_prob validation" `Quick
+            test_edge_prob_validation;
+          Alcotest.test_case "rmat deterministic" `Quick test_rmat_deterministic;
+          Alcotest.test_case "rmat degree sum" `Quick test_rmat_degree_sum;
+          Alcotest.test_case "rmat validation" `Quick test_rmat_validation;
           Alcotest.test_case "ring" `Quick test_ring_structure;
           Alcotest.test_case "abilene" `Quick test_abilene_structure;
         ] );

@@ -286,6 +286,54 @@ let test_all_pairs_unit () =
   Alcotest.(check int) "three ordered pairs" 3 (Array.length reqs);
   Array.iter (fun r -> check_float "value" 2.0 r.Request.value) reqs
 
+(* Directed hub graph: 0 is the high-degree hub (0 -> 1, 2, 3), 1 has a
+   single edge 1 -> 2, and 3 -> 4 extends the hub's forward cone. *)
+let hub_graph () =
+  let g = Graph.create ~directed:true ~n:5 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:0 ~v:2 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:0 ~v:3 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:1 ~v:2 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:3 ~v:4 ~capacity:1.0);
+  g
+
+let test_hub_requests () =
+  let g = hub_graph () in
+  let reqs = Workloads.hub_requests (Rng.create 5) g ~count:9 ~sources:2 () in
+  Alcotest.(check int) "count" 9 (Array.length reqs);
+  Array.iteri
+    (fun k r ->
+      (* Sources round-robin over the two highest-out-degree vertices
+         (0 with degree 3, then 1); destinations stay inside the
+         source's forward cone. *)
+      let expected_src = if k mod 2 = 0 then 0 else 1 in
+      Alcotest.(check int) "round-robin source" expected_src r.Request.src;
+      Alcotest.(check bool) "reachable dst" true
+        (Dijkstra.reachable g ~src:r.Request.src ~dst:r.Request.dst);
+      Alcotest.(check bool) "demand in range" true
+        (r.Request.demand >= 0.2 && r.Request.demand <= 1.0))
+    reqs;
+  let again = Workloads.hub_requests (Rng.create 5) g ~count:9 ~sources:2 () in
+  Alcotest.(check bool) "deterministic" true
+    (Array.for_all2 Request.equal reqs again)
+
+let test_hub_requests_validation () =
+  let g = hub_graph () in
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Workloads.hub_requests: negative count") (fun () ->
+      ignore (Workloads.hub_requests (Rng.create 1) g ~count:(-1) ()));
+  Alcotest.check_raises "bad sources"
+    (Invalid_argument "Workloads.hub_requests: sources <= 0") (fun () ->
+      ignore (Workloads.hub_requests (Rng.create 1) g ~count:1 ~sources:0 ()));
+  let empty = Graph.create ~directed:true ~n:0 in
+  Alcotest.check_raises "empty graph"
+    (Invalid_argument "Workloads.hub_requests: empty graph") (fun () ->
+      ignore (Workloads.hub_requests (Rng.create 1) empty ~count:1 ()));
+  let edgeless = Graph.create ~directed:true ~n:3 in
+  Alcotest.check_raises "edgeless graph"
+    (Failure "Workloads.hub_requests: no vertex reaches any other vertex")
+    (fun () -> ignore (Workloads.hub_requests (Rng.create 1) edgeless ~count:1 ()))
+
 (* --- Io --- *)
 
 let test_io_round_trip () =
@@ -348,6 +396,28 @@ let test_io_errors () =
   (* Semantically invalid: self-loop edge. *)
   expect_parse_error
     "ufp 1\ndirected 1\nvertices 2\nedges 1\ne 0 0 1.0\nrequests 0\n"
+
+(* Regression: negative counts used to send the line-consuming readers
+   off the end of the input (or into Array-size territory), surfacing
+   as misleading errors; they must be rejected up front, by name. *)
+let expect_parse_error_msg text expected =
+  match Io.of_string text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error m -> Alcotest.(check string) "message" expected m
+
+let test_io_negative_counts () =
+  expect_parse_error_msg
+    "ufp 1\ndirected 1\nvertices -1\nedges 0\nrequests 0\n"
+    "negative vertices count -1";
+  expect_parse_error_msg
+    "ufp 1\ndirected 1\nvertices 2\nedges -2\nrequests 0\n"
+    "negative edges count -2";
+  expect_parse_error_msg
+    "ufp 1\ndirected 1\nvertices 2\nedges 1\ne 0 1 1.0\nrequests -5\n"
+    "negative requests count -5";
+  match Io.solution_of_string "ufp-solution 1\nallocations -3\n" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error m -> Alcotest.(check string) "message" "negative allocations count -3" m
 
 let test_io_file_round_trip () =
   let g = line_graph [| 2.0 |] in
@@ -541,6 +611,59 @@ let qcheck_io_round_trip =
         && Array.for_all2 Request.equal (Instance.requests inst)
              (Instance.requests inst'))
 
+(* The round-trip law must survive cosmetic noise: comment lines and
+   blank lines injected between any two lines of the serialised form
+   are ignored by the parser, so the parsed instance is still equal —
+   graph and requests — to the original. *)
+let inject_noise rng text =
+  let lines = String.split_on_char '\n' text in
+  let noisy =
+    List.concat_map
+      (fun l ->
+        let noise =
+          match Rng.int rng 4 with
+          | 0 -> [ "# injected comment" ]
+          | 1 -> [ "" ]
+          | 2 -> [ "  "; "# more # noise" ]
+          | _ -> []
+        in
+        noise @ [ l ])
+      lines
+  in
+  String.concat "\n" noisy
+
+let qcheck_io_round_trip_injected =
+  QCheck.Test.make ~name:"io round trip survives comment/blank injection"
+    ~count:100 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 500) in
+      let g =
+        Gen.erdos_renyi rng ~n:6 ~edge_prob:0.5
+          ~directed:(Rng.int rng 2 = 0)
+          ~capacity_lo:1.0 ~capacity_hi:5.0
+      in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let inst =
+          Instance.create g (Workloads.random_requests rng g ~count:3 ())
+        in
+        match Io.of_string (inject_noise rng (Io.to_string inst)) with
+        | Error _ -> false
+        | Ok inst' ->
+          let g' = Instance.graph inst' in
+          Graph.n_vertices g = Graph.n_vertices g'
+          && Graph.n_edges g = Graph.n_edges g'
+          && Graph.is_directed g = Graph.is_directed g'
+          && List.for_all
+               (fun e ->
+                 let e' = Graph.edge g' e in
+                 let e = Graph.edge g e in
+                 e.Graph.u = e'.Graph.u && e.Graph.v = e'.Graph.v
+                 && e.Graph.capacity = e'.Graph.capacity)
+               (List.init (Graph.n_edges g) Fun.id)
+          && Array.for_all2 Request.equal (Instance.requests inst)
+               (Instance.requests inst')
+      end)
+
 (* Failure injection: no input, however mangled, may crash the
    parsers — they must return Error (or successfully parse a still-valid
    mutation), never raise. *)
@@ -642,12 +765,16 @@ let () =
           Alcotest.test_case "staircase requests" `Quick test_staircase_requests;
           Alcotest.test_case "gadget7 requests" `Quick test_gadget7_requests;
           Alcotest.test_case "all pairs" `Quick test_all_pairs_unit;
+          Alcotest.test_case "hub requests" `Quick test_hub_requests;
+          Alcotest.test_case "hub requests validation" `Quick
+            test_hub_requests_validation;
         ] );
       ( "io",
         [
           Alcotest.test_case "round trip" `Quick test_io_round_trip;
           Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "negative counts" `Quick test_io_negative_counts;
           Alcotest.test_case "file round trip" `Quick test_io_file_round_trip;
           Alcotest.test_case "solution round trip" `Quick test_solution_io_round_trip;
           Alcotest.test_case "solution file" `Quick test_solution_io_file;
@@ -671,6 +798,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             qcheck_io_round_trip;
+            qcheck_io_round_trip_injected;
             qcheck_normalize_preserves_feasibility;
             qcheck_instance_parser_never_crashes;
             qcheck_solution_parser_never_crashes;
