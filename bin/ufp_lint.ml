@@ -1,9 +1,11 @@
 (* ufp-lint: repo-specific float-discipline and determinism linter.
 
    Walks .ml/.mli sources and enforces the rules documented in
-   docs/LINTING.md (R1 inline-tolerance, R2 poly-float-compare,
-   R3 poly-hash, R4 bare-abort).  Exit codes: 0 clean, 1 violations,
-   2 driver errors (unreadable or unparsable file). *)
+   docs/LINTING.md in two phases: per-file syntactic rules (R0-R6) and
+   the whole-program domain-safety analysis (R7 par-shared-mutation,
+   R8 domain-unsafe-call) seeded at every Ufp_par.Pool call site.
+   Exit codes: 0 clean, 1 violations, 2 driver errors (unreadable or
+   unparsable file). *)
 
 module Finding = Ufp_lint.Finding
 module Driver = Ufp_lint.Driver
@@ -41,7 +43,17 @@ let rules_arg =
 let list_rules_arg =
   Arg.(value & flag & info [ "list-rules" ] ~doc:"List rules and exit.")
 
-let main roots format rules list_rules =
+let callgraph_arg =
+  let doc =
+    "Dump the whole-program call graph (defs, callees, functor-skip \
+     warnings) as JSON to $(docv) for debugging the R7/R8 phase."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "callgraph" ] ~docv:"FILE.json" ~doc)
+
+let main roots format rules callgraph_out list_rules =
   if list_rules then begin
     List.iter
       (fun r ->
@@ -50,7 +62,7 @@ let main roots format rules list_rules =
       Finding.all_rules;
     0
   end
-  else Driver.run ~format ~rules ~roots ()
+  else Driver.run ~format ~rules ?callgraph_out ~roots ()
 
 let cmd =
   let doc = "float-discipline and determinism linter for the UFP repo" in
@@ -65,6 +77,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ufp-lint" ~doc ~man)
-    Term.(const main $ roots_arg $ format_arg $ rules_arg $ list_rules_arg)
+    Term.(
+      const main $ roots_arg $ format_arg $ rules_arg $ callgraph_arg
+      $ list_rules_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -304,7 +304,10 @@ let rebuild t grp =
    sequential rebuilds: each Dijkstra writes only its own group's
    arrays (plus its private workspace) from one snapshot built for
    this epoch, and Dijkstra itself is a pure function of (CSR,
-   snapshot, src) — see docs/PARALLELISM.md. *)
+   snapshot, src) — see docs/PARALLELISM.md. That purity obligation
+   is also machine-checked: ufp-lint's whole-program phase (R7/R8)
+   traces this closure's call graph for shared-state writes and
+   domain-unsafe calls. *)
 let rebuild_parallel t p stale =
   let n = Array.length stale in
   if n > 0 then begin

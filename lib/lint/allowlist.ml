@@ -1,6 +1,6 @@
 open Ppxlib
 
-type allow = { rules : string list; reason : string }
+type allow = { rules : string list; reason : string; allow_loc : Location.t }
 
 (* The payload ["R1" "reason"] parses as the application of one string
    constant to another; a lone ["R1"] is just a constant.  Flatten
@@ -31,15 +31,21 @@ let of_attributes attrs =
     (fun attr ->
       if String.equal attr.attr_name.txt "lint.allow" then
         match strings_of_payload attr.attr_payload with
-        | [] -> Some { rules = [ "*" ]; reason = "" }
+        | [] -> Some { rules = [ "*" ]; reason = ""; allow_loc = attr.attr_loc }
         | rule :: rest ->
           Some
             {
               rules = [ String.lowercase_ascii rule ];
               reason = String.concat " " rest;
+              allow_loc = attr.attr_loc;
             }
       else None)
     attrs
+
+(* An allow whose justification is empty (a bare [@lint.allow], or a
+   rule selector with no trailing reason string).  Rules reports these
+   as the R0 meta-finding: suppressions must say why. *)
+let unjustified allow = String.trim allow.reason = ""
 
 let matches rule allow =
   List.exists

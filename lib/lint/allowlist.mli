@@ -10,12 +10,18 @@
 type allow = {
   rules : string list;  (** lowercased rule ids/slugs, or [["*"]] *)
   reason : string;
+  allow_loc : Ppxlib.Location.t;
+      (** where the attribute sits, for the R0 meta-finding *)
 }
 
 val of_attributes : Ppxlib.attribute list -> allow list
 (** Extracts every [lint.allow] attribute.  Both
     [[@lint.allow "R1" "reason"]] and [[@lint.allow "R1"]] parse; an
     empty payload yields a wildcard allow. *)
+
+val unjustified : allow -> bool
+(** No (or whitespace-only) justification string — the condition for
+    the R0 [allow-without-reason] meta-finding. *)
 
 val permits : allow list list -> Finding.rule -> bool
 (** [permits stack rule] holds when any allow on the enclosing-scope

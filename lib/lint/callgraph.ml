@@ -1,0 +1,247 @@
+open Ppxlib
+
+(* Whole-program def->use graph over every parsed .ml, keyed by
+   "Module.fn".  Built once per driver run from the parsetrees the
+   per-file rules already parsed — never re-parsed per pass.
+
+   Naming model: each file contributes a module named after its
+   basename ("lib/mech/vcg.ml" -> "Vcg"); nested [module M = struct]
+   contributes defs under "M".  References are resolved by the *last*
+   module component of the access path ("Ufp_par.Pool.parallel_for" and
+   a local "Pool.parallel_for" both key to "Pool.parallel_for"), with
+   toplevel [module X = Path] aliases expanded first.  Two files with
+   the same basename therefore merge into one node — a deliberate
+   over-approximation (their defs and edges union), as are edges for
+   *every* identifier occurrence, applied or not, so first-class
+   function values are covered.  Functor definitions are skipped with
+   a logged warning; functor applications ([Map.Make (Int)]) simply
+   contribute no defs. *)
+
+type def = {
+  d_key : string;  (* "Module.fn" *)
+  d_path : string;
+  d_line : int;
+  d_col : int;
+  d_bodies : expression list;  (* >1 on merge (collision / tuple pattern) *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  edges : (string, string list) Hashtbl.t;  (* sorted unique callee keys *)
+  aliases : (string, (string, string) Hashtbl.t) Hashtbl.t;
+      (* file path -> local module alias -> last component of target *)
+  mutable warnings : string list;
+}
+
+let module_name_of_path path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let rec last_module = function
+  | Lident m -> m
+  | Ldot (_, m) -> m
+  | Lapply (_, l) -> last_module l
+
+(* Strip a leading [Stdlib.] so qualified spellings key identically. *)
+let rec strip_stdlib = function
+  | Ldot (Lident "Stdlib", m) -> Lident m
+  | Ldot (p, m) -> Ldot (strip_stdlib p, m)
+  | l -> l
+
+let file_aliases t path =
+  match Hashtbl.find_opt t.aliases path with
+  | Some map -> map
+  | None ->
+    let map = Hashtbl.create 8 in
+    Hashtbl.replace t.aliases path map;
+    map
+
+(* Alias chains ([module P = Pool] where Pool is itself an alias) are
+   expanded with fuel so a cyclic alias cannot loop. *)
+let resolve_module_name aliases m =
+  let rec go fuel m =
+    if fuel = 0 then m
+    else
+      match Hashtbl.find_opt aliases m with
+      | Some m' when m' <> m -> go (fuel - 1) m'
+      | _ -> m
+  in
+  go 8 m
+
+(* Resolve a module name occurring in [path] through that file's
+   aliases ("Pool" stays "Pool"; a [module P = Ufp_par.Pool] alias maps
+   "P" to "Pool").  Used by Par_purity's seed detection, which must
+   work even when lib/par/pool.ml itself is outside the analyzed set
+   (fixture runs). *)
+let resolve_module t ~path m =
+  match Hashtbl.find_opt t.aliases path with
+  | Some aliases -> resolve_module_name aliases m
+  | None -> m
+
+(* Resolve a *value* longident occurring in [path] to a def key, if the
+   target is a known toplevel definition. *)
+let resolve t ~path ~cur_module lid =
+  let aliases =
+    Option.value ~default:(Hashtbl.create 0) (Hashtbl.find_opt t.aliases path)
+  in
+  let key =
+    match strip_stdlib lid with
+    | Lident n -> Some (cur_module ^ "." ^ n)
+    | Ldot (mp, n) ->
+      Some (resolve_module_name aliases (last_module mp) ^ "." ^ n)
+    | Lapply _ -> None
+  in
+  match key with
+  | Some k when Hashtbl.mem t.defs k -> Some k
+  | _ -> None
+
+let warn t msg = t.warnings <- msg :: t.warnings
+
+let rec pattern_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_constraint (p, _) | Ppat_alias (p, _) | Ppat_open (_, p) ->
+    pattern_vars p
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | _ -> []
+
+let add_def t ~path ~cur_module name loc body =
+  let key = cur_module ^ "." ^ name in
+  match Hashtbl.find_opt t.defs key with
+  | Some d -> Hashtbl.replace t.defs key { d with d_bodies = body :: d.d_bodies }
+  | None ->
+    Hashtbl.replace t.defs key
+      {
+        d_key = key;
+        d_path = path;
+        d_line = loc.loc_start.Lexing.pos_lnum;
+        d_col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol;
+        d_bodies = [ body ];
+      }
+
+(* Pass 1: defs and aliases.  Nested [module M = struct .. end] recurses
+   with [M] as the module name; functors are skipped with a warning. *)
+let rec collect_defs t ~path ~cur_module items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            List.iter
+              (fun name ->
+                add_def t ~path ~cur_module name vb.pvb_loc vb.pvb_expr)
+              (pattern_vars vb.pvb_pat))
+          vbs
+      | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } ->
+        collect_module t ~path name pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter
+          (fun mb ->
+            match mb.pmb_name.txt with
+            | Some name -> collect_module t ~path name mb.pmb_expr
+            | None -> ())
+          mbs
+      | _ -> ())
+    items
+
+and collect_module t ~path name mexpr =
+  match mexpr.pmod_desc with
+  | Pmod_structure items -> collect_defs t ~path ~cur_module:name items
+  | Pmod_ident { txt; _ } ->
+    Hashtbl.replace (file_aliases t path) name (last_module (strip_stdlib txt))
+  | Pmod_functor _ ->
+    warn t
+      (Printf.sprintf
+         "%s: functor `%s' skipped by the call-graph (its instantiations \
+          are not tracked; calls through it are invisible to R7/R8)"
+         path name)
+  | Pmod_constraint (me, _) -> collect_module t ~path name me
+  | _ -> ()
+
+(* Pass 2: edges.  Every value-identifier occurrence inside a def body
+   that resolves to a known def becomes an edge — applications and
+   first-class uses alike. *)
+let body_callees t ~path ~cur_module exprs =
+  let acc = Hashtbl.create 16 in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match resolve t ~path ~cur_module txt with
+          | Some key -> Hashtbl.replace acc key ()
+          | None -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  List.iter it#expression exprs;
+  List.sort String.compare (Hashtbl.fold (fun k () l -> k :: l) acc [])
+
+let build sources =
+  let t =
+    {
+      defs = Hashtbl.create 512;
+      edges = Hashtbl.create 512;
+      aliases = Hashtbl.create 64;
+      warnings = [];
+    }
+  in
+  List.iter
+    (fun (path, items) ->
+      collect_defs t ~path ~cur_module:(module_name_of_path path) items)
+    sources;
+  Hashtbl.iter
+    (fun key d ->
+      let cur_module =
+        match String.index_opt key '.' with
+        | Some i -> String.sub key 0 i
+        | None -> key
+      in
+      Hashtbl.replace t.edges key
+        (body_callees t ~path:d.d_path ~cur_module d.d_bodies))
+    t.defs;
+  t.warnings <- List.rev t.warnings;
+  t
+
+let callees t key = Option.value ~default:[] (Hashtbl.find_opt t.edges key)
+
+let warnings t = t.warnings
+
+let find_def t key = Hashtbl.find_opt t.defs key
+
+let iter_defs t f = Hashtbl.iter (fun _ d -> f d) t.defs
+
+let n_defs t = Hashtbl.length t.defs
+
+(* --- JSON debug dump (--callgraph FILE.json) --- *)
+
+let to_json t =
+  let defs =
+    List.sort
+      (fun a b -> String.compare a.d_key b.d_key)
+      (Hashtbl.fold (fun _ d l -> d :: l) t.defs [])
+  in
+  let one d =
+    Printf.sprintf
+      "  {\"def\": \"%s\", \"path\": \"%s\", \"line\": %d, \"callees\": [%s]}"
+      (Finding.json_escape d.d_key)
+      (Finding.json_escape d.d_path)
+      d.d_line
+      (String.concat ", "
+         (List.map
+            (fun c -> Printf.sprintf "\"%s\"" (Finding.json_escape c))
+            (callees t d.d_key)))
+  in
+  let warnings =
+    String.concat ", "
+      (List.map
+         (fun w -> Printf.sprintf "\"%s\"" (Finding.json_escape w))
+         t.warnings)
+  in
+  Printf.sprintf "{\"defs\": [\n%s\n], \"warnings\": [%s]}\n"
+    (String.concat ",\n" (List.map one defs))
+    warnings

@@ -1,0 +1,66 @@
+(** Whole-program def->use graph for the interprocedural lint phase.
+
+    Built once per driver run from the parsetrees the per-file rules
+    already produced (never re-parsed per pass).  Nodes are toplevel
+    value definitions keyed ["Module.fn"], where the module name is
+    the capitalized file basename (nested [module M = struct]
+    contributes under ["M"]).  Edges over-approximate: {e every}
+    identifier occurrence in a def body that resolves to a known def
+    counts, applied or passed first-class.  Toplevel
+    [module X = Path] aliases are expanded (last-component keying);
+    functor definitions are skipped with a logged warning; same-name
+    modules merge conservatively.  See docs/LINTING.md (R7/R8). *)
+
+type def = {
+  d_key : string;
+  d_path : string;
+  d_line : int;
+  d_col : int;
+  d_bodies : Ppxlib.expression list;
+      (** right-hand sides; more than one after a merge *)
+}
+
+type t
+
+val build : (string * Ppxlib.structure) list -> t
+(** [build [(path, parsetree); ...]] over every parsed [.ml]. *)
+
+val module_name_of_path : string -> string
+(** ["lib/mech/vcg.ml"] -> ["Vcg"]. *)
+
+val resolve_module : t -> path:string -> string -> string
+(** Expand a module name through [path]'s toplevel aliases
+    ([module P = Ufp_par.Pool] maps ["P"] to ["Pool"]). *)
+
+val resolve :
+  t -> path:string -> cur_module:string -> Ppxlib.Longident.t -> string option
+(** Resolve a value identifier occurring in [path] (whose enclosing
+    module is [cur_module]) to a def key, expanding module aliases and
+    stripping [Stdlib.]; [None] when it is not a known toplevel def. *)
+
+val callees : t -> string -> string list
+(** Sorted unique callee keys of a def (empty for unknown keys). *)
+
+val find_def : t -> string -> def option
+
+val iter_defs : t -> (def -> unit) -> unit
+
+val n_defs : t -> int
+
+val strip_stdlib : Ppxlib.Longident.t -> Ppxlib.Longident.t
+(** Drop a leading [Stdlib.] component so qualified spellings key the
+    same as bare ones. *)
+
+val last_module : Ppxlib.Longident.t -> string
+(** Last component of a module path. *)
+
+val pattern_vars : Ppxlib.pattern -> string list
+(** Variables bound by a binding pattern (through constraints, aliases
+    and tuples). *)
+
+val warnings : t -> string list
+(** Build-time warnings (functor skips), in file order. *)
+
+val to_json : t -> string
+(** The [--callgraph FILE.json] debug dump: every def with its path,
+    line and callees, plus the warnings. *)

@@ -2,25 +2,44 @@ type format = Text | Json
 
 type error = { err_path : string; detail : string }
 
+type parsed =
+  | Impl of Ppxlib.Parsetree.structure
+  | Intf of Ppxlib.Parsetree.signature
+
+type source = { src_path : string; src_parsed : parsed }
+
 let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
 
 let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
+(* Directory symlinks are skipped during the walk: a cyclic link
+   (dir/loop -> dir) would otherwise recurse forever, and a non-cyclic
+   one would lint files under two names.  Explicit roots are exempt so
+   `ufp-lint /tmp/link-to-repo/lib` still works. *)
+let is_symlink path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_LNK; _ } -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
 let collect_files roots =
   let acc = ref [] in
-  let rec walk path =
+  let rec walk ~is_root path =
     match (Sys.file_exists path, Sys.is_directory path) with
     | false, _ -> ()
     | true, false -> if is_source path then acc := path :: !acc
     | true, true ->
-      if not (List.mem (Filename.basename path) skip_dirs) then
+      if
+        (not (List.mem (Filename.basename path) skip_dirs))
+        && (is_root || not (is_symlink path))
+      then
         Array.iter
-          (fun entry -> walk (Filename.concat path entry))
+          (fun entry -> walk ~is_root:false (Filename.concat path entry))
           (Sys.readdir path)
     | exception Sys_error _ -> ()
   in
-  List.iter walk roots;
+  List.iter (walk ~is_root:true) roots;
   List.sort_uniq String.compare !acc
 
 let parse_error_detail exn =
@@ -28,50 +47,118 @@ let parse_error_detail exn =
   | Some err -> Ppxlib.Location.Error.message err
   | None -> Printexc.to_string exn
 
-let lint_string ~path source =
+(* Parse once; both phases (per-file rules, whole-program R7/R8) reuse
+   the same parsetree. *)
+let parse_string ~path source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf path;
   match
     if Filename.check_suffix path ".mli" then
-      Rules.check_signature ~path (Ppxlib.Parse.interface lexbuf)
-    else Rules.check_structure ~path (Ppxlib.Parse.implementation lexbuf)
+      Intf (Ppxlib.Parse.interface lexbuf)
+    else Impl (Ppxlib.Parse.implementation lexbuf)
   with
-  | findings -> Ok findings
+  | parsed -> Ok { src_path = path; src_parsed = parsed }
   | exception exn -> Error { err_path = path; detail = parse_error_detail exn }
 
-let lint_file path =
+let parse_file path =
   match In_channel.with_open_bin path In_channel.input_all with
-  | source -> lint_string ~path source
+  | source -> parse_string ~path source
   | exception Sys_error msg -> Error { err_path = path; detail = msg }
 
-let lint_paths ?(rules = Finding.all_rules) roots =
-  let findings = ref [] and errors = ref [] in
-  List.iter
-    (fun path ->
-      match lint_file path with
-      | Ok fs ->
-        findings :=
-          List.filter (fun f -> List.mem f.Finding.rule rules) fs :: !findings
-      | Error e -> errors := e :: !errors)
-    (collect_files roots);
-  (List.sort Finding.compare (List.concat !findings), List.rev !errors)
+let check_source src =
+  match src.src_parsed with
+  | Impl items -> Rules.check_structure ~path:src.src_path items
+  | Intf items -> Rules.check_signature ~path:src.src_path items
 
-let run ?(format = Text) ?rules ~roots () =
-  let findings, errors = lint_paths ?rules roots in
+let lint_string ~path source =
+  Result.map check_source (parse_string ~path source)
+
+let lint_file path = Result.map check_source (parse_file path)
+
+(* --- the two-phase pipeline --- *)
+
+let structures sources =
+  List.filter_map
+    (fun src ->
+      match src.src_parsed with
+      | Impl items -> Some (src.src_path, items)
+      | Intf _ -> None)
+    sources
+
+(* Phase 1: per-file syntactic rules.  Phase 2: the whole-program
+   domain-safety analysis (Callgraph + Mutstate + Par_purity) over
+   every successfully parsed .ml.  The callgraph is returned so the
+   driver can dump it (--callgraph FILE.json). *)
+let analyze ?(rules = Finding.all_rules) sources =
+  let per_file = List.concat_map check_source sources in
+  let cg = Callgraph.build (structures sources) in
+  let whole_program =
+    if List.mem Finding.R7 rules || List.mem Finding.R8 rules then
+      let ms = Mutstate.classify cg in
+      Par_purity.check ~cg ~ms (structures sources)
+    else []
+  in
+  let findings =
+    List.filter
+      (fun f -> List.mem f.Finding.rule rules)
+      (per_file @ whole_program)
+  in
+  (List.sort_uniq Finding.compare findings, cg)
+
+let analyze_strings ?rules named_sources =
+  let sources, errors =
+    List.fold_left
+      (fun (srcs, errs) (path, text) ->
+        match parse_string ~path text with
+        | Ok s -> (s :: srcs, errs)
+        | Error e -> (srcs, e :: errs))
+      ([], []) named_sources
+  in
+  let findings, cg = analyze ?rules (List.rev sources) in
+  (findings, List.rev errors, cg)
+
+let analyze_paths ?rules roots =
+  let sources, errors =
+    List.fold_left
+      (fun (srcs, errs) path ->
+        match parse_file path with
+        | Ok s -> (s :: srcs, errs)
+        | Error e -> (srcs, e :: errs))
+      ([], []) (collect_files roots)
+  in
+  let findings, cg = analyze ?rules (List.rev sources) in
+  (findings, List.rev errors, cg)
+
+let lint_paths ?rules roots =
+  let findings, errors, _cg = analyze_paths ?rules roots in
+  (findings, errors)
+
+(* Exit codes, pinned by test_lint: 0 clean, 1 violations, 2 driver
+   errors (an unparsable file is an unlinted file). *)
+let exit_code ~findings ~errors =
+  if errors <> [] then 2 else if findings <> [] then 1 else 0
+
+let run ?(format = Text) ?rules ?callgraph_out ~roots () =
+  let findings, errors, cg = analyze_paths ?rules roots in
+  (* Warnings (functor skips) and the summary go to stderr in every
+     format: stdout carries findings only, so `--format json` output
+     is machine-parseable even when the tree is dirty. *)
+  List.iter
+    (fun w -> Format.eprintf "ufp-lint: warning: %s@." w)
+    (Callgraph.warnings cg);
+  (match callgraph_out with
+  | None -> ()
+  | Some file ->
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (Callgraph.to_json cg)));
   (match format with
   | Text ->
-    List.iter
-      (fun f -> Format.printf "%a@." Finding.pp_human f)
-      findings
+    List.iter (fun f -> Format.printf "%a@." Finding.pp_human f) findings
   | Json -> print_endline (Finding.to_json findings));
   List.iter
     (fun e -> Format.eprintf "ufp-lint: error: %s: %s@." e.err_path e.detail)
     errors;
-  if errors <> [] then 2
-  else if findings <> [] then begin
-    if format = Text then
-      Format.printf "ufp-lint: %d violation%s@." (List.length findings)
-        (if List.length findings = 1 then "" else "s");
-    1
-  end
-  else 0
+  if findings <> [] then
+    Format.eprintf "ufp-lint: %d violation%s@." (List.length findings)
+      (if List.length findings = 1 then "" else "s");
+  exit_code ~findings ~errors

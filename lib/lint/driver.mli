@@ -1,10 +1,15 @@
 (** File discovery, parsing and reporting for [ufp-lint].
 
-    The driver walks source roots (skipping [_build], [.git] and
-    editor droppings), parses each [.ml]/[.mli] with the ppxlib
-    parser, runs {!Rules} over the parsetree, and renders the sorted
-    findings either as [file:line:col: [Rn name] message] lines or as
-    a JSON array for machine consumption. *)
+    The driver walks source roots (skipping [_build], [.git], editor
+    droppings and symlinked directories — a cyclic link must not loop
+    the walk), parses each [.ml]/[.mli] with the ppxlib parser {e
+    once}, and runs two phases over the shared parsetrees: the
+    per-file syntactic rules ({!Rules}, R0–R6) and the whole-program
+    domain-safety analysis ({!Callgraph} → {!Mutstate} →
+    {!Par_purity}, R7/R8).  Findings are rendered as
+    [file:line:col: [Rn name] message] lines or as a JSON array;
+    warnings, errors and the violation summary always go to stderr so
+    [--format json] stdout stays machine-parseable. *)
 
 type format = Text | Json
 
@@ -13,29 +18,65 @@ type error = { err_path : string; detail : string }
     reported (exit code 2) rather than silently skipped: an unparsable
     file is an unlinted file. *)
 
+type parsed =
+  | Impl of Ppxlib.Parsetree.structure
+  | Intf of Ppxlib.Parsetree.signature
+
+type source = { src_path : string; src_parsed : parsed }
+(** One parsed file; both phases reuse this parsetree (nothing is
+    re-parsed per pass). *)
+
+val parse_string : path:string -> string -> (source, error) result
+(** Parse source text as if it lived at [path] ([.mli] paths get the
+    interface parser, everything else the implementation parser). *)
+
+val parse_file : string -> (source, error) result
+
 val lint_string : path:string -> string -> (Finding.t list, error) result
-(** Lint source text as if it lived at [path] ([.mli] paths get the
-    interface parser, everything else the implementation parser).
-    This is the unit-test entry point. *)
+(** Phase-1-only lint of a single source text — the unit-test entry
+    point for the per-file rules. *)
 
 val lint_file : string -> (Finding.t list, error) result
 
 val collect_files : string list -> string list
 (** Recursively gather [.ml]/[.mli] files under each root (a root may
-    itself be a file); sorted and deduplicated. *)
+    itself be a file); sorted and deduplicated.  Symlinked directories
+    below a root are skipped, so a cyclic link terminates. *)
+
+val analyze :
+  ?rules:Finding.rule list -> source list -> Finding.t list * Callgraph.t
+(** Run both phases over an already-parsed set, keeping only [rules]
+    (default: all).  The whole-program phase is skipped when neither
+    R7 nor R8 is requested.  Returns the call graph for dumping. *)
+
+val analyze_strings :
+  ?rules:Finding.rule list ->
+  (string * string) list ->
+  Finding.t list * error list * Callgraph.t
+(** [(path, text)] pairs — the whole-program fixture-test entry
+    point: cross-module analysis over an in-memory file set. *)
+
+val analyze_paths :
+  ?rules:Finding.rule list ->
+  string list ->
+  Finding.t list * error list * Callgraph.t
 
 val lint_paths :
   ?rules:Finding.rule list ->
   string list ->
   Finding.t list * error list
-(** Lint every file under the given roots, keeping only [rules]
-    (default: all). *)
+(** {!analyze_paths} without the call graph. *)
+
+val exit_code : findings:Finding.t list -> errors:error list -> int
+(** 0 clean, 1 violations, 2 driver errors; pinned by test_lint. *)
 
 val run :
   ?format:format ->
   ?rules:Finding.rule list ->
+  ?callgraph_out:string ->
   roots:string list ->
   unit ->
   int
-(** Full CLI behaviour: print findings/errors to stdout/stderr and
-    return the exit code — 0 clean, 1 findings, 2 driver errors. *)
+(** Full CLI behaviour: findings to stdout (text or JSON), warnings /
+    errors / the violation-count summary to stderr, the optional
+    [--callgraph] JSON dump, and the {!exit_code}. *)

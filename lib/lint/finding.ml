@@ -1,24 +1,34 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R0; R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_id = function
+  | R0 -> "R0"
   | R1 -> "R1"
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_name = function
+  | R0 -> "allow-without-reason"
   | R1 -> "inline-tolerance"
   | R2 -> "poly-float-compare"
   | R3 -> "poly-hash"
   | R4 -> "bare-abort"
   | R5 -> "direct-print"
   | R6 -> "raw-concurrency"
+  | R7 -> "par-shared-mutation"
+  | R8 -> "domain-unsafe-call"
 
 let rule_doc = function
+  | R0 ->
+    "a [@lint.allow] with no justification string; every suppression must \
+     say why, so the next reader can re-audit the site instead of trusting \
+     a bare opt-out"
   | R1 ->
     "float tolerance literals (1e-N and friends) must be named Float_tol \
      constants; inline magic epsilons drift independently and break \
@@ -41,15 +51,28 @@ let rule_doc = function
     "Domain.spawn / Mutex.create outside lib/par; all concurrency goes \
      through the audited Ufp_par.Pool so the bitwise-determinism argument \
      has one module to check (escape hatch: [@lint.allow \"R6\" \"why\"])"
+  | R7 ->
+    "whole-program: a closure submitted to Ufp_par.Pool.parallel_for/mapi \
+     transitively reaches a write to mutable toplevel state; shared \
+     mutation from pool tasks breaks the bitwise seq/par determinism \
+     contract Theorem 2.3's payments rest on"
+  | R8 ->
+    "whole-program: a closure submitted to Ufp_par.Pool.parallel_for/mapi \
+     transitively reaches a domain-unsafe stdlib entry (global Random.*, \
+     Format.printf-family shared formatters, Str.*, Lazy.force on a shared \
+     lazy); thread per-domain state (Ufp_prelude.Rng) instead"
 
 let rule_of_string s =
   match String.lowercase_ascii (String.trim s) with
+  | "r0" | "allow-without-reason" -> Some R0
   | "r1" | "inline-tolerance" -> Some R1
   | "r2" | "poly-float-compare" -> Some R2
   | "r3" | "poly-hash" -> Some R3
   | "r4" | "bare-abort" -> Some R4
   | "r5" | "direct-print" -> Some R5
   | "r6" | "raw-concurrency" -> Some R6
+  | "r7" | "par-shared-mutation" -> Some R7
+  | "r8" | "domain-unsafe-call" -> Some R8
   | _ -> None
 
 type t = {
@@ -60,7 +83,16 @@ type t = {
   message : string;
 }
 
-let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6
+let rule_rank = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
 
 let compare a b =
   let c = String.compare a.path b.path in
@@ -70,7 +102,13 @@ let compare a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else Int.compare (rule_rank a.rule) (rule_rank b.rule)
+      if c <> 0 then c
+      else
+        let c = Int.compare (rule_rank a.rule) (rule_rank b.rule) in
+        (* Message as the last key: one pool seed can carry several
+           distinct R7/R8 offences at the same location, and sort_uniq
+           must not collapse them. *)
+        if c <> 0 then c else String.compare a.message b.message
 
 let pp_human ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s %s] %s" f.path f.line f.col

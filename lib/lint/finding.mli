@@ -7,6 +7,9 @@
     structural.  See [docs/LINTING.md] for the full rationale. *)
 
 type rule =
+  | R0
+      (** allow-without-reason (meta): a [[@lint.allow]] that carries no
+          justification string.  Suppressions must say {e why}. *)
   | R1  (** inline-tolerance: magic epsilon literal outside [Float_tol]. *)
   | R2  (** poly-float-compare: polymorphic [=]/[<>]/[compare]/[min]/[max]
             on a syntactically float-bearing operand. *)
@@ -18,11 +21,22 @@ type rule =
             [lib/lp], [lib/mech]). *)
   | R6  (** raw-concurrency: [Domain.spawn]/[Mutex.create] anywhere
             outside [lib/par], the one audited concurrency module. *)
+  | R7
+      (** par-shared-mutation (whole-program): a closure submitted to
+          [Ufp_par.Pool.parallel_for]/[parallel_mapi] transitively
+          reaches a write to a [Mutable]-classified toplevel binding
+          (see {!Mutstate}); shared mutation from pool tasks breaks the
+          bitwise seq/par determinism contract. *)
+  | R8
+      (** domain-unsafe-call (whole-program): a pool-submitted closure
+          transitively reaches a known domain-unsafe stdlib entry —
+          global [Random.*], the [Format.printf] shared-formatter
+          family, [Str.*], or [Lazy.force] on a shared toplevel lazy. *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R6"]. *)
+(** ["R0"] .. ["R8"]. *)
 
 val rule_name : rule -> string
 (** Mnemonic slug, e.g. ["inline-tolerance"]. *)
@@ -50,3 +64,6 @@ val pp_human : Format.formatter -> t -> unit
 val to_json : t list -> string
 (** A JSON array of [{rule, name, path, line, col, message}] objects;
     self-contained (no external JSON dependency). *)
+
+val json_escape : string -> string
+(** Minimal JSON string escaping (shared with the callgraph dump). *)

@@ -1,0 +1,45 @@
+(** Shared-mutable-state classification of toplevel bindings, the
+    fact base behind rule R7 [par-shared-mutation].
+
+    Every call-graph def is classified from its right-hand side:
+
+    - [Mutable] — mints shared mutable state ([ref],
+      [Array.make]-family, [Hashtbl.create], [Buffer.create],
+      [Queue]/[Stack], [Bytes], record/array literals, [lazy]).
+      Record literals are classified Mutable without type information:
+      the classification only matters once a *write* to the binding is
+      found, and a write proves the field was mutable.
+    - [Guarded] — [Atomic.*] state anywhere, or any binding inside the
+      two audited modules [lib/par/pool.ml] and [lib/obs/*] (the
+      metrics registry Hashtbl and trace ring refs; their domain
+      safety is argued in docs/PARALLELISM.md and re-audited here).
+    - [Immutable] — everything else.
+
+    R7 reports writes to [Mutable] bindings reachable from a
+    pool-submitted closure; [Guarded] is the audited escape. *)
+
+type cls = Mutable | Guarded | Immutable
+
+type kind = Ref | Table | Buf | Arr | Record | Lazy_susp | Other
+
+type binding = {
+  m_key : string;  (** ["Module.name"], same keying as {!Callgraph} *)
+  m_cls : cls;
+  m_kind : kind;
+  m_path : string;
+  m_line : int;
+}
+
+type t
+
+val cls_name : cls -> string
+
+val audited : string -> bool
+(** Is this path inside the audited-module allow-list
+    ([lib/par/pool.ml], [lib/obs/*])? *)
+
+val classify : Callgraph.t -> t
+(** Classify every def the call graph collected (their right-hand
+    sides are retained there, so nothing is re-parsed). *)
+
+val find : t -> string -> binding option

@@ -1,0 +1,31 @@
+(** Rules R7 [par-shared-mutation] and R8 [domain-unsafe-call]: the
+    whole-program domain-safety phase.
+
+    Seeds the analysis at every [Pool.parallel_for] /
+    [Pool.parallel_mapi] call site, takes the transitive call-graph
+    closure of the submitted closure (a [fun] literal, a local
+    [let]-bound function expanded inline, or a toplevel def), and
+    reports — {e at the pool call site}, where
+    [[@lint.allow "R7"/"R8" "why"]] can discharge the obligation —
+
+    - R7 when a reachable function writes a {!Mutstate.Mutable}
+      toplevel binding (the offending chain and binding are named in
+      the message);
+    - R8 when one reaches a known domain-unsafe stdlib entry: global
+      [Random.*] (vs [Ufp_prelude.Rng] state threaded per domain), the
+      [Format.printf] shared-formatter family,
+      [Printf.printf]/[eprintf], [Str.*], or [Lazy.force] on a shared
+      toplevel lazy.
+
+    The analysis over-approximates (every identifier occurrence is a
+    call edge, first-class uses included), so a justified allow is the
+    escape for false positives; functor bodies are invisible to it
+    (the call-graph logs a warning per skipped functor). *)
+
+val check :
+  cg:Callgraph.t ->
+  ms:Mutstate.t ->
+  (string * Ppxlib.structure) list ->
+  Finding.t list
+(** Run the phase over every parsed [.ml]; findings come back sorted
+    and deduplicated (one per offence per seed). *)

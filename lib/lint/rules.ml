@@ -165,8 +165,24 @@ let collector ~scope ~path ~findings =
           }
           :: !findings
 
+    (* R0: every suppression must say why.  Checked against the
+       *enclosing* stack before the new allows are pushed, so a bare
+       [@lint.allow] can never suppress its own meta-finding (an outer
+       justified allow naming R0 still can). *)
+    method private report_unjustified allows =
+      List.iter
+        (fun a ->
+          if Allowlist.unjustified a then
+            self#report Finding.R0 a.Allowlist.allow_loc
+              "[@lint.allow] without a justification; write [@lint.allow \
+               \"RULE\" \"why\"] so every suppression carries its audit \
+               trail")
+        allows
+
     method private scoped attrs f =
-      allow_stack <- Allowlist.of_attributes attrs :: allow_stack;
+      let allows = Allowlist.of_attributes attrs in
+      self#report_unjustified allows;
+      allow_stack <- allows :: allow_stack;
       f ();
       allow_stack <- List.tl allow_stack
 
@@ -251,7 +267,9 @@ let collector ~scope ~path ~findings =
     method! structure_item item =
       match item.pstr_desc with
       | Pstr_attribute attr ->
-        persistent <- persistent @ Allowlist.of_attributes [ attr ];
+        let allows = Allowlist.of_attributes [ attr ] in
+        self#report_unjustified allows;
+        persistent <- persistent @ allows;
         super#structure_item item
       | Pstr_eval (_, attrs) ->
         self#scoped attrs (fun () -> super#structure_item item)
@@ -260,7 +278,9 @@ let collector ~scope ~path ~findings =
     method! signature_item item =
       match item.psig_desc with
       | Psig_attribute attr ->
-        persistent <- persistent @ Allowlist.of_attributes [ attr ];
+        let allows = Allowlist.of_attributes [ attr ] in
+        self#report_unjustified allows;
+        persistent <- persistent @ allows;
         super#signature_item item
       | _ -> super#signature_item item
   end

@@ -27,6 +27,10 @@ type scope = {
 val scope_of_path : string -> scope
 (** Derives rule applicability from the (normalized) path. *)
 
+val has_dir : string -> string -> bool
+(** [has_dir path "lib/obs"]: does [path] contain that directory
+    segment?  Shared with {!Mutstate}'s audited-module check. *)
+
 val check_structure :
   path:string -> Ppxlib.structure_item list -> Finding.t list
 (** Lint one [.ml] parsetree.  Findings come back sorted. *)

@@ -78,7 +78,9 @@ let payments ?v_hi ?rel_tol ?(pool = `Seq) model inst =
   in
   (* Each agent's bisection touches only its own copy of the instance
      ([set_value] is functional), so the probes are independent pure
-     tasks: [`Pool p] computes bitwise the same array as [`Seq]. *)
+     tasks: [`Pool p] computes bitwise the same array as [`Seq].
+     ufp-lint R7/R8 statically audits [payment_of]'s transitive call
+     graph at this seed (docs/LINTING.md). *)
   Pool.parallel_mapi ~pool ~n:(Array.length winners) payment_of
 
 let utility ?v_hi ?rel_tol model inst ~agent ~true_value ~declared_value =

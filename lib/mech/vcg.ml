@@ -26,7 +26,11 @@ let without_request inst i =
    and are independent across winners (each gets its own reduced
    instance), so both mechanisms below fan them out through the pool:
    parallel_mapi over the winner array, then sequential writes into
-   the payment vector. Bitwise identical to the sequential order. *)
+   the payment vector. Bitwise identical to the sequential order.
+   Both seeds are audited statically by ufp-lint R7/R8; the
+   [Metrics.incr] inside the closures is fine because the metrics
+   cells are Atomic (lib/obs is one of the lint's guarded audited
+   modules). *)
 
 let ufp ?max_paths_per_request ?(pool = `Seq) inst =
   let allocation = Exact.solve ?max_paths_per_request inst in

@@ -29,7 +29,11 @@ type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 (* name -> cell; names are few (a fixed catalogue declared at module
    init), so a plain assoc-style registry would also do — the Hashtbl
    is only consulted at registration and snapshot time, never on the
-   hot path. *)
+   hot path.  Shared-state audit (lint R7): lib/obs is one of the two
+   modules ufp-lint's domain-safety phase treats as guarded.  That is
+   sound here because registration happens at module init (before any
+   pool exists) and the cells the hot path touches are Atomic; only
+   snapshotting walks the table, from the coordinating domain. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let kind_name = function

@@ -31,6 +31,9 @@ let on = ref false
 let lock = ((Mutex.create) [@lint.allow "R6" "the tracer's append lock; the \
    only lock outside lib/par, guarding the shared ring buffer"]) ()
 
+(* Shared-state audit (lint R7): these refs are why lib/obs sits on
+   the lint's guarded audited-module list — every cross-domain access
+   goes through [lock] above, argued in docs/PARALLELISM.md. *)
 let ring : ring option ref = ref None
 
 let is_on () = !on
