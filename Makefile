@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-json examples doc clean trace-demo par-demo rmat-demo
+.PHONY: all build test lint bench bench-quick bench-json bench-diff examples doc clean trace-demo par-demo profile-demo rmat-demo
 
 all: build
 
@@ -33,6 +33,14 @@ par-demo:
 	dune exec bin/trace_check.exe par-demo.jsonl
 	dune exec bin/ufp_cli.exe -- experiment EXP-PAR-PAYMENTS --quick
 
+# Phase-profiler + OpenMetrics demo (see docs/OBSERVABILITY.md):
+# one solve with the GC-attributing profiler and the Prometheus-format
+# metrics dump on, both validated.
+profile-demo:
+	dune exec bin/ufp_cli.exe -- generate -t grid --capacity 50 -r 200 -o profile-demo.inst
+	dune exec bin/ufp_cli.exe -- solve profile-demo.inst --profile profile-demo.json --metrics openmetrics --metrics-out profile-demo.om
+	dune exec bin/openmetrics_check.exe profile-demo.om
+
 bench:
 	dune exec bench/main.exe
 
@@ -46,9 +54,19 @@ bench-csv:
 #   BENCH_PR5.json — list-vs-CSR Dijkstra micros + EXP-SCALE-SELECTOR
 #   BENCH_PR6.json — RMAT TEPS trials (up to scale 18, ~2.6M edges) +
 #                    end-to-end RMAT solves, seq vs 2-domain pool
+#   BENCH_PR8.json — telemetry hot-path micros + CI-sized end-to-end
+#                    anchors, self-describing rows for ufp-bench-diff
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR5.json
 	dune exec bench/main.exe -- --json-pr6 BENCH_PR6.json
+	dune exec bench/main.exe -- --json-pr8 BENCH_PR8.json
+
+# Perf-trajectory regression gate (see docs/OBSERVABILITY.md): rerun
+# the PR 8 rows and diff against the committed trajectory.  Exits
+# non-zero past the threshold; loosen it for noisy hosts.
+bench-diff:
+	dune exec bench/main.exe -- --json-pr8 /tmp/ufp-bench-pr8.json
+	dune exec bin/bench_diff.exe -- BENCH_PR8.json /tmp/ufp-bench-pr8.json --threshold 2.0
 
 # Million-edge end-to-end demo: a scale-18 RMAT instance (~2.6M edges)
 # generated, solved with pooled selector rebuilds, and audited.

@@ -17,7 +17,12 @@
      dune exec bench/main.exe -- --json-pr6 F # PR 6 scale artifact only:
                                               # RMAT TEPS trials + end-to-end
                                               # RMAT solves, seq vs pool
-                                              # (honours --quick) *)
+                                              # (honours --quick)
+     dune exec bench/main.exe -- --json-pr8 F # PR 8 telemetry artifact only:
+                                              # metrics hot-path micros +
+                                              # CI-sized end-to-end anchors,
+                                              # self-describing rows for
+                                              # ufp-bench-diff *)
 
 module Registry = Ufp_experiments.Registry
 module Harness = Ufp_experiments.Harness
@@ -31,6 +36,7 @@ module Bounded_muca = Ufp_auction.Bounded_muca
 module Reasonable = Ufp_core.Reasonable
 module Rng = Ufp_prelude.Rng
 module Float_tol = Ufp_prelude.Float_tol
+module Metrics = Ufp_obs.Metrics
 
 (* --- the pre-CSR list-based Dijkstra, kept here as the bench baseline ---
 
@@ -133,6 +139,37 @@ let dijkstra_compare_tests () =
              ~parent_edge))
   in
   (grid, [ dijkstra_list; dijkstra_csr; dijkstra_csr_snapshot ])
+
+(* --- telemetry hot-path micros ---
+
+   The cost of one counter bump under each regime the codebase has
+   shipped: a plain ref (the uninstrumented floor), a shared Atomic
+   fetch-and-add (the PR 3-7 registry — what every Dijkstra relaxation
+   paid per edge), and the sharded [Metrics.incr] that replaced it
+   (one DLS lookup plus a plain array store).  The Dijkstra inner loop
+   carries exactly one increment per relaxation, so the atomic-vs-
+   sharded delta here is the per-relaxation instrumentation cost the
+   sharding removed.  Snapshot cost rides along to show where the
+   aggregation work went: off the hot path, into the (rare) readers. *)
+let obs_tests () =
+  let open Bechamel in
+  let c = Metrics.counter "bench.obs_incr" in
+  let h = Metrics.histogram "bench.obs_observe" in
+  Metrics.ensure_shard ();
+  let plain = ref 0 in
+  let rmw = Atomic.make 0 in
+  [
+    Test.make ~name:"obs-counter-plain-ref"
+      (Staged.stage (fun () -> incr plain));
+    Test.make ~name:"obs-counter-atomic-rmw"
+      (Staged.stage (fun () -> ignore (Atomic.fetch_and_add rmw 1 : int)));
+    Test.make ~name:"obs-counter-sharded"
+      (Staged.stage (fun () -> Metrics.incr c));
+    Test.make ~name:"obs-histogram-sharded"
+      (Staged.stage (fun () -> Metrics.observe h 3.0));
+    Test.make ~name:"obs-snapshot"
+      (Staged.stage (fun () -> ignore (Metrics.snapshot ())));
+  ]
 
 let micro_tests () =
   let open Bechamel in
@@ -238,6 +275,7 @@ let micro_tests () =
       bounded_ufp; bounded_ufp_incr; bounded_muca; staircase; mcf; colgen;
       maxflow; payment; payments_seq; payments_par;
     ]
+  @ obs_tests ()
 
 (* Run bechamel over [tests] and return [(kernel, ns_per_run, r_square)]
    rows sorted by kernel name (the "micro " group prefix stripped). *)
@@ -294,6 +332,24 @@ let json_float = function
   | Some x when Float.is_finite x -> Printf.sprintf "%.6g" x
   | Some _ | None -> "null"
 
+(* Every BENCH_*.json artifact records where its numbers came from, so
+   a bench-diff across trajectories can tell a code regression from a
+   host or toolchain change (EXPERIMENTS.md, "Provenance"). *)
+let provenance_json () =
+  let git_rev =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  Printf.sprintf
+    "{ \"git_rev\": %S, \"ocaml_version\": %S, \"recommended_domains\": %d }"
+    git_rev Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+
 let run_bench_json path =
   let _grid, trio = dijkstra_compare_tests () in
   print_string "### BENCH-JSON: list-vs-CSR Dijkstra micros\n";
@@ -325,6 +381,8 @@ let run_bench_json path =
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr5/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
   Buffer.add_string buf "  \"dijkstra_micro\": [\n";
   List.iteri
     (fun i (name, est, r2) ->
@@ -424,6 +482,8 @@ let run_bench_json_pr6 ~quick path =
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr6/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
   Buffer.add_string buf "  \"rmat_teps\": [\n";
   List.iteri
     (fun i (t : Ufp_experiments.Exp_rmat.trial) ->
@@ -462,6 +522,79 @@ let run_bench_json_pr6 ~quick path =
     (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "wrote %s\n" path
 
+(* --- the PR 8 telemetry artifact: BENCH_PR8.json ---
+
+   The trajectory the perf-regression gate (bin/bench_diff.ml) joins
+   against: self-describing rows [{ id, unit, better, value }] so the
+   gate needs no schema knowledge.  Contents are the telemetry
+   hot-path micros (the sharded-counter claim itself), the Dijkstra
+   trio whose inner loop carries the instrumented increment, and two
+   CI-sized end-to-end anchors — small enough that a fresh run in CI
+   carries identical row ids to the committed artifact. *)
+
+let run_bench_json_pr8 path =
+  print_string "### BENCH-JSON-PR8: telemetry hot-path micros\n";
+  let obs_rows = ols_rows (obs_tests ()) in
+  List.iter
+    (fun (name, est, _) ->
+      Printf.printf "  %-34s %s ns/run\n" name (json_float est))
+    obs_rows;
+  print_string "### BENCH-JSON-PR8: instrumented Dijkstra trio\n";
+  let _grid, trio = dijkstra_compare_tests () in
+  let trio_rows = ols_rows trio in
+  List.iter
+    (fun (name, est, _) ->
+      Printf.printf "  %-34s %s ns/run\n" name (json_float est))
+    trio_rows;
+  print_string "### BENCH-JSON-PR8: end-to-end anchors\n";
+  let eps = 0.3 in
+  let m = (6 * 5) + (6 * 5) in
+  let capacity = Harness.capacity_for ~m ~eps in
+  let inst = Harness.grid_instance ~seed:1 ~rows:6 ~cols:6 ~capacity ~count:200 in
+  let _, solve_s =
+    Harness.time_it (fun () ->
+        ignore (Bounded_ufp.run ~eps ~selector:`Incremental inst))
+  in
+  Printf.printf "  bounded-ufp-incremental-6x6-200req %.3f s\n" solve_s;
+  let pay_inst = Harness.grid_instance ~seed:6 ~rows:3 ~cols:3 ~capacity:12.0 ~count:8 in
+  let pay_model = Ufp_mech.Ufp_mechanism.model (Bounded_ufp.solve ~eps:0.3) in
+  let _, pay_s =
+    Harness.time_it (fun () ->
+        ignore
+          (Ufp_mech.Single_param.payments ~rel_tol:Float_tol.coarse_slack
+             pay_model pay_inst))
+  in
+  Printf.printf "  payments-seq-3x3-8req %.3f s\n" pay_s;
+  let micro_row (name, est, _) = (name, "ns", est) in
+  let rows =
+    List.map micro_row obs_rows
+    @ List.map micro_row trio_rows
+    @ [
+        ("bounded-ufp-incremental-6x6-200req", "s", Some solve_s);
+        ("payments-seq-3x3-8req", "s", Some pay_s);
+      ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr8/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (id, unit, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"id\": %S, \"unit\": %S, \"better\": \"lower\", \"value\": \
+            %s }%s\n"
+           id unit (json_float value)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "wrote %s\n" path
+
 (* --- driver --- *)
 
 let () =
@@ -487,6 +620,11 @@ let () =
   (match flag_value "--json-pr6" with
   | Some path ->
     run_bench_json_pr6 ~quick path;
+    exit 0
+  | None -> ());
+  (match flag_value "--json-pr8" with
+  | Some path ->
+    run_bench_json_pr8 path;
     exit 0
   | None -> ());
   let markdown_buf = Buffer.create 4096 in

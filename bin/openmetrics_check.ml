@@ -1,0 +1,309 @@
+(* openmetrics-check — validate a Prometheus/OpenMetrics text
+   exposition as produced by `ufp solve --metrics openmetrics`
+   (Ufp_obs.Openmetrics.render).
+
+   Checks, per docs/OBSERVABILITY.md:
+     1. every line is a `# TYPE|HELP|UNIT` comment, a sample, or the
+        final `# EOF` — which must be present, exactly once, as the
+        last line;
+     2. metric and label names match the OpenMetrics charset, and no
+        family is declared twice;
+     3. samples appear after their family's TYPE line and before the
+        next one (families are contiguous), with the suffix their type
+        allows (`_total` for counters, bare for gauges,
+        `_bucket`/`_sum`/`_count` for histograms);
+     4. counter values are finite and non-negative;
+     5. histogram bucket series are cumulative: counts non-decreasing
+        as `le` increases, no duplicate bound, a closing `le="+Inf"`
+        equal to the `_count` sample.
+
+   Exit 0 when clean; exit 1 with a line-numbered diagnostic
+   otherwise; exit 2 on usage/IO errors.  Self-contained, in the
+   spirit of bin/trace_check.ml. *)
+
+exception Bad of string
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let is_label_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_label_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let parse_float lit =
+  match lit with
+  | "+Inf" | "Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | _ -> (
+    match float_of_string_opt lit with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "bad float %S" lit)))
+
+(* --- sample-line parsing: name[{labels}] value [timestamp] --- *)
+
+type cursor = { s : string; mutable i : int }
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let advance c = c.i <- c.i + 1
+
+let parse_name c =
+  let start = c.i in
+  (match peek c with
+  | Some ch when is_name_start ch -> advance c
+  | _ -> raise (Bad "sample does not start with a metric name"));
+  while (match peek c with Some ch -> is_name_char ch | None -> false) do
+    advance c
+  done;
+  String.sub c.s start (c.i - start)
+
+let parse_label_value c =
+  (match peek c with
+  | Some '"' -> advance c
+  | _ -> raise (Bad "label value is not quoted"));
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> raise (Bad "unterminated label value")
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some ('"' | '\\') -> Buffer.add_char buf c.s.[c.i]
+      | _ -> raise (Bad "bad escape in label value"));
+      advance c;
+      loop ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_labels c =
+  match peek c with
+  | Some '{' ->
+    advance c;
+    let labels = ref [] in
+    let rec loop () =
+      let start = c.i in
+      (match peek c with
+      | Some ch when is_label_start ch -> advance c
+      | Some '}' when !labels = [] ->
+        advance c;
+        raise Exit
+      | _ -> raise (Bad "bad label name"));
+      while (match peek c with Some ch -> is_label_char ch | None -> false) do
+        advance c
+      done;
+      let key = String.sub c.s start (c.i - start) in
+      (match peek c with
+      | Some '=' -> advance c
+      | _ -> raise (Bad "label without ="));
+      let v = parse_label_value c in
+      labels := (key, v) :: !labels;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        loop ()
+      | Some '}' -> advance c
+      | _ -> raise (Bad "expected , or } in labels")
+    in
+    (try loop () with Exit -> ());
+    List.rev !labels
+  | _ -> []
+
+let parse_sample line =
+  let c = { s = line; i = 0 } in
+  let name = parse_name c in
+  let labels = parse_labels c in
+  (match peek c with
+  | Some (' ' | '\t') -> ()
+  | _ -> raise (Bad "no whitespace between name and value"));
+  let rest = String.trim (String.sub c.s c.i (String.length c.s - c.i)) in
+  let value =
+    match String.split_on_char ' ' rest with
+    | [ v ] | [ v; _ (* timestamp *) ] -> parse_float v
+    | _ -> raise (Bad "expected `value [timestamp]` after the name")
+  in
+  (name, labels, value)
+
+(* --- family state --- *)
+
+type family = {
+  f_name : string;
+  f_type : string;  (* counter | gauge | histogram | untyped ... *)
+  mutable f_samples : int;
+  mutable f_buckets : (float * float) list;  (* (le, cumulative), file order *)
+  mutable f_count : float option;
+}
+
+let declared : (string, unit) Hashtbl.t = Hashtbl.create 64
+
+(* Suffixes a sample may carry within a family of a given type
+   (OpenMetrics: the metric name plus the type's sample suffixes). *)
+let suffix_ok ftype suffix =
+  match ftype with
+  | "counter" -> suffix = "_total" || suffix = "_created"
+  | "gauge" | "untyped" | "unknown" -> suffix = ""
+  | "histogram" ->
+    suffix = "_bucket" || suffix = "_sum" || suffix = "_count"
+    || suffix = "_created"
+  | _ -> suffix = ""
+
+let close_family = function
+  | None -> ()
+  | Some f ->
+    if f.f_samples = 0 then
+      raise (Bad (Printf.sprintf "family %s declared but has no samples" f.f_name));
+    if f.f_type = "histogram" then begin
+      let buckets = List.rev f.f_buckets in
+      if buckets = [] then
+        raise (Bad (Printf.sprintf "histogram %s has no buckets" f.f_name));
+      let last_le = ref neg_infinity and last_cum = ref neg_infinity in
+      List.iter
+        (fun (le, cum) ->
+          if le = !last_le then
+            raise
+              (Bad (Printf.sprintf "histogram %s: duplicate le bound" f.f_name));
+          if le < !last_le then
+            raise
+              (Bad
+                 (Printf.sprintf "histogram %s: le bounds out of order" f.f_name));
+          if cum < !last_cum then
+            raise
+              (Bad
+                 (Printf.sprintf "histogram %s: bucket counts not cumulative"
+                    f.f_name));
+          last_le := le;
+          last_cum := cum)
+        buckets;
+      let inf_cum =
+        match List.rev buckets with
+        | (le, cum) :: _ when le = infinity -> cum
+        | _ ->
+          raise
+            (Bad (Printf.sprintf "histogram %s: no le=\"+Inf\" bucket" f.f_name))
+      in
+      match f.f_count with
+      | Some n when n <> inf_cum ->
+        raise
+          (Bad
+             (Printf.sprintf
+                "histogram %s: le=\"+Inf\" (%g) disagrees with _count (%g)"
+                f.f_name inf_cum n))
+      | _ -> ()
+    end
+
+let check_sample current line =
+  let name, labels, value = parse_sample line in
+  match current with
+  | None -> raise (Bad (Printf.sprintf "sample %s before any # TYPE" name))
+  | Some f ->
+    let fn = String.length f.f_name and nn = String.length name in
+    if not (nn >= fn && String.sub name 0 fn = f.f_name) then
+      raise
+        (Bad
+           (Printf.sprintf "sample %s outside its family (%s)" name f.f_name));
+    let suffix = String.sub name fn (nn - fn) in
+    if not (suffix_ok f.f_type suffix) then
+      raise
+        (Bad
+           (Printf.sprintf "sample %s: suffix %S not valid for a %s" name
+              suffix f.f_type));
+    f.f_samples <- f.f_samples + 1;
+    (match f.f_type with
+    | "counter" when suffix = "_total" ->
+      if Float.is_nan value || value < 0.0 then
+        raise (Bad (Printf.sprintf "counter %s is negative or NaN" name))
+    | "histogram" when suffix = "_bucket" -> (
+      match List.assoc_opt "le" labels with
+      | None -> raise (Bad (Printf.sprintf "%s without an le label" name))
+      | Some le -> f.f_buckets <- (parse_float le, value) :: f.f_buckets)
+    | "histogram" when suffix = "_count" -> f.f_count <- Some value
+    | _ -> ())
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: openmetrics-check FILE";
+      exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "openmetrics-check: %s\n" msg;
+      exit 2
+  in
+  let lineno = ref 0 in
+  let samples = ref 0 in
+  let families = ref 0 in
+  let current : family option ref = ref None in
+  let seen_eof = ref false in
+  let fail msg =
+    Printf.eprintf "openmetrics-check: %s:%d: %s\n" path !lineno msg;
+    exit 1
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       try
+         if !seen_eof then raise (Bad "content after # EOF");
+         if line = "# EOF" then begin
+           close_family !current;
+           current := None;
+           seen_eof := true
+         end
+         else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+           close_family !current;
+           let rest = String.sub line 7 (String.length line - 7) in
+           match String.split_on_char ' ' rest with
+           | [ name; ftype ] ->
+             if name = "" || not (is_name_start name.[0]) || not (String.for_all is_name_char name)
+             then raise (Bad (Printf.sprintf "bad metric name %S" name));
+             if Hashtbl.mem declared name then
+               raise (Bad (Printf.sprintf "family %s declared twice" name));
+             Hashtbl.add declared name ();
+             incr families;
+             current :=
+               Some
+                 {
+                   f_name = name;
+                   f_type = ftype;
+                   f_samples = 0;
+                   f_buckets = [];
+                   f_count = None;
+                 }
+           | _ -> raise (Bad "malformed # TYPE line")
+         end
+         else if
+           String.length line >= 7
+           && (String.sub line 0 7 = "# HELP " || String.sub line 0 7 = "# UNIT ")
+         then ()
+         else if String.trim line = "" then raise (Bad "blank line")
+         else begin
+           check_sample !current line;
+           incr samples
+         end
+       with Bad msg -> fail msg
+     done
+   with End_of_file -> close_in ic);
+  if not !seen_eof then begin
+    Printf.eprintf "openmetrics-check: %s: missing final # EOF\n" path;
+    exit 1
+  end;
+  Printf.printf "openmetrics-check: %s: %d families, %d samples OK\n" path
+    !families !samples

@@ -25,6 +25,8 @@ module Registry = Ufp_experiments.Registry
 module Rng = Ufp_prelude.Rng
 module Metrics = Ufp_obs.Metrics
 module Obs_trace = Ufp_obs.Trace
+module Openmetrics = Ufp_obs.Openmetrics
+module Profile = Ufp_obs.Profile
 module Pool = Ufp_par.Pool
 
 open Cmdliner
@@ -37,18 +39,33 @@ let load_instance path =
     Printf.eprintf "error: cannot load %s: %s\n" path msg;
     exit 1
 
-(* --- observability (--metrics / --trace) --- *)
+(* --- observability (--metrics / --trace / --profile) --- *)
 
 let metrics_arg =
   Arg.(
     value
-    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & opt
+        (some
+           (enum
+              [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ]))
+        None
     & info [ "metrics" ] ~docv:"FORMAT"
         ~doc:
           "Report the work-counter deltas of the run (Dijkstra \
            relaxations, selector cache traffic, dual updates, payment \
-           probes, ...) as a $(b,text) table or a $(b,json) object. See \
-           docs/OBSERVABILITY.md for the catalogue.")
+           probes, ...) as a $(b,text) table, a $(b,json) object, or an \
+           $(b,openmetrics) (Prometheus text) exposition. See \
+           docs/OBSERVABILITY.md for the catalogue and formats.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the $(b,--metrics) rendering to $(docv) instead of \
+           stdout, keeping it clean for scrapers and validators \
+           (bin/openmetrics_check.ml) when the solve itself prints.")
 
 let trace_arg =
   Arg.(
@@ -60,22 +77,56 @@ let trace_arg =
            trace_event JSONL (load in chrome://tracing or \
            ui.perfetto.dev).")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Fold the span stream plus GC deltas into a per-phase profile \
+           (self/total wall time, minor/major allocation): a text table \
+           on stderr and ufp-profile/1 JSON written to $(docv). Implies \
+           span recording; composes with $(b,--trace), $(b,--metrics) \
+           and $(b,--jobs).")
+
 (* Wraps the measured part of a subcommand: snapshots the metric
-   registry around [f], then renders the delta and/or saves the trace
-   as requested.  With neither flag given this is just [f ()] plus two
-   cheap snapshots. *)
-let with_observability ~metrics ~trace f =
-  if Option.is_some trace then Obs_trace.start ();
+   registry around [f], then renders the delta, the profile and/or the
+   trace as requested.  With no flag given this is just [f ()] plus
+   two cheap snapshots.  --profile turns the tracer on with GC
+   sampling even without --trace; the two flags share one recording,
+   so combining them costs one run. *)
+let with_observability ~metrics ~metrics_out ~trace ~profile f =
+  let tracing = Option.is_some trace || Option.is_some profile in
+  if tracing then Obs_trace.start ~gc:(Option.is_some profile) ();
   let before = Metrics.snapshot () in
   let result = f () in
   let delta = Metrics.diff before (Metrics.snapshot ()) in
+  if tracing then Obs_trace.stop ();
   (match metrics with
-  | Some `Text -> Ufp_prelude.Table.print (Metrics.to_table ~title:"run metrics" delta)
-  | Some `Json -> print_endline (Metrics.to_json delta)
+  | None -> ()
+  | Some format ->
+    let render oc =
+      match format with
+      | `Text ->
+        Ufp_prelude.Table.print ~oc (Metrics.to_table ~title:"run metrics" delta)
+      | `Json ->
+        output_string oc (Metrics.to_json delta);
+        output_char oc '\n'
+      | `Openmetrics -> output_string oc (Openmetrics.render delta)
+    in
+    (match metrics_out with
+    | None -> render stdout
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> render oc)));
+  (match profile with
+  | Some path ->
+    let p = Profile.of_trace () in
+    Profile.save_json path p;
+    Ufp_prelude.Table.print ~oc:stderr (Profile.to_table ~title:"profile" p)
   | None -> ());
   (match trace with
   | Some path ->
-    Obs_trace.stop ();
     Obs_trace.save_jsonl path;
     Printf.eprintf "trace: %d events written to %s%s\n" (Obs_trace.n_events ())
       path
@@ -232,14 +283,15 @@ let warn_premise inst ~eps =
       (Instance.bound inst)
       (log (float_of_int (Graph.n_edges (Instance.graph inst))) /. (eps *. eps))
 
-let solve path algo_name eps seed jobs verbose audit out metrics trace =
+let solve path algo_name eps seed jobs verbose audit out metrics metrics_out
+    trace profile =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
   Pool.with_jobs jobs @@ fun pool ->
   let algo = pick_algo algo_name eps seed pool in
   let sol, elapsed =
     try
-      with_observability ~metrics ~trace (fun () ->
+      with_observability ~metrics ~metrics_out ~trace ~profile (fun () ->
           Ufp_experiments.Harness.time_it (fun () -> algo inst))
     with Exact.Too_large msg ->
       Printf.eprintf "error: instance too large for the exact solver: %s\n" msg;
@@ -303,17 +355,18 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ file_arg $ algo_arg $ eps_arg $ seed_arg $ jobs_arg
-      $ verbose_arg $ audit_arg $ out_arg $ metrics_arg $ trace_arg)
+      $ verbose_arg $ audit_arg $ out_arg $ metrics_arg $ metrics_out_arg
+      $ trace_arg $ profile_arg)
 
 (* --- payments --- *)
 
-let payments path eps jobs metrics trace =
+let payments path eps jobs metrics metrics_out trace profile =
   let inst = Instance.normalize (load_instance path) in
   warn_premise inst ~eps;
   let algo = Bounded_ufp.solve ~eps in
   let won, pay =
     Pool.with_jobs jobs @@ fun pool ->
-    with_observability ~metrics ~trace (fun () ->
+    with_observability ~metrics ~metrics_out ~trace ~profile (fun () ->
         ( Ufp_mechanism.winners algo inst,
           Ufp_mechanism.payments ~rel_tol:Float_tol.payment_rel_tol ~pool algo
             inst ))
@@ -341,7 +394,8 @@ let payments_cmd =
   let doc = "run the truthful mechanism and print critical-value payments" in
   Cmd.v (Cmd.info "payments" ~doc)
     Term.(
-      const payments $ file_arg $ eps_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      const payments $ file_arg $ eps_arg $ jobs_arg $ metrics_arg
+      $ metrics_out_arg $ trace_arg $ profile_arg)
 
 (* --- lp --- *)
 

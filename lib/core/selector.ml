@@ -280,6 +280,10 @@ let snapshot_for t grp =
    registration — always on the calling domain, in deterministic group
    order). *)
 let rebuild_tree t grp ws =
+  (* A profiler phase (docs/OBSERVABILITY.md): rebuilds dominate the
+     selector's cost, and the span records on whichever domain runs
+     the rebuild — the tracer is domain-safe. *)
+  Ufp_obs.Trace.with_span "selector.rebuild" @@ fun () ->
   let snapshot = snapshot_for t grp in
   Dijkstra.shortest_tree_snapshot_into ws t.graph ~snapshot ~src:grp.src
     ~dist:grp.dist ~parent_edge:grp.parent_edge

@@ -9,11 +9,16 @@ open Ppxlib
                 is actually found, so record mutability needs no type
                 information), or [lazy] (forcing a shared suspension
                 races on the thunk).
-   [Guarded]  — [Atomic.*] state anywhere, or any binding inside the
-                two audited modules: lib/par/pool.ml (the pool's own
-                machinery) and lib/obs/* (the metrics registry Hashtbl
-                and the trace ring refs, made domain-safe in PR 4 and
-                re-audited for this analyzer — see docs/LINTING.md).
+   [Guarded]  — [Atomic.*] or [Domain.DLS.*] state anywhere (DLS keys
+                are domain-local by construction: each domain writes
+                only its own slot), or any binding inside the two
+                audited modules: lib/par/pool.ml (the pool's own
+                machinery) and lib/obs/* (the sharded metrics registry
+                — per-domain DLS shards on an Atomic CAS list, plain
+                writes aggregated only at snapshot time — and the
+                trace ring refs, made domain-safe in PR 4, sharded in
+                PR 8, re-audited for this analyzer each time — see
+                docs/LINTING.md and docs/OBSERVABILITY.md).
    [Immutable] otherwise.
 
    R7 fires only on writes to [Mutable] bindings reachable from a
@@ -67,6 +72,7 @@ let rec classify_expr e =
     match Callgraph.(strip_stdlib txt) with
     | Lident "ref" -> (Mutable, Ref)
     | Ldot (Lident "Atomic", _) -> (Guarded, Other)
+    | Ldot (Ldot (Lident "Domain", "DLS"), _) -> (Guarded, Other)
     | Ldot (Lident m, f) -> (
       match
         List.find_opt

@@ -9,10 +9,12 @@
       Record literals are classified Mutable without type information:
       the classification only matters once a *write* to the binding is
       found, and a write proves the field was mutable.
-    - [Guarded] — [Atomic.*] state anywhere, or any binding inside the
-      two audited modules [lib/par/pool.ml] and [lib/obs/*] (the
-      metrics registry Hashtbl and trace ring refs; their domain
-      safety is argued in docs/PARALLELISM.md and re-audited here).
+    - [Guarded] — [Atomic.*] or [Domain.DLS.*] state anywhere (DLS
+      slots are domain-local by construction), or any binding inside
+      the two audited modules [lib/par/pool.ml] and [lib/obs/*] (the
+      DLS-sharded metrics registry and trace ring refs; their domain
+      safety is argued in docs/PARALLELISM.md and
+      docs/OBSERVABILITY.md and re-audited here).
     - [Immutable] — everything else.
 
     R7 reports writes to [Mutable] bindings reachable from a

@@ -41,7 +41,8 @@ let ufp ?max_paths_per_request ?(pool = `Seq) inst =
     Pool.parallel_mapi ~pool ~n:(Array.length winners) (fun k ->
         let i = winners.(k).Solution.request in
         Metrics.incr m_counterfactuals;
-        Exact.opt_value ?max_paths_per_request (without_request inst i))
+        Ufp_obs.Trace.with_span "mech.vcg_counterfactual" (fun () ->
+            Exact.opt_value ?max_paths_per_request (without_request inst i)))
   in
   Array.iteri
     (fun k (a : Solution.allocation) ->
@@ -77,7 +78,8 @@ let muca ?max_bids ?(pool = `Seq) auction =
   let opts_without =
     Pool.parallel_mapi ~pool ~n:(Array.length winners) (fun k ->
         Metrics.incr m_counterfactuals;
-        Muca_baselines.opt_value ?max_bids (without_bid auction winners.(k)))
+        Ufp_obs.Trace.with_span "mech.vcg_counterfactual" (fun () ->
+            Muca_baselines.opt_value ?max_bids (without_bid auction winners.(k))))
   in
   Array.iteri
     (fun k i ->

@@ -1,106 +1,216 @@
 module Table = Ufp_prelude.Table
 
-(* Atomic cells: an update is a single uncontended RMW (lock-prefixed
-   add on x86), which still lets the Dijkstra relaxation loop carry a
-   counter without a measurable slowdown (see EXP-OBS-OVERHEAD) —
-   and, since the parallel payment engine (lib/par) runs probe
-   batches across domains, makes concurrent increments lose nothing.
-   Integer cells commute exactly, so counter totals are bitwise
-   independent of domain interleaving; float accumulation (gauges,
-   histogram sums) uses a CAS loop and is deterministic whenever the
-   summands are exact in double precision (counters-of-events
-   observed as floats are), merely order-sensitive in the last ulp
-   otherwise. *)
+(* Sharded cells (ISSUE 8): every domain owns a private shard — plain
+   int/float arrays indexed by metric slot — registered once in the
+   global shard list via a lock-free CAS push the first time the
+   domain touches any metric (Domain.DLS init). A hot-path update is
+   therefore a DLS lookup plus one unsynchronized array store: no RMW,
+   no shared cache line, no allocation. Totals exist only at read
+   time, when the coordinating domain folds the shard list.
 
-type counter = int Atomic.t
+   Why aggregation-at-snapshot preserves the PR 3/4/5 laws:
 
-type gauge = float Atomic.t
+   - integer cells (counters, histogram buckets/counts) sum exactly,
+     so totals are independent of how updates were distributed across
+     domains — the seq/par counter-agreement law holds unchanged;
+   - float cells (gauges, histogram sums) are written by one domain in
+     every instrumented engine (the PD loop and payment bisections run
+     on the coordinating domain), so the fold adds exact zeros from
+     the other shards and the total is bitwise the single shard's
+     value; when several domains do accumulate floats, the summands
+     the engines emit are integer-valued and still sum exactly;
+   - the shard-list order is fixed for the life of the process (CAS
+     push, never removed), so two back-to-back snapshots fold in the
+     same order — the deterministic-snapshot law compares structurally
+     equal values.
+
+   Reads race benignly with writers: a snapshot taken inside a
+   parallel region observes, per shard, some prefix of that domain's
+   program-order updates (each is a single word-sized store, which
+   cannot tear), so any counter total lies between the updates that
+   had finished and the ones that had started — the envelope law in
+   test_obs.ml. Totals read after a pool joins (or after
+   [Pool.run] returns, which synchronizes through the job's Atomics)
+   are exact.
+
+   Shared-state audit (lint R7): lib/obs stays on ufp-lint's guarded
+   audited-module list. The shard list head is an [Atomic]; the DLS
+   key is per-domain by construction; the catalogue Hashtbl and the
+   slot-name arrays are written at registration time only (module
+   init, before any pool exists) and only read afterwards. *)
 
 let n_buckets = 64
 
-type histogram = {
-  buckets : int Atomic.t array;  (* length n_buckets, base-2 log scale *)
-  n : int Atomic.t;
-  sum : float Atomic.t;
-}
-
-type metric = Counter of counter | Gauge of gauge | Histogram of histogram
-
-(* name -> cell; names are few (a fixed catalogue declared at module
-   init), so a plain assoc-style registry would also do — the Hashtbl
-   is only consulted at registration and snapshot time, never on the
-   hot path.  Shared-state audit (lint R7): lib/obs is one of the two
-   modules ufp-lint's domain-safety phase treats as guarded.  That is
-   sound here because registration happens at module init (before any
-   pool exists) and the cells the hot path touches are Atomic; only
-   snapshotting walks the table, from the coordinating domain. *)
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+type kind = KCounter | KGauge | KHistogram
 
 let kind_name = function
-  | Counter _ -> "counter"
-  | Gauge _ -> "gauge"
-  | Histogram _ -> "histogram"
+  | KCounter -> "counter"
+  | KGauge -> "gauge"
+  | KHistogram -> "histogram"
 
-let register name make select =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-    match select m with
-    | Some cell -> cell
-    | None ->
+(* The catalogue: name -> (kind, slot). Consulted at registration and
+   snapshot time only; the hot path carries the integer slot. *)
+let catalogue : (string, kind * int) Hashtbl.t = Hashtbl.create 64
+
+let counter_names = ref ([||] : string array)
+let gauge_names = ref ([||] : string array)
+let hist_names = ref ([||] : string array)
+
+type counter = int
+type gauge = int
+type histogram = int
+
+(* One histogram cell inside a shard. [hn]/[hsum] cover the finite
+   samples; NaNs are quarantined in [hnan] so they can no longer skew
+   the mean (they used to land in bucket 0 and bump [n] while adding
+   0.0 to the sum). *)
+type hcell = {
+  hb : int array;  (* length n_buckets, base-2 log scale *)
+  mutable hn : int;
+  mutable hsum : float;
+  mutable hnan : int;
+}
+
+type shard = {
+  mutable sc : int array;  (* counters, by slot *)
+  mutable sg : float array;  (* gauges, by slot *)
+  mutable sh : hcell array;  (* histograms, by slot *)
+}
+
+let new_hcell () = { hb = Array.make n_buckets 0; hn = 0; hsum = 0.0; hnan = 0 }
+
+let shards : shard list Atomic.t = Atomic.make []
+
+let register name kind =
+  match Hashtbl.find_opt catalogue name with
+  | Some (k, slot) ->
+    if k = kind then slot
+    else
       invalid_arg
         (Printf.sprintf "Ufp_obs.Metrics: %S is already a %s" name
-           (kind_name m)))
+           (kind_name k))
   | None ->
-    let m = make () in
-    Hashtbl.add registry name m;
-    (match select m with
-    | Some cell -> cell
-    | None -> assert false)
+    let slot =
+      match kind with
+      | KCounter ->
+        let s = Array.length !counter_names in
+        counter_names := Array.append !counter_names [| name |];
+        s
+      | KGauge ->
+        let s = Array.length !gauge_names in
+        gauge_names := Array.append !gauge_names [| name |];
+        s
+      | KHistogram ->
+        let s = Array.length !hist_names in
+        hist_names := Array.append !hist_names [| name |];
+        s
+    in
+    Hashtbl.add catalogue name (kind, slot);
+    slot
 
-let counter name =
-  register name
-    (fun () -> Counter (Atomic.make 0))
-    (function Counter c -> Some c | _ -> None)
+let counter name = register name KCounter
+let gauge name = register name KGauge
+let histogram name = register name KHistogram
 
-let gauge name =
-  register name
-    (fun () -> Gauge (Atomic.make 0.0))
-    (function Gauge g -> Some g | _ -> None)
+(* One bump per shard ever merged into the registry — i.e. per domain
+   that touched a metric. Recorded in the registering shard itself at
+   creation, not at snapshot time, so back-to-back snapshots stay
+   structurally equal (the determinism law). *)
+let m_shard_merges = counter "obs.shard_merges"
 
-let histogram name =
-  register name
-    (fun () ->
-      Histogram
-        {
-          buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
-          n = Atomic.make 0;
-          sum = Atomic.make 0.0;
-        })
-    (function Histogram h -> Some h | _ -> None)
+let new_shard () =
+  {
+    sc = Array.make (Array.length !counter_names) 0;
+    sg = Array.make (Array.length !gauge_names) 0.0;
+    sh = Array.init (Array.length !hist_names) (fun _ -> new_hcell ());
+  }
 
-let incr c = Atomic.incr c
+let rec push_shard s =
+  let old = Atomic.get shards in
+  if not (Atomic.compare_and_set shards old (s :: old)) then push_shard s
 
-let add c n = ignore (Atomic.fetch_and_add c n)
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_shard () in
+      s.sc.(m_shard_merges) <- 1;
+      push_shard s;
+      s)
 
-let value c = Atomic.get c
+let ensure_shard () = ignore (Domain.DLS.get shard_key : shard)
 
-(* No atomic float add in the stdlib; a CAS retry loop is wait-free in
-   practice here (gauge writers are a handful of domains at most). *)
-let rec atomic_add_float cell x =
-  let old = Atomic.get cell in
-  if not (Atomic.compare_and_set cell old (old +. x)) then
-    atomic_add_float cell x
+(* Slot out of range: the shard predates a registration (possible only
+   when a metric is declared after a worker domain already wrote —
+   registration is normally all done at module init). Grow to the
+   current catalogue so it happens at most once per late wave. *)
+let grow_sc s slot =
+  let a = Array.make (Int.max (slot + 1) (Array.length !counter_names)) 0 in
+  Array.blit s.sc 0 a 0 (Array.length s.sc);
+  s.sc <- a
 
-let gauge_add g x = atomic_add_float g x
+let grow_sg s slot =
+  let a = Array.make (Int.max (slot + 1) (Array.length !gauge_names)) 0.0 in
+  Array.blit s.sg 0 a 0 (Array.length s.sg);
+  s.sg <- a
 
-let gauge_set g x = Atomic.set g x
+let grow_sh s slot =
+  let n = Int.max (slot + 1) (Array.length !hist_names) in
+  let a = Array.init n (fun _ -> new_hcell ()) in
+  Array.blit s.sh 0 a 0 (Array.length s.sh);
+  s.sh <- a
 
-let gauge_value g = Atomic.get g
+let incr c =
+  let s = Domain.DLS.get shard_key in
+  let a = s.sc in
+  if c < Array.length a then a.(c) <- a.(c) + 1
+  else begin
+    grow_sc s c;
+    s.sc.(c) <- s.sc.(c) + 1
+  end
 
-(* Bucket of a sample: 0 for v < 1 (and for NaN / negatives, which
-   compare false against >= 1.0), otherwise the base-2 exponent of v,
-   capped at the last bucket. Float.frexp is a pure bit operation —
-   no log, no branch chain. *)
+let add c n =
+  let s = Domain.DLS.get shard_key in
+  let a = s.sc in
+  if c < Array.length a then a.(c) <- a.(c) + n
+  else begin
+    grow_sc s c;
+    s.sc.(c) <- s.sc.(c) + n
+  end
+
+let value c =
+  List.fold_left
+    (fun acc s -> if c < Array.length s.sc then acc + s.sc.(c) else acc)
+    0 (Atomic.get shards)
+
+let gauge_add g x =
+  let s = Domain.DLS.get shard_key in
+  let a = s.sg in
+  if g < Array.length a then a.(g) <- a.(g) +. x
+  else begin
+    grow_sg s g;
+    s.sg.(g) <- s.sg.(g) +. x
+  end
+
+(* A set must override every shard's accumulated adds, so it zeroes
+   the slot across the registry before depositing the value in the
+   calling domain's shard. Like [reset], it belongs to quiescent
+   moments on the coordinating domain. *)
+let gauge_set g x =
+  let s = Domain.DLS.get shard_key in
+  if g >= Array.length s.sg then grow_sg s g;
+  List.iter
+    (fun s' -> if g < Array.length s'.sg then s'.sg.(g) <- 0.0)
+    (Atomic.get shards);
+  s.sg.(g) <- x
+
+let gauge_value g =
+  List.fold_left
+    (fun acc s -> if g < Array.length s.sg then acc +. s.sg.(g) else acc)
+    0.0 (Atomic.get shards)
+
+(* Bucket of a sample: 0 for v < 1 (and for negatives, which compare
+   false against >= 1.0), otherwise the base-2 exponent of v, capped
+   at the last bucket. Float.frexp is a pure bit operation — no log,
+   no branch chain. NaN never reaches this (see [observe]). *)
 let bucket_of v =
   if not (v >= 1.0) then 0
   else begin
@@ -108,16 +218,30 @@ let bucket_of v =
     if e >= n_buckets then n_buckets - 1 else e
   end
 
+let hcell_of s h =
+  let a = s.sh in
+  if h < Array.length a then a.(h)
+  else begin
+    grow_sh s h;
+    s.sh.(h)
+  end
+
 let observe h v =
-  Atomic.incr h.buckets.(bucket_of v);
-  Atomic.incr h.n;
-  atomic_add_float h.sum (if Float.is_nan v then 0.0 else v)
+  let cell = hcell_of (Domain.DLS.get shard_key) h in
+  if Float.is_nan v then cell.hnan <- cell.hnan + 1
+  else begin
+    let b = bucket_of v in
+    cell.hb.(b) <- cell.hb.(b) + 1;
+    cell.hn <- cell.hn + 1;
+    cell.hsum <- cell.hsum +. v
+  end
 
 (* --- snapshots --- *)
 
 type hist_snapshot = {
   h_count : int;
   h_sum : float;
+  h_nan : int;
   h_buckets : (int * int) list;
 }
 
@@ -130,27 +254,68 @@ type snapshot = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
-  let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun name m ->
-      match m with
-      | Counter c -> counters := (name, Atomic.get c) :: !counters
-      | Gauge g -> gauges := (name, Atomic.get g) :: !gauges
-      | Histogram h ->
-        let bs = ref [] in
-        for i = n_buckets - 1 downto 0 do
-          let c = Atomic.get h.buckets.(i) in
-          if c <> 0 then bs := (i, c) :: !bs
-        done;
-        histograms :=
-          (name,
-           { h_count = Atomic.get h.n; h_sum = Atomic.get h.sum; h_buckets = !bs })
-          :: !histograms)
-    registry;
+  (* The snapshotter's own shard joins the registry before the fold,
+     so its updates (and the obs.shard_merges bump it carries) are
+     always part of the totals it reports. *)
+  ensure_shard ();
+  let ss = Atomic.get shards in
+  let counters =
+    Array.to_list
+      (Array.mapi
+         (fun slot name ->
+           ( name,
+             List.fold_left
+               (fun acc s ->
+                 if slot < Array.length s.sc then acc + s.sc.(slot) else acc)
+               0 ss ))
+         !counter_names)
+  in
+  let gauges =
+    Array.to_list
+      (Array.mapi
+         (fun slot name ->
+           ( name,
+             List.fold_left
+               (fun acc s ->
+                 if slot < Array.length s.sg then acc +. s.sg.(slot) else acc)
+               0.0 ss ))
+         !gauge_names)
+  in
+  let histograms =
+    Array.to_list
+      (Array.mapi
+         (fun slot name ->
+           let bs = Array.make n_buckets 0 in
+           let hn = ref 0 and hsum = ref 0.0 and hnan = ref 0 in
+           List.iter
+             (fun s ->
+               if slot < Array.length s.sh then begin
+                 let c = s.sh.(slot) in
+                 for i = 0 to n_buckets - 1 do
+                   bs.(i) <- bs.(i) + c.hb.(i)
+                 done;
+                 hn := !hn + c.hn;
+                 hsum := !hsum +. c.hsum;
+                 hnan := !hnan + c.hnan
+               end)
+             ss;
+           let buckets = ref [] in
+           for i = n_buckets - 1 downto 0 do
+             if bs.(i) <> 0 then buckets := (i, bs.(i)) :: !buckets
+           done;
+           ( name,
+             {
+               h_count = !hn;
+               h_sum = !hsum;
+               h_nan = !hnan;
+               h_buckets = !buckets;
+             } ))
+         !hist_names)
+  in
   {
-    counters = List.sort by_name !counters;
-    gauges = List.sort by_name !gauges;
-    histograms = List.sort by_name !histograms;
+    counters = List.sort by_name counters;
+    gauges = List.sort by_name gauges;
+    histograms = List.sort by_name histograms;
   }
 
 (* Pointwise subtraction keyed by name; names only present in [before]
@@ -171,6 +336,7 @@ let diff before after =
       {
         h_count = h.h_count - b.h_count;
         h_sum = h.h_sum -. b.h_sum;
+        h_nan = h.h_nan - b.h_nan;
         h_buckets =
           List.filter_map
             (fun (i, c) ->
@@ -192,17 +358,21 @@ let diff before after =
       List.map (fun (name, h) -> (name, sub_hist name h)) after.histograms;
   }
 
+(* Zero every shard. A quiescent-moment operation like [gauge_set]:
+   racing writers may redeposit into already-zeroed slots. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> Atomic.set c 0
-      | Gauge g -> Atomic.set g 0.0
-      | Histogram h ->
-        Array.iter (fun b -> Atomic.set b 0) h.buckets;
-        Atomic.set h.n 0;
-        Atomic.set h.sum 0.0)
-    registry
+  List.iter
+    (fun s ->
+      Array.fill s.sc 0 (Array.length s.sc) 0;
+      Array.fill s.sg 0 (Array.length s.sg) 0.0;
+      Array.iter
+        (fun c ->
+          Array.fill c.hb 0 n_buckets 0;
+          c.hn <- 0;
+          c.hsum <- 0.0;
+          c.hnan <- 0)
+        s.sh)
+    (Atomic.get shards)
 
 (* --- rendering --- *)
 
@@ -227,7 +397,9 @@ let to_table ?(title = "metrics") snap =
       Table.add_row t
         [
           name; "histogram";
-          Printf.sprintf "n=%d sum=%.6g" h.h_count h.h_sum;
+          (if h.h_nan = 0 then Printf.sprintf "n=%d sum=%.6g" h.h_count h.h_sum
+           else
+             Printf.sprintf "n=%d sum=%.6g nan=%d" h.h_count h.h_sum h.h_nan);
         ];
       List.iter
         (fun (i, c) ->
@@ -278,6 +450,7 @@ let to_json snap =
       [
         field "count" (string_of_int h.h_count);
         field "sum" (json_float h.h_sum);
+        field "nan" (string_of_int h.h_nan);
         field "buckets"
           (obj
              (List.map

@@ -1,40 +1,47 @@
 (** The process-wide metrics registry: named counters, gauges and
-    log-scale histograms with O(1) hot-path updates.
+    log-scale histograms with O(1) hot-path updates, sharded per
+    domain.
 
     The primal-dual pipeline (Dijkstra relaxations, selector cache
     traffic, dual inflations, payment probes) reports its work through
     metrics declared here; the CLI ([--metrics]), the experiment
     harness and the benchmark driver read them back as snapshot
-    deltas. See docs/OBSERVABILITY.md for the metric catalogue.
+    deltas. See docs/OBSERVABILITY.md for the metric catalogue and the
+    sharding design.
 
     Design constraints, in order:
 
-    + {b Hot-path updates are unconditional single atomic RMWs} — a
-      counter increment is one [Atomic] fetch-and-add, no branch, no
-      closure, no allocation — so instrumentation can live inside the
-      Dijkstra relaxation loop without measurable cost
-      (EXP-OBS-OVERHEAD keeps this honest).
-    + {b Updates are domain-safe}: the parallel payment engine
-      ([Ufp_par], [ufp payments --jobs N]) increments [mech.*] and
-      [pd.*] instruments from several domains at once. Counter and
-      histogram-bucket updates commute exactly, so totals are bitwise
-      independent of the interleaving; float accumulation (gauges,
-      histogram sums) is exact whenever the summands are (integer
-      probe counts observed as floats are), and order-sensitive only
-      in the last ulp otherwise. See docs/PARALLELISM.md.
+    + {b Hot-path updates are plain stores into a domain-private
+      shard} — a counter increment is one domain-local-storage lookup
+      plus one unsynchronized array store: no RMW, no shared cache
+      line, no branch beyond a bounds check, no allocation — so
+      instrumentation can live inside the Dijkstra relaxation loop
+      without measurable cost (EXP-OBS-OVERHEAD and the
+      [counter-incr-*] bechamel micros keep this honest).
+    + {b Updates are domain-safe by construction}: each domain writes
+      only its own shard; totals are folded over the shard list at
+      read time. Integer cells sum exactly, so counter totals are
+      bitwise independent of how updates were distributed across
+      domains; float accumulation (gauges, histogram sums) is exact
+      whenever the summands are (integer probe counts observed as
+      floats are). See docs/PARALLELISM.md.
     + {b Registration is idempotent by name}: [counter "pd.iterations"]
-      returns the same cell from every module, so independent solvers
+      returns the same slot from every module, so independent solvers
       (Bounded-UFP, Pd_engine, the threshold baseline) share one
       catalogue without a central declaration file.
     + {b Snapshots are pure data, sorted by name} — two runs of a
       deterministic algorithm produce structurally equal snapshots
-      (test_obs.ml enforces this as a law).
+      (test_obs.ml enforces this as a law; the fixed shard-list fold
+      order keeps float totals reproducible).
 
     Registration, {!snapshot}, {!diff} and {!reset} belong to the
-    orchestrating (main) domain: cells are declared at module-init
-    time and snapshots are taken around parallel regions, never inside
-    them. Only the update primitives ([incr]/[add]/[observe]/
-    [gauge_add]/[gauge_set]) may race. *)
+    orchestrating (main) domain: slots are declared at module-init
+    time and exact snapshots are taken around parallel regions. A
+    snapshot taken {e inside} a parallel region is safe and never
+    tears a cell, but each racing counter reads somewhere between the
+    updates that finished and the ones that started — the envelope law
+    in test_obs.ml. Only the update primitives
+    ([incr]/[add]/[observe]/[gauge_add]) may race freely. *)
 
 type counter
 (** A monotone integer event count (e.g. heap pushes). *)
@@ -59,27 +66,43 @@ val histogram : string -> histogram
 (** Same, for histograms. *)
 
 val incr : counter -> unit
-(** Add one. The hot-path primitive. *)
+(** Add one. The hot-path primitive: a plain store into the calling
+    domain's shard. *)
 
 val add : counter -> int -> unit
 (** Add [n] (an O(1) bulk form for per-run totals). *)
 
 val value : counter -> int
+(** Fold the counter's slot over every shard. Exact once the writers
+    have synchronized with the reader (pool join / [Pool.run]
+    return). *)
 
 val gauge_add : gauge -> float -> unit
 
 val gauge_set : gauge -> float -> unit
+(** Override the accumulated value across all shards. Belongs to
+    quiescent moments on the coordinating domain, like {!reset}. *)
 
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
-(** Record one sample. Negative and NaN samples land in bucket 0. *)
+(** Record one sample. Negative samples land in bucket 0. NaN samples
+    are counted in a dedicated cell ({!hist_snapshot.h_nan}) and
+    excluded from the count, the buckets and the sum, so they cannot
+    skew the mean. *)
+
+val ensure_shard : unit -> unit
+(** Force the calling domain's shard to exist and be merged into the
+    registry. Updates do this implicitly; pool workers call it once at
+    spawn so the one-time shard registration (a CAS push) never lands
+    inside a timed region. *)
 
 (** {1 Snapshots} *)
 
 type hist_snapshot = {
-  h_count : int;  (** number of samples *)
-  h_sum : float;  (** sum of samples *)
+  h_count : int;  (** number of finite samples (NaNs excluded) *)
+  h_sum : float;  (** sum of finite samples *)
+  h_nan : int;  (** NaN samples, quarantined *)
   h_buckets : (int * int) list;
       (** (bucket index, count), nonzero buckets only, increasing index *)
 }
@@ -89,9 +112,9 @@ type snapshot = {
   gauges : (string * float) list;  (** sorted by name *)
   histograms : (string * hist_snapshot) list;  (** sorted by name *)
 }
-(** An immutable copy of every registered metric. Structural equality
-    on snapshots is meaningful (and is what the determinism law in
-    test_obs.ml checks). *)
+(** An immutable copy of every registered metric, aggregated over all
+    shards. Structural equality on snapshots is meaningful (and is
+    what the determinism law in test_obs.ml checks). *)
 
 val snapshot : unit -> snapshot
 
@@ -101,7 +124,8 @@ val diff : snapshot -> snapshot -> snapshot
     count from zero. *)
 
 val reset : unit -> unit
-(** Zero every registered metric (the cells stay registered). *)
+(** Zero every registered metric in every shard (the slots stay
+    registered). A quiescent-moment operation. *)
 
 val bucket_label : int -> string
 (** ["[0,1)"], ["[1,2)"], ["[2,4)"], ... — the value range of a
@@ -116,4 +140,5 @@ val to_table : ?title:string -> snapshot -> Ufp_prelude.Table.t
 val to_json : snapshot -> string
 (** Self-contained JSON object
     [{"counters": {..}, "gauges": {..}, "histograms": {..}}]; histogram
-    values are [{"count": n, "sum": s, "buckets": {"[2^k,2^k+1)": c}}]. *)
+    values are
+    [{"count": n, "sum": s, "nan": k, "buckets": {"[2^k,2^k+1)": c}}]. *)

@@ -1,0 +1,74 @@
+(* OpenMetrics / Prometheus text exposition of a metrics snapshot —
+   the serving-layer contract the ROADMAP's admission server will
+   scrape. One metric family per registered metric:
+
+     counters   -> `# TYPE f counter`   + `f_total v`
+     gauges     -> `# TYPE f gauge`     + `f v`
+     histograms -> `# TYPE f histogram` + cumulative `f_bucket` lines
+                   with `le` bounds from the base-2 log scale
+                   (bucket 0 -> le="1", bucket k -> le="2^k"),
+                   a closing le="+Inf" equal to `f_count`, plus
+                   `f_sum` and `f_count`.
+
+   A histogram's quarantined NaN samples (Metrics.h_nan) are exposed
+   as a separate `<f>_nan_samples` counter family when nonzero — NaN
+   is not a valid bucket bound, and hiding the samples entirely would
+   defeat the point of counting them.
+
+   Dotted registry names (pd.iterations) are sanitized to the
+   [a-zA-Z0-9_:] metric charset (pd_iterations). The output ends with
+   the mandatory `# EOF`; bin/openmetrics_check.ml validates all of
+   the above from the outside. *)
+
+let sanitize_name s =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    s
+
+(* OpenMetrics floats: plain decimal, or +Inf/-Inf/NaN tokens. *)
+let om_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.equal v infinity then "+Inf"
+  else if Float.equal v neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let bucket_le i = if i = 0 then 1.0 else Float.ldexp 1.0 i
+
+let render (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let f = sanitize_name name in
+      line "# TYPE %s counter" f;
+      line "%s_total %d" f v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let f = sanitize_name name in
+      line "# TYPE %s gauge" f;
+      line "%s %s" f (om_float v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_snapshot)) ->
+      let f = sanitize_name name in
+      line "# TYPE %s histogram" f;
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%s\"} %d" f (om_float (bucket_le i)) !cum)
+        h.Metrics.h_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" f h.Metrics.h_count;
+      line "%s_sum %s" f (om_float h.Metrics.h_sum);
+      line "%s_count %d" f h.Metrics.h_count;
+      if h.Metrics.h_nan > 0 then begin
+        line "# TYPE %s_nan_samples counter" f;
+        line "%s_nan_samples_total %d" f h.Metrics.h_nan
+      end)
+    snap.Metrics.histograms;
+  line "# EOF";
+  Buffer.contents buf

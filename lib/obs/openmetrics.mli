@@ -1,0 +1,21 @@
+(** OpenMetrics / Prometheus text exposition of a {!Metrics.snapshot}
+    — the scrape format for the ROADMAP's admission-server story,
+    reachable today via [ufp solve|payments --metrics openmetrics].
+
+    Counters render as [name_total], gauges as bare samples,
+    histograms as cumulative [name_bucket{le="..."}] series derived
+    from the base-2 log scale (bucket 0 ends at [le="1"], bucket [k]
+    at [le="2^k"]), closed by [le="+Inf"] = [name_count] plus
+    [name_sum]/[name_count]. Quarantined NaN samples surface as a
+    separate [name_nan_samples] counter family when nonzero. The dump
+    ends with [# EOF]; [bin/openmetrics_check.ml] validates the
+    format end-to-end in CI and in the runtest CLI smoke. See
+    docs/OBSERVABILITY.md. *)
+
+val sanitize_name : string -> string
+(** Map a dotted registry name onto the OpenMetrics charset:
+    characters outside [[a-zA-Z0-9_:]] become ['_']
+    (["pd.iterations"] -> ["pd_iterations"]). *)
+
+val render : Metrics.snapshot -> string
+(** The full exposition, newline-terminated, ending in [# EOF]. *)

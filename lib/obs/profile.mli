@@ -1,0 +1,49 @@
+(** Phase profiler: folds the {!Trace} span stream into per-phase
+    wall-time and GC-allocation attribution.
+
+    Replays the retained ring events per recording domain with an
+    explicit frame stack, so nested spans split {e total} (inclusive)
+    from {e self} (exclusive) time exactly — the pd loop's self time
+    excludes the selector rebuilds it triggered, a payment bisection's
+    excludes the solver probes inside it. When the trace was started
+    with [~gc:true] (the [--profile] path), [Gc.quick_stat] deltas
+    attribute minor/promoted/major words the same way.
+
+    Orphaned [E] events whose [B] was overwritten by ring wrap-around
+    are skipped, exactly like the JSONL exporter; spans left open
+    (crash, truncation) are not counted. Run from the orchestrating
+    domain after [Trace.stop]. See docs/OBSERVABILITY.md. *)
+
+type phase = {
+  p_name : string;  (** the span name *)
+  p_count : int;  (** completed spans folded in *)
+  p_total_ns : float;  (** wall time including children *)
+  p_self_ns : float;  (** wall time excluding children *)
+  p_minor_w : float;  (** minor words allocated, self *)
+  p_promoted_w : float;  (** words promoted to the major heap, self *)
+  p_major_w : float;  (** words allocated directly on the major heap,
+                          self *)
+}
+
+type t = {
+  phases : phase list;  (** sorted by self time, descending *)
+  gc_sampled : bool;
+      (** whether the trace carried [Gc.quick_stat] samples; when
+          false the word columns are all zero and the renderings say
+          so *)
+}
+
+val of_trace : unit -> t
+(** Profile whatever the tracer currently retains. *)
+
+val to_table : ?title:string -> t -> Ufp_prelude.Table.t
+(** One row per phase: count, total/self milliseconds, and (when
+    sampled) self minor / major+promoted kilowords. *)
+
+val to_json : t -> string
+(** [{"schema": "ufp-profile/1", "gc_sampled": b, "phases": [...]}] —
+    one object per phase with [total_ns]/[self_ns] and the three word
+    deltas. *)
+
+val save_json : string -> t -> unit
+(** {!to_json} to a file, newline-terminated. *)

@@ -6,6 +6,14 @@ type event = {
   ev_ts : int64;  (* CLOCK_MONOTONIC nanoseconds *)
   ev_tid : int;  (* recording domain id; one Chrome track per domain *)
   ev_args : (string * arg) list;
+  (* Gc.quick_stat cumulative words at record time, sampled only when
+     the sink was started with ~gc:true (all zero otherwise). The
+     profiler (profile.ml) turns B/E differences into per-phase
+     allocation; deltas are meaningful per tid, since quick_stat
+     reads the calling domain's allocation counters. *)
+  ev_minor : float;
+  ev_promoted : float;
+  ev_major : float;
 }
 
 (* Ring buffer: [buf.(start + k mod cap)] for k < len are the retained
@@ -36,15 +44,20 @@ let lock = ((Mutex.create) [@lint.allow "R6" "the tracer's append lock; the \
    goes through [lock] above, argued in docs/PARALLELISM.md. *)
 let ring : ring option ref = ref None
 
+(* Whether [record] samples Gc.quick_stat alongside the clock. Set
+   under [lock] by [start], read inside [record]'s critical section. *)
+let sample_gc = ref false
+
 let is_on () = !on
 
 let now_ns () = Monotonic_clock.now ()
 
-let start ?(capacity = 65536) () =
+let start ?(capacity = 65536) ?(gc = false) () =
   if capacity < 1 then invalid_arg "Ufp_obs.Trace.start: capacity < 1";
   Mutex.lock lock;
   ring :=
     Some { buf = Array.make capacity None; r_start = 0; r_len = 0; r_dropped = 0 };
+  sample_gc := gc;
   on := true;
   Mutex.unlock lock
 
@@ -66,6 +79,18 @@ let record ~name ~ph ~args =
   (match !ring with
   | None -> ()
   | Some r ->
+    let minor, promoted, major =
+      if !sample_gc then
+        (* [quick_stat]'s minor_words only advances at minor
+           collections; [Gc.minor_words ()] reads the calling domain's
+           live allocation pointer, so B/E deltas see allocations that
+           never triggered a collection. promoted/major have no such
+           cheap exact reader — collection-boundary granularity is the
+           honest precision there. *)
+        let q = Gc.quick_stat () in
+        (Gc.minor_words (), q.Gc.promoted_words, q.Gc.major_words)
+      else (0.0, 0.0, 0.0)
+    in
     let ev =
       {
         ev_name = name;
@@ -73,6 +98,9 @@ let record ~name ~ph ~args =
         ev_ts = now_ns ();
         ev_tid = (Domain.self () :> int);
         ev_args = args;
+        ev_minor = minor;
+        ev_promoted = promoted;
+        ev_major = major;
       }
     in
     let cap = Array.length r.buf in

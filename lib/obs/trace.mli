@@ -35,15 +35,33 @@ type arg = Int of int | Float of float | Str of string
 (** Typed span/event argument, rendered into the Chrome [args]
     object. *)
 
+type event = {
+  ev_name : string;
+  ev_ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+  ev_ts : int64;  (** CLOCK_MONOTONIC nanoseconds *)
+  ev_tid : int;  (** recording domain id *)
+  ev_args : (string * arg) list;
+  ev_minor : float;
+      (** [Gc.quick_stat] minor words at record time; 0 unless the
+          sink was started with [~gc:true] *)
+  ev_promoted : float;  (** promoted words, same sampling rule *)
+  ev_major : float;  (** major words, same sampling rule *)
+}
+(** A retained ring-buffer event, as consumed by [Profile.of_trace]
+    via {!iter_events}. *)
+
 val is_on : unit -> bool
 (** Whether a recording sink is installed. Use to guard argument-list
     construction at hot call sites; the recording functions check it
     again themselves. *)
 
-val start : ?capacity:int -> unit -> unit
+val start : ?capacity:int -> ?gc:bool -> unit -> unit
 (** Install the ring-buffer sink (clearing any previous buffer).
     [capacity] is the maximum retained event count (default 65536;
-    oldest events are overwritten beyond that). *)
+    oldest events are overwritten beyond that). When [gc] is true
+    (default false) every event also samples [Gc.quick_stat], feeding
+    the profiler's allocation attribution — roughly doubling the cost
+    of a record, so it is opt-in via [--profile]. *)
 
 val stop : unit -> unit
 (** Return to the no-op sink. The recorded buffer is kept until the
@@ -65,6 +83,12 @@ val n_events : unit -> int
 
 val n_dropped : unit -> int
 (** Events overwritten since the last {!start}/{!clear}. *)
+
+val iter_events : (event -> unit) -> unit
+(** Fold the retained events, oldest first. Raw ring order: after a
+    wrap-around the stream may open with [E] events whose [B] was
+    overwritten (the JSONL exporter and the profiler both skip
+    those). Belongs to the orchestrating domain, after [stop]. *)
 
 val export_jsonl : out_channel -> unit
 (** Write the retained events, oldest first, one Chrome [trace_event]

@@ -11,6 +11,15 @@
    completed, so a missed epoch is by definition a job that needed no
    help. *)
 
+module Metrics = Ufp_obs.Metrics
+
+(* Pool telemetry rides the sharded registry it feeds: submissions
+   count on the submitting domain, chunk claims on whichever executor
+   won the CAS. Totals are exact once [run] returns (the job's
+   completion Atomic synchronizes executors with the caller). *)
+let m_jobs = Metrics.counter "pool.jobs"
+let m_chunks = Metrics.counter "pool.chunks"
+
 type job = {
   j_n : int;
   j_chunk : int;
@@ -43,6 +52,7 @@ let execute pool job =
     let lo = Atomic.fetch_and_add job.j_next job.j_chunk in
     if lo < n then begin
       let hi = Int.min n (lo + job.j_chunk) in
+      Metrics.incr m_chunks;
       (if Atomic.get job.j_exn = None then
          try
            for i = lo to hi - 1 do
@@ -99,7 +109,13 @@ let create ?domains () =
     }
   in
   pool.workers <-
-    Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+    Array.init (size - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            (* Merge this worker's metrics shard into the registry
+               now, so the one-time CAS push never lands inside a
+               timed parallel region. *)
+            Metrics.ensure_shard ();
+            worker_loop pool 0));
   pool
 
 let shutdown pool =
@@ -114,6 +130,7 @@ let shutdown pool =
 (* Submit one job and participate until every index completed. *)
 let run pool ~chunk ~n f =
   if n > 0 then begin
+    Metrics.incr m_jobs;
     let job =
       {
         j_n = n;

@@ -21,7 +21,13 @@
     {!Ufp_obs} instruments), the result is {e bitwise identical} to
     [Array.init n f] — parallelism changes only the order in which
     slots are filled, never the float operations inside a slot. The
-    payment laws in [test/test_mech.ml] enforce this end to end. *)
+    payment laws in [test/test_mech.ml] enforce this end to end.
+
+    {b Telemetry}: the pool reports through the sharded {!Ufp_obs}
+    registry — [pool.jobs] counts submissions, [pool.chunks] claimed
+    index ranges — and each worker merges its metrics shard at spawn
+    ([Metrics.ensure_shard]), keeping the one-time registration CAS
+    out of timed regions. See docs/OBSERVABILITY.md. *)
 
 type t
 (** A running pool. Owns [size - 1] worker domains (the caller is the

@@ -16,6 +16,8 @@
 
 module Metrics = Ufp_obs.Metrics
 module Trace = Ufp_obs.Trace
+module Profile = Ufp_obs.Profile
+module Openmetrics = Ufp_obs.Openmetrics
 module Instance = Ufp_instance.Instance
 module Request = Ufp_instance.Request
 module Gen = Ufp_graph.Generators
@@ -63,6 +65,27 @@ let test_histogram_buckets () =
   Alcotest.(check string) "label 0" "[0,1)" (Metrics.bucket_label 0);
   Alcotest.(check string) "label 2" "[2,4)" (Metrics.bucket_label 2)
 
+(* NaN observations are quarantined in a dedicated cell: they must
+   not poison the sum, the count, or any bucket, and the diff algebra
+   must carry the quarantine count like any other cell. *)
+let test_histogram_nan_quarantine () =
+  let h = Metrics.histogram "test.hist_nan" in
+  List.iter (Metrics.observe h) [ 1.0; Float.nan; 2.0; Float.nan; Float.nan ];
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "test.hist_nan" s.Metrics.histograms in
+  Alcotest.(check int) "count excludes NaN" 2 hs.Metrics.h_count;
+  check_float "sum excludes NaN" 3.0 hs.Metrics.h_sum;
+  Alcotest.(check int) "NaNs quarantined" 3 hs.Metrics.h_nan;
+  Alcotest.(check (list (pair int int)))
+    "buckets exclude NaN" [ (1, 1); (2, 1) ] hs.Metrics.h_buckets;
+  let before = Metrics.snapshot () in
+  Metrics.observe h Float.nan;
+  Metrics.observe h 8.0;
+  let delta = Metrics.diff before (Metrics.snapshot ()) in
+  let dh = List.assoc "test.hist_nan" delta.Metrics.histograms in
+  Alcotest.(check int) "diff isolates the window's NaN" 1 dh.Metrics.h_nan;
+  Alcotest.(check int) "diff counts only the real sample" 1 dh.Metrics.h_count
+
 let test_snapshot_diff_reset () =
   let c = Metrics.counter "test.diff" in
   Metrics.incr c;
@@ -91,7 +114,46 @@ let test_renderings () =
   Alcotest.(check bool) "json mentions the counter" true
     (contains json "\"test.render\": 7");
   let table = Metrics.to_table ~title:"t" s in
-  Alcotest.(check string) "table titled" "t" (Ufp_prelude.Table.title table)
+  Alcotest.(check string) "table titled" "t" (Ufp_prelude.Table.title table);
+  let hq = Metrics.histogram "test.render_nan" in
+  Metrics.observe hq Float.nan;
+  let s = Metrics.snapshot () in
+  let md = Ufp_prelude.Table.to_markdown (Metrics.to_table ~title:"t" s) in
+  Alcotest.(check bool) "table surfaces the quarantine" true
+    (contains md "nan=1");
+  Alcotest.(check bool) "json carries the quarantine" true
+    (contains (Metrics.to_json s) "\"nan\": 1")
+
+(* The Prometheus text exposition: sanitized names, counter [_total]
+   samples, cumulative buckets closed by [le="+Inf"], the NaN
+   quarantine surfacing as its own counter family, final [# EOF].
+   bin/openmetrics_check.ml re-validates the same dump end-to-end in
+   the runtest CLI smoke and in CI. *)
+let test_openmetrics_render () =
+  Metrics.reset ();
+  Alcotest.(check string) "names sanitized" "test_om_counter"
+    (Openmetrics.sanitize_name "test.om/counter");
+  let c = Metrics.counter "test.om/counter" in
+  Metrics.add c 3;
+  let h = Metrics.histogram "test.om_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 3.0; Float.nan ];
+  let text = Openmetrics.render (Metrics.snapshot ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "dump contains %S" needle) true
+        (contains text needle))
+    [
+      "# TYPE test_om_counter counter";
+      "test_om_counter_total 3";
+      "# TYPE test_om_hist histogram";
+      "test_om_hist_bucket{le=\"1\"} 1";
+      "test_om_hist_bucket{le=\"+Inf\"} 2";
+      "test_om_hist_count 2";
+      "test_om_hist_nan_samples_total 1";
+    ];
+  let n = String.length text in
+  Alcotest.(check bool) "ends with # EOF" true
+    (n >= 6 && String.sub text (n - 6) 6 = "# EOF\n")
 
 (* --- trace unit tests --- *)
 
@@ -154,6 +216,61 @@ let test_trace_ring_overflow_stays_balanced () =
     (count_phase lines "E");
   Trace.clear ()
 
+(* --- profiler unit tests --- *)
+
+(* Nested spans fold into self-vs-total exactly: the outer phase's
+   self time excludes the inner span it wraps, and with [~gc:true]
+   the allocation columns attribute the same way. *)
+let test_profile_phases () =
+  (* Small arrays, many times: minor-heap allocations, so the minor
+     word columns are exercised (one big array would go straight to
+     the major heap). *)
+  let churn () =
+    for _ = 1 to 200 do
+      ignore (Sys.opaque_identity (Array.make 100 0.0))
+    done
+  in
+  Trace.start ~gc:true ();
+  Trace.with_span "prof.outer" (fun () ->
+      churn ();
+      Trace.with_span "prof.inner" (fun () -> churn ()));
+  Trace.with_span "prof.outer" (fun () -> ());
+  Trace.stop ();
+  let p = Profile.of_trace () in
+  Trace.clear ();
+  Alcotest.(check bool) "gc sampled" true p.Profile.gc_sampled;
+  let find name =
+    List.find (fun ph -> ph.Profile.p_name = name) p.Profile.phases
+  in
+  let outer = find "prof.outer" and inner = find "prof.inner" in
+  Alcotest.(check int) "outer folded both spans" 2 outer.Profile.p_count;
+  Alcotest.(check int) "inner folded once" 1 inner.Profile.p_count;
+  Alcotest.(check bool) "self excludes the child" true
+    (outer.Profile.p_self_ns <= outer.Profile.p_total_ns);
+  Alcotest.(check bool) "outer total covers the inner span" true
+    (outer.Profile.p_total_ns >= inner.Profile.p_total_ns);
+  Alcotest.(check bool) "inner allocation not billed to outer self" true
+    (inner.Profile.p_minor_w > 0.0);
+  let json = Profile.to_json p in
+  Alcotest.(check bool) "schema stamped" true
+    (contains json "\"schema\": \"ufp-profile/1\"");
+  Alcotest.(check bool) "gc flag serialized" true
+    (contains json "\"gc_sampled\": true");
+  let table = Profile.to_table ~title:"p" p in
+  Alcotest.(check string) "table titled" "p" (Ufp_prelude.Table.title table)
+
+(* Without [~gc:true] the profiler still folds wall time but must say
+   the allocation columns are not sampled. *)
+let test_profile_without_gc () =
+  Trace.start ();
+  Trace.with_span "prof.plain" (fun () -> ());
+  Trace.stop ();
+  let p = Profile.of_trace () in
+  Trace.clear ();
+  Alcotest.(check bool) "gc not sampled" false p.Profile.gc_sampled;
+  let ph = List.find (fun ph -> ph.Profile.p_name = "prof.plain") p.Profile.phases in
+  check_float "no words attributed" 0.0 ph.Profile.p_minor_w
+
 (* --- domain safety (the Ufp_par contract) --- *)
 
 module Pool = Ufp_par.Pool
@@ -182,6 +299,79 @@ let test_metrics_domain_safe () =
     (Metrics.gauge_value g);
   let hs = List.assoc "test.par_hist" (Metrics.snapshot ()).Metrics.histograms in
   Alcotest.(check int) "no lost observations" (before_h + n) hs.Metrics.h_count
+
+(* [gauge_set] is documented for quiescent moments: after parallel
+   [gauge_add]s have joined, a set must override every shard's
+   deposits, not just the setting domain's. *)
+let test_gauge_set_overrides_all_shards () =
+  let g = Metrics.gauge "test.par_gauge_set" in
+  Pool.with_pool ~domains:3 (fun pool ->
+      Pool.parallel_for ~pool ~n:300 (fun _ -> Metrics.gauge_add g 1.0));
+  check_float "parallel adds all landed" 300.0 (Metrics.gauge_value g);
+  Metrics.gauge_set g 7.5;
+  check_float "set overrides every shard" 7.5 (Metrics.gauge_value g);
+  Metrics.gauge_add g 0.5;
+  check_float "adds resume on top of the set" 8.0 (Metrics.gauge_value g)
+
+(* --- the sharded-envelope law (QCheck) ---
+
+   A snapshot taken WHILE writer tasks hammer a sharded counter may
+   straggle — per-domain cells are plain stores — but it must never
+   leave the [writes finished, writes started] envelope, and
+   successive totals seen by one reader must be monotone (shard cells
+   are coherent and only ever incremented).  After the pool joins,
+   the total is exact: the pool's completion Atomics give the
+   coordinating domain happens-before over every shard store.  One
+   pool task snapshots in a loop; the envelope bounds are Atomics
+   bumped around each write. *)
+let envelope_law =
+  QCheck.Test.make ~count:8
+    ~name:"concurrent snapshots stay inside the write envelope"
+    QCheck.(pair (int_range 200 2000) (int_range 1 3))
+    (fun (per_task, writers) ->
+      let c = Metrics.counter "test.envelope" in
+      let base = Metrics.value c in
+      let started = Atomic.make 0 and finished = Atomic.make 0 in
+      let writers_done = Atomic.make 0 in
+      let violations = Atomic.make 0 in
+      let last = Atomic.make 0 in
+      Pool.with_pool ~domains:2 (fun pool ->
+          ignore
+            (* chunk:1 so the reader task can never share a claimed
+               chunk with a writer it would then spin-wait on. *)
+            (Pool.parallel_mapi ~pool ~chunk:1 ~n:(writers + 1) (fun task ->
+                 if task = 0 then
+                   (* Reader: snapshot until every writer has joined.
+                      With 2 pool participants the writer tasks drain
+                      on the other domain, so this loop terminates. *)
+                   while Atomic.get writers_done < writers do
+                     let lo = Atomic.get finished in
+                     let s = Metrics.snapshot () in
+                     let hi = Atomic.get started in
+                     let total =
+                       List.assoc "test.envelope" s.Metrics.counters - base
+                     in
+                     if total < lo || total > hi then Atomic.incr violations;
+                     if total < Atomic.get last then Atomic.incr violations;
+                     Atomic.set last total;
+                     Domain.cpu_relax ()
+                   done
+                 else begin
+                   for _ = 1 to per_task do
+                     Atomic.incr started;
+                     Metrics.incr c;
+                     Atomic.incr finished
+                   done;
+                   Atomic.incr writers_done
+                 end)));
+      if Atomic.get violations > 0 then
+        QCheck.Test.fail_reportf "%d envelope violations"
+          (Atomic.get violations);
+      (* Post-join exactness: nothing lost, nothing duplicated. *)
+      if Metrics.value c - base <> writers * per_task then
+        QCheck.Test.fail_reportf "post-join total %d, wanted %d"
+          (Metrics.value c - base) (writers * per_task);
+      true)
 
 (* Concurrent spans from several domains: every event carries its
    recording domain's tid, the export balances per tid, and the
@@ -380,9 +570,13 @@ let () =
           Alcotest.test_case "counter ops" `Quick test_counter_ops;
           Alcotest.test_case "gauge ops" `Quick test_gauge_ops;
           Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+          Alcotest.test_case "NaN observations quarantined" `Quick
+            test_histogram_nan_quarantine;
           Alcotest.test_case "snapshot diff and reset" `Quick
             test_snapshot_diff_reset;
           Alcotest.test_case "table and json renderings" `Quick test_renderings;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_openmetrics_render;
         ] );
       ( "trace",
         [
@@ -392,12 +586,22 @@ let () =
           Alcotest.test_case "ring overflow stays balanced" `Quick
             test_trace_ring_overflow_stays_balanced;
         ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nested spans split self from total" `Quick
+            test_profile_phases;
+          Alcotest.test_case "gc columns honest when unsampled" `Quick
+            test_profile_without_gc;
+        ] );
       ( "domain-safety",
         [
           Alcotest.test_case "metrics lose no updates across domains" `Quick
             test_metrics_domain_safe;
+          Alcotest.test_case "gauge_set overrides all shards" `Quick
+            test_gauge_set_overrides_all_shards;
           Alcotest.test_case "trace tags and balances per domain" `Quick
             test_trace_domain_safe;
+          QCheck_alcotest.to_alcotest envelope_law;
         ] );
       ( "laws",
         [
