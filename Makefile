@@ -56,17 +56,25 @@ bench-csv:
 #                    end-to-end RMAT solves, seq vs 2-domain pool
 #   BENCH_PR8.json — telemetry hot-path micros + CI-sized end-to-end
 #                    anchors, self-describing rows for ufp-bench-diff
+#   BENCH_PR9.json — work-stealing vs fixed-chunk modelled makespan
+#                    (host-independent cost units) + warm-start
+#                    payment probe counts
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR5.json
 	dune exec bench/main.exe -- --json-pr6 BENCH_PR6.json
 	dune exec bench/main.exe -- --json-pr8 BENCH_PR8.json
+	dune exec bench/main.exe -- --json-pr9 BENCH_PR9.json
 
 # Perf-trajectory regression gate (see docs/OBSERVABILITY.md): rerun
-# the PR 8 rows and diff against the committed trajectory.  Exits
-# non-zero past the threshold; loosen it for noisy hosts.
+# the PR 8/PR 9 rows and diff against the committed trajectories.
+# Exits non-zero past the threshold; loosen it for noisy hosts.  The
+# PR 9 rows are deterministic cost-model units and probe counts, so
+# they bear a much tighter threshold than the wall-clock rows.
 bench-diff:
 	dune exec bench/main.exe -- --json-pr8 /tmp/ufp-bench-pr8.json
 	dune exec bin/bench_diff.exe -- BENCH_PR8.json /tmp/ufp-bench-pr8.json --threshold 2.0
+	dune exec bench/main.exe -- --json-pr9 /tmp/ufp-bench-pr9.json
+	dune exec bin/bench_diff.exe -- BENCH_PR9.json /tmp/ufp-bench-pr9.json --threshold 0.1
 
 # Million-edge end-to-end demo: a scale-18 RMAT instance (~2.6M edges)
 # generated, solved with pooled selector rebuilds, and audited.

@@ -22,7 +22,12 @@
                                               # metrics hot-path micros +
                                               # CI-sized end-to-end anchors,
                                               # self-describing rows for
-                                              # ufp-bench-diff *)
+                                              # ufp-bench-diff
+     dune exec bench/main.exe -- --json-pr9 F # PR 9 scheduler artifact only:
+                                              # skewed-workload modelled
+                                              # makespan (static vs dynamic,
+                                              # cost units) + warm-start
+                                              # payment probe counts *)
 
 module Registry = Ufp_experiments.Registry
 module Harness = Ufp_experiments.Harness
@@ -595,6 +600,160 @@ let run_bench_json_pr8 path =
     (fun () -> Buffer.output_buffer oc buf);
   Printf.printf "wrote %s\n" path
 
+(* --- the PR 9 work-stealing artifact: BENCH_PR9.json ---
+
+   The fixed-chunk pathology the work-stealing scheduler exists to
+   kill, measured in a host-independent unit.  One task among [n]
+   costs [mult]x the others; with the old static split into two
+   chunks, the executor that draws the expensive task's chunk also
+   drags half the cheap ones behind it, so its assigned work — the
+   modelled makespan, in task-cost units — is [mult + n/2 - 1]
+   whatever the host does.  The dynamic rows run the real scheduler
+   on a 2-domain pool and charge each task's model cost to the
+   executor that actually ran it: stealing should strand the
+   expensive task alone on one executor (makespan -> [mult]-ish).
+   Cost units, not seconds, so the committed artifact diffs cleanly
+   against any CI host; the min over a few repetitions absorbs
+   worker wake-up timing on loaded or single-core machines.
+
+   The warm-start rows are probe counts (solver calls per payment
+   vector), which are exactly reproducible everywhere: a declared-
+   value bracket starts at least 4x tighter than the cold
+   [0, 4 * total] ceiling and skips the ceiling probe, so the
+   cold/warm ratio is a deterministic >1 gain. *)
+
+let run_bench_json_pr9 path =
+  print_string "### BENCH-JSON-PR9: skewed-workload modelled makespan\n";
+  let n = 64 in
+  let mult = 100 in
+  let unit_cost i = if i = 0 then mult else 1 in
+  let spin units =
+    let acc = ref 0.0 in
+    for k = 1 to units * 20_000 do
+      acc := !acc +. (1.0 /. float_of_int k)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  (* Model cost charged to whichever domain ran the task; domain ids
+     are small ints, so a fixed bucket array of Atomics suffices. *)
+  let slots = Array.init 64 (fun _ -> Atomic.make 0) in
+  let reset () = Array.iter (fun a -> Atomic.set a 0) slots in
+  let makespan () =
+    Array.fold_left (fun m a -> max m (Atomic.get a)) 0 slots
+  in
+  let body i =
+    let u = unit_cost i in
+    spin u;
+    ignore
+      (Atomic.fetch_and_add slots.((Domain.self () :> int) land 63) u : int)
+  in
+  (* Static chunking's makespan is a property of the split, not the
+     host: the heaviest of the two n/2-chunks. *)
+  let chunk = n / 2 in
+  let static_units =
+    let worst = ref 0 in
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + chunk) in
+      let c = ref 0 in
+      for j = !lo to hi - 1 do
+        c := !c + unit_cost j
+      done;
+      if !c > !worst then worst := !c;
+      lo := hi
+    done;
+    !worst
+  in
+  let pool = Ufp_par.Pool.create ~domains:2 () in
+  let dynamic_units, static_s, dynamic_s =
+    Fun.protect
+      ~finally:(fun () -> Ufp_par.Pool.shutdown pool)
+      (fun () ->
+        reset ();
+        let (), static_s =
+          Harness.time_it (fun () ->
+              Ufp_par.Pool.parallel_for_static ~pool:(`Pool pool) ~chunk ~n
+                body)
+        in
+        let best = ref max_int in
+        let dynamic_s = ref 0.0 in
+        for _rep = 1 to 5 do
+          reset ();
+          let (), t =
+            Harness.time_it (fun () ->
+                Ufp_par.Pool.parallel_for_dynamic ~pool:(`Pool pool) ~grain:1
+                  ~n body)
+          in
+          dynamic_s := !dynamic_s +. t;
+          let m = makespan () in
+          if m < !best then best := m
+        done;
+        (!best, static_s, !dynamic_s /. 5.0))
+  in
+  let gain = float_of_int static_units /. float_of_int dynamic_units in
+  Printf.printf
+    "  %d tasks, one %dx: static chunk-%d makespan %d units (%.3fs), \
+     dynamic best-of-5 %d units (%.3fs avg), gain %.2fx\n"
+    n mult chunk static_units static_s dynamic_units dynamic_s gain;
+  print_string "### BENCH-JSON-PR9: warm-started payment probes\n";
+  let pay_inst =
+    Harness.grid_instance ~seed:6 ~rows:3 ~cols:3 ~capacity:12.0 ~count:8
+  in
+  let algo = Bounded_ufp.solve ~eps:0.3 in
+  let m_probes = Metrics.counter "mech.payment_probes" in
+  let probes_with warm =
+    let before = Metrics.value m_probes in
+    ignore
+      (Ufp_mech.Ufp_mechanism.payments ~rel_tol:Float_tol.coarse_slack ~warm
+         algo pay_inst
+        : float array);
+    Metrics.value m_probes - before
+  in
+  let cold = probes_with `Cold in
+  let declared = probes_with `Declared in
+  let run = Bounded_ufp.run ~eps:0.3 pay_inst in
+  let hints = Ufp_mech.Ufp_mechanism.acceptance_thresholds pay_inst run in
+  let hinted = probes_with (`Hinted (fun i -> hints.(i))) in
+  let warm_gain = float_of_int cold /. float_of_int (max declared 1) in
+  Printf.printf "  probes: cold %d, declared %d, hinted %d (gain %.2fx)\n"
+    cold declared hinted warm_gain;
+  let rows =
+    [
+      ("skewed-static-makespan-units", "units", "lower",
+       Some (float_of_int static_units));
+      ("skewed-dynamic-makespan-units", "units", "lower",
+       Some (float_of_int dynamic_units));
+      ("skewed-dynamic-gain", "ratio", "higher", Some gain);
+      ("payments-probes-cold-3x3-8req", "probes", "lower",
+       Some (float_of_int cold));
+      ("payments-probes-declared-3x3-8req", "probes", "lower",
+       Some (float_of_int declared));
+      ("payments-probes-hinted-3x3-8req", "probes", "lower",
+       Some (float_of_int hinted));
+      ("payments-warm-start-gain", "ratio", "higher", Some warm_gain);
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ufp-bench-pr9/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (id, unit, better, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"id\": %S, \"unit\": %S, \"better\": %S, \"value\": %s \
+            }%s\n"
+           id unit better (json_float value)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "wrote %s\n" path
+
 (* --- driver --- *)
 
 let () =
@@ -625,6 +784,11 @@ let () =
   (match flag_value "--json-pr8" with
   | Some path ->
     run_bench_json_pr8 path;
+    exit 0
+  | None -> ());
+  (match flag_value "--json-pr9" with
+  | Some path ->
+    run_bench_json_pr9 path;
     exit 0
   | None -> ());
   let markdown_buf = Buffer.create 4096 in

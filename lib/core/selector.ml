@@ -316,7 +316,10 @@ let rebuild_parallel t p stale =
   let n = Array.length stale in
   if n > 0 then begin
     if t.uniform then ignore (snapshot_for t stale.(0));
-    Pool.parallel_for ~pool:(`Pool p) ~n (fun i ->
+    (* grain 1: stale-tree costs are skewed (hub sources carry far
+       larger frontiers), so every tree should be stealable on its
+       own rather than riding a range with a hub. *)
+    Pool.parallel_for_dynamic ~pool:(`Pool p) ~grain:1 ~n (fun i ->
         let grp = stale.(i) in
         let ws = Dijkstra.create_workspace t.graph in
         rebuild_tree t grp ws);

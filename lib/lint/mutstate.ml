@@ -11,9 +11,12 @@ open Ppxlib
                 races on the thunk).
    [Guarded]  — [Atomic.*] or [Domain.DLS.*] state anywhere (DLS keys
                 are domain-local by construction: each domain writes
-                only its own slot), or any binding inside the two
-                audited modules: lib/par/pool.ml (the pool's own
-                machinery) and lib/obs/* (the sharded metrics registry
+                only its own slot), or any binding inside the audited
+                modules: lib/par/pool.ml (the pool's own machinery),
+                lib/par/deque.ml (the Chase–Lev deque: top/bottom
+                indices, the buffer reference and every element slot
+                are Atomics; the owner-only fields are partitioned by
+                executor) and lib/obs/* (the sharded metrics registry
                 — per-domain DLS shards on an Atomic CAS list, plain
                 writes aggregated only at snapshot time — and the
                 trace ring refs, made domain-safe in PR 4, sharded in
@@ -49,7 +52,10 @@ let cls_name = function
    mutable state may live without an R7 report. *)
 let audited path =
   Rules.has_dir path "lib/obs"
-  || (Rules.has_dir path "lib/par" && Filename.basename path = "pool.ml")
+  || Rules.has_dir path "lib/par"
+     && (match Filename.basename path with
+        | "pool.ml" | "deque.ml" -> true
+        | _ -> false)
 
 let mutable_makers =
   [

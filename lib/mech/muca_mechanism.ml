@@ -18,8 +18,8 @@ let model algo =
     winners = winners algo;
   }
 
-let payments ?rel_tol ?pool algo auction =
-  Single_param.payments ?rel_tol ?pool (model algo) auction
+let payments ?rel_tol ?warm ?pool algo auction =
+  Single_param.payments ?rel_tol ?warm ?pool (model algo) auction
 
 let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
 

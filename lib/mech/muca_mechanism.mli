@@ -9,10 +9,11 @@ val winners : algo -> Ufp_auction.Auction.t -> bool array
 val model : algo -> Ufp_auction.Auction.t Single_param.model
 
 val payments :
-  ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  ?rel_tol:float -> ?warm:Single_param.warm -> ?pool:Ufp_par.Pool.choice ->
   algo -> Ufp_auction.Auction.t -> float array
 (** Critical-value payments; [pool] fans the per-winner bisections out
-    across domains with bitwise-identical results (see
+    across domains with bitwise-identical results; [warm] (default
+    [`Declared]) seeds each winner's bisection bracket (see
     {!Single_param.payments}). *)
 
 val utility :

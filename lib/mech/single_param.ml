@@ -5,6 +5,8 @@ module Pool = Ufp_par.Pool
 
 let m_probes = Metrics.counter "mech.payment_probes"
 
+let m_warm_hits = Metrics.counter "mech.warm_start_hits"
+
 let h_probes_per_winner = Metrics.histogram "mech.probes_per_winner"
 
 type 'inst model = {
@@ -16,6 +18,8 @@ type 'inst model = {
 
 let is_winner model inst agent = (model.winners inst).(agent)
 
+type warm = [ `Cold | `Declared | `Hinted of int -> float ]
+
 let default_v_hi model inst =
   let n = model.n_agents inst in
   let total = ref 0.0 in
@@ -24,7 +28,8 @@ let default_v_hi model inst =
   done;
   4.0 *. Float.max !total 1.0
 
-let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agent =
+let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol)
+    ?(known_winner = false) ?lo_hint model inst ~agent =
   Trace.with_span "mech.critical_value" @@ fun () ->
   let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
   let probes = ref 0 in
@@ -33,9 +38,24 @@ let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agen
     Metrics.incr m_probes;
     is_winner model (model.set_value inst agent v) agent
   in
+  (* Warm start, upper end: a caller that already knows this agent wins
+     at its declaration (the winner array of the forward solve) has
+     certified [wins declared] — [set_value] to the declaration itself
+     rebuilds a field-equal instance and the allocation is
+     deterministic — so by monotonicity the critical value lies in
+     [0, declared] and the [wins v_hi] ceiling probe carries no
+     information. The warm bracket is tighter by the factor
+     [v_hi / declared] (>= 4n on uniform values), which the bisection
+     converts into probes saved. *)
+  let start =
+    if known_winner then Some (Float.min v_hi (model.get_value inst agent))
+    else if wins v_hi then Some v_hi
+    else None
+  in
   let result =
-    if not (wins v_hi) then None
-    else begin
+    match start with
+    | None -> None
+    | Some hi0 ->
       (* Invariant: wins hi, loses lo (or lo = 0, an open bound since
          declarations must be positive). Convergence is measured
          against the current upper bound [!hi], not the starting
@@ -46,18 +66,27 @@ let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol) model inst ~agen
          above, so [rel_tol * max 1.0 !hi] is a tolerance relative to
          the answer (floored at absolute [rel_tol] for sub-unit
          critical values). *)
-      let lo = ref 0.0 and hi = ref v_hi in
+      let lo = ref 0.0 and hi = ref hi0 in
+      (* Warm start, lower end: an acceptance-threshold hint from the
+         forward solve is a guess, not a certificate (duals kept
+         moving after the selection), so spend one probe validating
+         it: whichever way the probe lands, the hint tightens one side
+         of the bracket and the invariant is preserved. *)
+      (match lo_hint with
+      | Some h when h > !lo && h < !hi ->
+        if h > 0.0 && wins h then hi := h else lo := h
+      | _ -> ());
+      if known_winner || Option.is_some lo_hint then Metrics.incr m_warm_hits;
       while !hi -. !lo > rel_tol *. Float.max 1.0 !hi do
         let mid = 0.5 *. (!lo +. !hi) in
         if mid > 0.0 && wins mid then hi := mid else lo := mid
       done;
       Some !hi
-    end
   in
   Metrics.observe h_probes_per_winner (float_of_int !probes);
   result
 
-let payments ?v_hi ?rel_tol ?(pool = `Seq) model inst =
+let payments ?v_hi ?rel_tol ?(warm = `Declared) ?(pool = `Seq) model inst =
   let winners = model.winners inst in
   (* Hoist the probe ceiling out of the per-winner loop: [default_v_hi]
      sums every declaration, so leaving it to [critical_value] would
@@ -65,10 +94,25 @@ let payments ?v_hi ?rel_tol ?(pool = `Seq) model inst =
      agents win. One value for all agents is also what makes the
      per-agent probes independent, hence safe to fan out. *)
   let v_hi = match v_hi with Some v -> v | None -> default_v_hi model inst in
+  (* [winners.(i)] certifies [known_winner] for every warm mode except
+     [`Cold]; [`Hinted] additionally seeds the bracket's lower end
+     from the caller's per-agent acceptance threshold. Warm payments
+     agree with cold ones within the bisection tolerance but not
+     bitwise (different midpoint sequences) — the warm-vs-cold QCheck
+     law in test/test_mech.ml pins the tolerance bound. *)
+  let known_winner, lo_hint =
+    match warm with
+    | `Cold -> (false, fun _ -> None)
+    | `Declared -> (true, fun _ -> None)
+    | `Hinted h -> (true, fun i -> Some (h i))
+  in
   let payment_of i =
     if not winners.(i) then 0.0
     else
-      match critical_value ~v_hi ?rel_tol model inst ~agent:i with
+      match
+        critical_value ~v_hi ?rel_tol ~known_winner ?lo_hint:(lo_hint i) model
+          inst ~agent:i
+      with
       | Some c -> Float.min c (model.get_value inst i)
       | None ->
         (* Cannot happen for a monotone rule: the agent wins at its

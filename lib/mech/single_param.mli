@@ -26,9 +26,22 @@ val default_v_hi : 'inst model -> 'inst -> float
     agent outbidding it. Exposed so batch callers can compute it once
     per instance instead of once per probe. *)
 
+type warm = [ `Cold | `Declared | `Hinted of int -> float ]
+(** How {!payments} seeds each winner's bisection bracket.
+    [`Cold]: probe the [v_hi] ceiling first, bisect [0, v_hi] — the
+    pre-warm-start behaviour, kept as the reference for the
+    warm-vs-cold law. [`Declared]: the winner array already certifies
+    the agent wins at its declaration, so skip the ceiling probe and
+    bisect [0, declared]. [`Hinted h]: additionally spend one probe
+    validating the acceptance threshold [h i] recorded during the
+    forward solve, tightening whichever side of the bracket the probe
+    lands on. Warm payments agree with cold ones within the bisection
+    tolerance, not bitwise (the bisections visit different midpoints);
+    see docs/PARALLELISM.md, "Warm-started brackets". *)
+
 val critical_value :
-  ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst -> agent:int ->
-  float option
+  ?v_hi:float -> ?rel_tol:float -> ?known_winner:bool -> ?lo_hint:float ->
+  'inst model -> 'inst -> agent:int -> float option
 (** [critical_value model inst ~agent] is [Some c] with [c] the
     critical value of [agent], or [None] when the agent loses even
     when declaring [v_hi] (default {!default_v_hi}). The bisection
@@ -37,22 +50,35 @@ val critical_value :
     absolute [rel_tol] below 1.0) — accuracy does not degrade as
     [v_hi] grows with instance size. Requires the allocation to be
     value-monotone for this agent; on a non-monotone rule the result
-    is meaningless. *)
+    is meaningless.
+
+    [known_winner] (default [false]) asserts the caller has already
+    observed the agent winning at its declaration in [inst]; the
+    ceiling probe is skipped and the bracket starts at
+    [0, min v_hi declared]. Passing [true] for an agent that does not
+    win at its declaration breaks the bisection invariant — only hand
+    it a winner. [lo_hint] seeds the bracket's other end from a guess
+    (e.g. a forward-solve acceptance threshold): one validating probe
+    decides which side of the bracket it tightens, so an arbitrarily
+    bad hint costs one probe and never hurts correctness. *)
 
 val payments :
-  ?v_hi:float -> ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  ?v_hi:float -> ?rel_tol:float -> ?warm:warm -> ?pool:Ufp_par.Pool.choice ->
   'inst model -> 'inst -> float array
 (** Critical-value payment for every winner, [0.] for losers — the
     truthful mechanism of Theorem 2.3. A winner whose critical value
     exceeds its declaration (possible only through bisection
-    tolerance) is charged its declaration.
+    tolerance) is charged its declaration. [warm] (default
+    [`Declared]) seeds each winner's bracket — see {!warm}; the
+    winner array computed here is what certifies [`Declared].
 
     [pool] fans the per-winner bisections out across domains
     ([`Seq], the default, keeps everything on the calling domain).
-    The result is bitwise identical either way: each agent's probes
-    run on a private [set_value] copy of the instance, so parallelism
-    reorders only whole agents, never the float operations inside
-    one — see docs/PARALLELISM.md and the laws in test/test_mech.ml. *)
+    The result is bitwise identical either way {e at any fixed warm
+    mode}: each agent's probes run on a private [set_value] copy of
+    the instance, so parallelism reorders only whole agents, never
+    the float operations inside one — see docs/PARALLELISM.md and the
+    laws in test/test_mech.ml. *)
 
 val utility :
   ?v_hi:float -> ?rel_tol:float -> 'inst model -> 'inst ->

@@ -20,11 +20,25 @@ val model : algo -> Ufp_instance.Instance.t Single_param.model
 (** The {!Single_param} view of the value coordinate. *)
 
 val payments :
-  ?rel_tol:float -> ?pool:Ufp_par.Pool.choice ->
+  ?rel_tol:float -> ?warm:Single_param.warm -> ?pool:Ufp_par.Pool.choice ->
   algo -> Ufp_instance.Instance.t -> float array
 (** Critical-value payments at the declared demands. [pool] fans the
     per-winner bisections out across domains with bitwise-identical
-    results (see {!Single_param.payments}). *)
+    results; [warm] (default [`Declared]) seeds each winner's
+    bisection bracket (see {!Single_param.payments}). *)
+
+val acceptance_thresholds :
+  Ufp_instance.Instance.t -> Ufp_core.Bounded_ufp.run -> float array
+(** [acceptance_thresholds inst run]: per-request warm-start hints for
+    [payments ~warm:(`Hinted ...)], derived from the forward solve's
+    trace. Slot [i] holds [v_i * alpha_i] — the declared value at
+    which request [i] would have sat exactly on the acceptance
+    boundary at its selection iteration ([alpha] is the normalised
+    length [(d/v)|p|], so the product is declaration-independent) —
+    or [0.] for requests the solve never routed. The hints are
+    heuristic: {!Single_param.critical_value} validates each with one
+    probe, so a stale hint costs one probe and never affects the
+    payment beyond bisection tolerance. *)
 
 val utility :
   ?v_hi:float -> ?rel_tol:float -> algo -> Ufp_instance.Instance.t ->

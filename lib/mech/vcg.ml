@@ -54,6 +54,25 @@ let ufp ?max_paths_per_request ?(pool = `Seq) inst =
     winners;
   { allocation; payments; welfare }
 
+(* The critical-value cross-check: the same exact allocation rule,
+   paid by bisection instead of the Clarke pivot. For single-parameter
+   agents under an exact welfare maximiser the two coincide (the
+   Clarke pivot IS the infimum winning declaration), which makes this
+   the independent oracle the VCG regression tests diff against.
+   [default_v_hi] is hoisted out of the per-winner loop here exactly
+   as [Single_param.payments] hoists it internally — the ceiling sums
+   every declaration, so recomputing it per winner would be an
+   accidental O(n^2), and the PR 4 large-value fix (answer-relative
+   convergence) only bites when the hoisted ceiling is actually shared
+   across winners of very different magnitudes. *)
+let critical_payments ?max_paths_per_request ?rel_tol ?warm ?(pool = `Seq) inst
+    =
+  let model =
+    Ufp_mechanism.model (fun i -> Exact.solve ?max_paths_per_request i)
+  in
+  let v_hi = Single_param.default_v_hi model inst in
+  Single_param.payments ~v_hi ?rel_tol ?warm ~pool model inst
+
 type muca_outcome = {
   muca_allocation : Auction.Allocation.t;
   muca_payments : float array;

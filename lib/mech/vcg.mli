@@ -30,6 +30,17 @@ val ufp :
     sequential order. Each counterfactual bumps the
     [mech.vcg_counterfactuals] counter. *)
 
+val critical_payments :
+  ?max_paths_per_request:int -> ?rel_tol:float -> ?warm:Single_param.warm ->
+  ?pool:Ufp_par.Pool.choice -> Ufp_instance.Instance.t -> float array
+(** Critical-value payments under the {e exact} allocation rule, with
+    the bisection ceiling ({!Single_param.default_v_hi}) hoisted once
+    for all winners. For single-parameter agents and an exact welfare
+    maximiser these coincide with the Clarke pivots of {!ufp} up to
+    bisection tolerance — the regression tests diff the two, including
+    at large declared values where a per-winner ceiling would lose
+    accuracy (the PR 4 fix). *)
+
 type muca_outcome = {
   muca_allocation : Ufp_auction.Auction.Allocation.t;
   muca_payments : float array;

@@ -1,0 +1,121 @@
+(* Chase–Lev work-stealing deque, dynamic circular array variant
+   (Chase & Lev, SPAA'05), on OCaml 5 sequentially consistent
+   Atomics.
+
+   Indexing: [top] and [bottom] are monotonically increasing virtual
+   indices; the live elements are [top .. bottom - 1], stored in a
+   power-of-two circular buffer at [i land mask]. The owner writes at
+   [bottom] (push) and takes back from [bottom - 1] (pop); thieves
+   CAS [top] forward. Every slot is itself an [Atomic], so the
+   thief's slot read and the owner's slot write are never a plain
+   data race; a stale slot read is harmless because the subsequent
+   CAS on [top] validates that the index had not been consumed —
+   only the CAS winner may use the value.
+
+   Growth: owner-only. A doubled buffer is filled by copying the
+   live window and published with one [Atomic.set]. Thieves that
+   still hold the old buffer read old slots, which growth never
+   clears, so their value-then-CAS protocol stays valid.
+
+   Why the last-element dance in [pop]: when exactly one element
+   remains, the owner and a thief both want index [top]. The owner
+   first publishes [bottom := b] (making the deque look empty to new
+   thieves), then races for the element with the same CAS a thief
+   uses. Whoever moves [top] from [t] to [t + 1] owns index [t];
+   the loser sees the CAS fail and reports empty. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;  (* length is a power of 2 *)
+}
+
+let slot buf i = buf.(i land (Array.length buf - 1))
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let make_buf cap = Array.init cap (fun _ -> Atomic.make None)
+
+let create ?(capacity = 64) () =
+  let cap = pow2 (Int.max 2 capacity) 2 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buf cap);
+  }
+
+let size q =
+  (* Read bottom first: a concurrent steal between the two reads can
+     only raise top, shrinking the estimate, never making it exceed
+     the true size. Clamp at 0 for the owner-pop transient. *)
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  Int.max 0 (b - t)
+
+let is_empty q = size q = 0
+
+let grow q buf t b =
+  let nbuf = make_buf (2 * Array.length buf) in
+  for i = t to b - 1 do
+    Atomic.set (slot nbuf i) (Atomic.get (slot buf i))
+  done;
+  Atomic.set q.buf nbuf;
+  nbuf
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t >= Array.length buf then grow q buf t b else buf in
+  Atomic.set (slot buf b) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty; undo the decrement. *)
+    Atomic.set q.bottom (b + 1);
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = Atomic.get (slot buf b) in
+    if b > t then begin
+      (* More than one element: index [b] is unreachable by thieves
+         (they stop at the published bottom), so no race. *)
+      Atomic.set (slot buf b) None;
+      x
+    end
+    else begin
+      (* Last element: race thieves for index [t = b]. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (b + 1);
+      if won then begin
+        Atomic.set (slot buf b) None;
+        x
+      end
+      else None
+    end
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then Empty
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = Atomic.get (slot buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match x with
+      | Some v -> Stolen v
+      | None ->
+        (* Unreachable: a slot in the live window [t, b) read before
+           a winning CAS on [t] was necessarily published by the
+           owner's push of index [t]. *)
+        assert false
+    else Retry
+  end

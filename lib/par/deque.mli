@@ -1,0 +1,56 @@
+(** A Chase–Lev work-stealing deque (dynamic circular array variant).
+
+    One {e owner} domain pushes and pops at the bottom end (LIFO, so
+    the owner works on the most recently split — cache-hot — range),
+    while any number of {e thief} domains steal from the top end
+    (FIFO, so thieves take the oldest — largest — outstanding range).
+    All cross-domain coordination goes through [Atomic] cells
+    (sequentially consistent in OCaml 5), including the element slots
+    themselves, so no plain-field data race is involved anywhere.
+
+    This module only provides the data structure; the scheduling
+    policy (victim selection, backoff, sleeping) lives in {!Pool}.
+    Like the rest of [lib/par] it is an audited concurrency module:
+    lint rule R6 confines [Domain]/[Mutex] primitives here, and the
+    R7 mutable-state classifier treats its cells as Guarded (see
+    [lib/lint/mutstate.ml] and docs/LINTING.md). *)
+
+type 'a t
+(** A deque owned by one domain. The owner may call any operation;
+    other domains may only call {!steal}, {!size} and {!is_empty}. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque. [capacity] (default [64],
+    rounded up to a power of two, minimum [2]) sizes the initial
+    circular buffer; the owner grows it transparently on overflow, so
+    the capacity is a hint, not a limit. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push onto the bottom end. Never blocks; grows the
+    buffer when full (old buffers stay valid for concurrent thieves —
+    growth copies, it never clears). *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop the most recently pushed element (LIFO). [None]
+    when the deque is empty or a thief won the race for the last
+    element. *)
+
+type 'a steal_result =
+  | Stolen of 'a  (** the oldest element, delivered exactly once *)
+  | Empty  (** nothing outstanding at the time of the scan *)
+  | Retry
+      (** lost a race with the owner or another thief; the deque may
+          still be non-empty, try again *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain: take the oldest element (FIFO end). A successful
+    [compare_and_set] on the top index is what makes delivery
+    exactly-once — at most one of the racing consumers (thieves, or
+    the owner popping the last element) wins each index. *)
+
+val size : 'a t -> int
+(** Racy size estimate ([bottom - top] read non-atomically as a
+    pair); exact when no operation is concurrent. Never negative. *)
+
+val is_empty : 'a t -> bool
+(** [size q = 0]; same coherence caveat as {!size}. *)

@@ -1,30 +1,52 @@
-(* The one audited concurrency module (lint rule R6): a fixed-size
-   domain pool with a chunked index-range work queue.
+(* The audited concurrency layer (lint rule R6): a fixed-size domain
+   pool scheduling index-range jobs by work stealing.
 
-   Shape of a job: executors (the caller plus every worker) claim
-   [chunk]-sized index ranges from a single Atomic cursor until the
-   range is exhausted. Completion is tracked by a second Atomic
-   counting finished indices; the last executor to finish wakes the
-   caller. Between jobs the workers sleep on [work_ready], keyed by a
+   Shape of a job: the submitting caller seeds the full range
+   [0 .. n-1] on its own Chase–Lev deque ({!Deque}); every executor
+   (the caller plus each worker) repeatedly pops a range from its own
+   deque, splits it in half until it is at most [grain] wide (pushing
+   the upper half back for thieves), and runs the leaf. An executor
+   whose own deque is empty steals the oldest range from a randomly
+   chosen victim, backing off exponentially through [Domain.cpu_relax]
+   and finally parking on [work_ready] (the sleepers protocol below).
+   Completion is tracked by an Atomic counting finished indices; the
+   executor that finishes the last index wakes everyone.
+
+   Between jobs the workers sleep on [work_ready], keyed by a
    monotonically increasing epoch — a worker that sleeps through two
    quick jobs is fine, because a job only finishes once every index
    completed, so a missed epoch is by definition a job that needed no
-   help. *)
+   help.
+
+   The sleepers protocol (no lost wake-ups): a parking thief takes the
+   pool lock, increments [sleepers], and only then re-scans every
+   deque and the completion counter before waiting. A pusher makes its
+   push SC-visible first and reads [sleepers] second; the parker
+   increments [sleepers] first and scans second. In the SC total order
+   either the parker's scan sees the push, or the push precedes the
+   pusher's [sleepers] read which then sees the parker's increment —
+   so the pusher broadcasts, and it broadcasts under the lock the
+   parker has held since before deciding to wait, so the signal cannot
+   fire in the gap before the wait begins. *)
 
 module Metrics = Ufp_obs.Metrics
 
 (* Pool telemetry rides the sharded registry it feeds: submissions
-   count on the submitting domain, chunk claims on whichever executor
-   won the CAS. Totals are exact once [run] returns (the job's
-   completion Atomic synchronizes executors with the caller). *)
+   count on the submitting domain, executed leaf ranges on whichever
+   executor ran them, steals on the thief. Totals are exact once [run]
+   returns (the job's completion Atomic synchronizes executors with
+   the caller). *)
 let m_jobs = Metrics.counter "pool.jobs"
 let m_chunks = Metrics.counter "pool.chunks"
+let m_steals = Metrics.counter "pool.steals"
+let m_steal_failures = Metrics.counter "pool.steal_failures"
 
 type job = {
   j_n : int;
-  j_chunk : int;
+  j_grain : int;
   j_f : int -> unit;
-  j_next : int Atomic.t;  (* next unclaimed index *)
+  j_static : bool;  (* true = legacy fixed-chunk cursor scheduling *)
+  j_next : int Atomic.t;  (* static mode only: next unclaimed index *)
   j_completed : int Atomic.t;  (* indices finished or skipped *)
   j_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
@@ -32,6 +54,9 @@ type job = {
 type t = {
   size : int;
   mutable workers : unit Domain.t array;
+  deques : int Deque.t array;  (* deques.(e): executor e's own deque *)
+  rng : int array;  (* xorshift state, slot e * rng_stride, owner-only *)
+  sleepers : int Atomic.t;  (* thieves parked on work_ready mid-job *)
   lock : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -42,16 +67,162 @@ type t = {
 
 let size pool = pool.size
 
-(* Drain the job's index range. Run by every executor concurrently;
-   once an exception is published the remaining chunks are claimed but
-   skipped (they still count as completed so the caller can return and
-   re-raise). *)
-let execute pool job =
+(* Ranges travel through the deques as single immediates:
+   [lo lsl 31 lor hi]. 31 bits bound [n] at 2^31 - 1 indices while
+   keeping the encoding allocation-free on 63-bit ints. *)
+let range_bits = 31
+let max_n = (1 lsl range_bits) - 1
+let enc lo hi = (lo lsl range_bits) lor hi
+let dec r = (r lsr range_bits, r land max_n)
+
+(* Per-executor xorshift for victim selection: R8 forbids the global
+   [Random] state in anything a pool closure can reach, and the
+   scheduler itself should meet the bar it enforces. One cache line
+   per executor (the stride) so owners never false-share. *)
+let rng_stride = 8
+
+let rand_bits pool me =
+  let i = me * rng_stride in
+  let s = pool.rng.(i) in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  let s = s land max_int in
+  pool.rng.(i) <- (if s = 0 then (me + 1) * 0x9E3779B9 else s);
+  s
+
+(* Count [k] indices as done; the executor completing the last index
+   wakes the caller ([work_done]) and any parked thieves
+   ([work_ready]) so nobody outlives the job. *)
+let finish pool job k =
+  let finished = Atomic.fetch_and_add job.j_completed k + k in
+  if finished = job.j_n then begin
+    (* Taking the lock orders this wake-up after the caller's
+       check-then-wait, so the signal cannot be lost. *)
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.work_done;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock
+  end
+
+let wake_if_sleepers pool =
+  if Atomic.get pool.sleepers > 0 then begin
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock
+  end
+
+(* Run one leaf range. The first exception is published by CAS; once
+   one is pending the remaining ranges are skipped (they still count
+   as completed so the caller can return and re-raise). *)
+let run_leaf pool job lo hi =
+  Metrics.incr m_chunks;
+  (if Atomic.get job.j_exn = None then
+     try
+       for i = lo to hi - 1 do
+         job.j_f i
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set job.j_exn None (Some (e, bt))));
+  finish pool job (hi - lo)
+
+(* Lazy binary splitting: keep the lower half hot on this executor,
+   expose the upper half to thieves. Ranges at most [grain] wide run
+   as leaves; once an exception is pending whole ranges are skipped
+   without splitting. *)
+let rec process pool job me lo hi =
+  if Atomic.get job.j_exn <> None then finish pool job (hi - lo)
+  else if hi - lo <= job.j_grain then run_leaf pool job lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    Deque.push pool.deques.(me) (enc mid hi);
+    wake_if_sleepers pool;
+    process pool job me lo mid
+  end
+
+(* One sweep over the other executors' deques in random rotation.
+   [`Got r] on the first successful steal; [`Retry] if any victim was
+   contended (someone is making progress — spin, don't park);
+   [`Empty] only when every victim's deque scanned empty. *)
+let steal_round pool me =
+  let k = pool.size in
+  let start = rand_bits pool me mod k in
+  let result = ref `Empty in
+  let off = ref 0 in
+  while !off < k && not (match !result with `Got _ -> true | _ -> false) do
+    let v = (start + !off) mod k in
+    (if v <> me then
+       match Deque.steal pool.deques.(v) with
+       | Deque.Stolen r -> result := `Got r
+       | Deque.Retry -> result := `Retry
+       | Deque.Empty -> ());
+    incr off
+  done;
+  !result
+
+(* How many failed steal sweeps before a thief parks: the backoff
+   ladder doubles cpu_relax spins per rung, so the total pre-park spin
+   is ~2^park_after relaxations. *)
+let park_after = 10
+
+let rec ws_loop pool job me backoff =
+  if Atomic.get job.j_completed >= job.j_n then ()
+  else
+    match Deque.pop pool.deques.(me) with
+    | Some r ->
+      let lo, hi = dec r in
+      process pool job me lo hi;
+      ws_loop pool job me 0
+    | None -> (
+      match steal_round pool me with
+      | `Got r ->
+        Metrics.incr m_steals;
+        let lo, hi = dec r in
+        process pool job me lo hi;
+        ws_loop pool job me 0
+      | `Retry ->
+        Domain.cpu_relax ();
+        ws_loop pool job me backoff
+      | `Empty ->
+        Metrics.incr m_steal_failures;
+        if backoff < park_after then begin
+          for _ = 1 to 1 lsl backoff do
+            Domain.cpu_relax ()
+          done;
+          ws_loop pool job me (backoff + 1)
+        end
+        else begin
+          (* Sleepers protocol: increment BEFORE the final scan, both
+             under the lock — see the header comment for why this
+             cannot lose a wake-up. *)
+          Mutex.lock pool.lock;
+          Atomic.incr pool.sleepers;
+          let work_visible =
+            Atomic.get job.j_completed >= job.j_n
+            ||
+            let any = ref false in
+            for e = 0 to pool.size - 1 do
+              if e <> me && not (Deque.is_empty pool.deques.(e)) then
+                any := true
+            done;
+            !any
+          in
+          if not work_visible then Condition.wait pool.work_ready pool.lock;
+          Atomic.decr pool.sleepers;
+          Mutex.unlock pool.lock;
+          ws_loop pool job me 0
+        end)
+
+(* Legacy fixed-chunk scheduling, kept as the bench baseline for the
+   skewed-probe pathology (one Atomic cursor hands out fixed chunks;
+   an expensive index strands the rest of its chunk on one executor). *)
+let static_loop pool job =
   let n = job.j_n in
   let rec claim () =
-    let lo = Atomic.fetch_and_add job.j_next job.j_chunk in
+    let lo = Atomic.fetch_and_add job.j_next job.j_grain in
     if lo < n then begin
-      let hi = Int.min n (lo + job.j_chunk) in
+      let hi = Int.min n (lo + job.j_grain) in
       Metrics.incr m_chunks;
       (if Atomic.get job.j_exn = None then
          try
@@ -61,20 +232,16 @@ let execute pool job =
          with e ->
            let bt = Printexc.get_raw_backtrace () in
            ignore (Atomic.compare_and_set job.j_exn None (Some (e, bt))));
-      let finished = Atomic.fetch_and_add job.j_completed (hi - lo) + (hi - lo) in
-      if finished = n then begin
-        (* Taking the lock orders this wake-up after the caller's
-           check-then-wait, so the signal cannot be lost. *)
-        Mutex.lock pool.lock;
-        Condition.broadcast pool.work_done;
-        Mutex.unlock pool.lock
-      end;
+      finish pool job (hi - lo);
       claim ()
     end
   in
   claim ()
 
-let rec worker_loop pool seen_epoch =
+let execute_job pool job me =
+  if job.j_static then static_loop pool job else ws_loop pool job me 0
+
+let rec worker_loop pool me seen_epoch =
   Mutex.lock pool.lock;
   while (not pool.stopped) && pool.epoch = seen_epoch do
     Condition.wait pool.work_ready pool.lock
@@ -84,8 +251,8 @@ let rec worker_loop pool seen_epoch =
   let job = pool.current in
   Mutex.unlock pool.lock;
   if not stopped then begin
-    (match job with Some j -> execute pool j | None -> ());
-    worker_loop pool epoch
+    (match job with Some j -> execute_job pool j me | None -> ());
+    worker_loop pool me epoch
   end
 
 let create ?domains () =
@@ -100,6 +267,9 @@ let create ?domains () =
     {
       size;
       workers = [||];
+      deques = Array.init size (fun _ -> Deque.create ());
+      rng = Array.init (size * rng_stride) (fun i -> (i + 1) * 0x9E3779B9);
+      sleepers = Atomic.make 0;
       lock = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -109,13 +279,13 @@ let create ?domains () =
     }
   in
   pool.workers <-
-    Array.init (size - 1) (fun _ ->
+    Array.init (size - 1) (fun me ->
         Domain.spawn (fun () ->
             (* Merge this worker's metrics shard into the registry
                now, so the one-time CAS push never lands inside a
                timed parallel region. *)
             Metrics.ensure_shard ();
-            worker_loop pool 0));
+            worker_loop pool me 0));
   pool
 
 let shutdown pool =
@@ -127,15 +297,18 @@ let shutdown pool =
   pool.workers <- [||];
   Array.iter Domain.join workers
 
-(* Submit one job and participate until every index completed. *)
-let run pool ~chunk ~n f =
+(* Submit one job and participate (as executor [size - 1]) until every
+   index completed. *)
+let run pool ~static ~grain ~n f =
   if n > 0 then begin
+    if n > max_n then invalid_arg "Ufp_par.Pool: n exceeds the 2^31-1 range bound";
     Metrics.incr m_jobs;
     let job =
       {
         j_n = n;
-        j_chunk = Int.max 1 chunk;
+        j_grain = Int.max 1 grain;
         j_f = f;
+        j_static = static;
         j_next = Atomic.make 0;
         j_completed = Atomic.make 0;
         j_exn = Atomic.make None;
@@ -150,7 +323,15 @@ let run pool ~chunk ~n f =
     pool.epoch <- pool.epoch + 1;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.lock;
-    execute pool job;
+    let me = pool.size - 1 in
+    if static then static_loop pool job
+    else begin
+      (* Seed the whole range through the splitter: the first halves
+         land on the caller's deque (waking parked thieves) while the
+         caller dives into the cache-hot lower half. *)
+      process pool job me 0 n;
+      ws_loop pool job me 0
+    end;
     Mutex.lock pool.lock;
     while Atomic.get job.j_completed < n do
       Condition.wait pool.work_done pool.lock
@@ -162,13 +343,28 @@ let run pool ~chunk ~n f =
     | None -> ()
   end
 
-let parallel_for ?(pool = `Seq) ?(chunk = 1) ~n f =
+let parallel_for_dynamic ?(pool = `Seq) ?(grain = 1) ~n f =
   match pool with
   | `Seq ->
     for i = 0 to n - 1 do
       f i
     done
-  | `Pool p -> run p ~chunk ~n f
+  | `Pool p -> run p ~static:false ~grain ~n f
+
+let parallel_for_static ?(pool = `Seq) ?(chunk = 1) ~n f =
+  match pool with
+  | `Seq ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | `Pool p -> run p ~static:true ~grain:chunk ~n f
+
+let parallel_for ?pool ?(chunk = 1) ~n f =
+  parallel_for_dynamic ?pool ~grain:chunk ~n f
+
+let submit ?pool tasks =
+  parallel_for_dynamic ?pool ~grain:1 ~n:(Array.length tasks) (fun i ->
+      tasks.(i) ())
 
 type choice = [ `Seq | `Pool of t ]
 

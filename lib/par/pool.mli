@@ -1,31 +1,39 @@
-(** A fixed-size domain pool for embarrassingly parallel index ranges.
+(** A fixed-size domain pool scheduling index ranges by work stealing.
 
-    This is the {e only} module in the repo allowed to spawn domains or
-    create locks (lint rule R6 keeps all other concurrency out); see
-    docs/PARALLELISM.md for the design and the determinism argument.
+    This and {!Deque} are the {e only} modules in the repo allowed to
+    spawn domains or create locks (lint rule R6 keeps all other
+    concurrency out); see docs/PARALLELISM.md for the design and the
+    determinism argument.
 
     The pool is built for the payment engine's workload: a few dozen to
     a few thousand {e independent, pure} tasks (critical-value
     bisections, VCG counterfactual solves), each heavy enough —
-    milliseconds to seconds — that scheduling overhead is irrelevant.
-    Workers are raw [Domain.spawn]ed threads that sleep on a condition
-    variable between jobs, so a pool is cheap to keep around and reuse
-    across calls; work is handed out as chunked index ranges claimed
-    from a single [Atomic] cursor, so an uneven task (one agent whose
-    bisection needs more probes) never stalls the others behind a
-    static partition.
+    milliseconds to seconds — that scheduling overhead is irrelevant,
+    and {e uneven} (a hub winner's counterfactual dwarfs a leaf
+    winner's). Workers are raw [Domain.spawn]ed threads that sleep on
+    a condition variable between jobs, so a pool is cheap to keep
+    around and reuse across calls. Within a job, each executor owns a
+    Chase–Lev deque ({!Deque}): it splits its range lazily in half
+    down to [grain], keeps the cache-hot lower half, and exposes the
+    upper half for thieves, which pick victims at random and back off
+    exponentially to a condition-variable sleep when everything is
+    empty — so an expensive index never strands the rest of the range
+    on one executor the way a fixed chunk would.
 
     {b Determinism contract}: [parallel_mapi ~pool ~n f] computes
     [f i] for each [i] exactly once and stores it at slot [i]. When
     every [f i] is pure (no shared mutable state except domain-safe
     {!Ufp_obs} instruments), the result is {e bitwise identical} to
-    [Array.init n f] — parallelism changes only the order in which
-    slots are filled, never the float operations inside a slot. The
-    payment laws in [test/test_mech.ml] enforce this end to end.
+    [Array.init n f] — scheduling (including steals) changes only the
+    order in which slots are filled, never the float operations inside
+    a slot. The payment laws in [test/test_mech.ml] enforce this end
+    to end.
 
     {b Telemetry}: the pool reports through the sharded {!Ufp_obs}
-    registry — [pool.jobs] counts submissions, [pool.chunks] claimed
-    index ranges — and each worker merges its metrics shard at spawn
+    registry — [pool.jobs] counts submissions, [pool.chunks] executed
+    leaf ranges, [pool.steals] successful steals, and
+    [pool.steal_failures] full sweeps that found every victim empty —
+    and each worker merges its metrics shard at spawn
     ([Metrics.ensure_shard]), keeping the one-time registration CAS
     out of timed regions. See docs/OBSERVABILITY.md. *)
 
@@ -53,16 +61,41 @@ val shutdown : t -> unit
     (jobs submitted after shutdown raise [Invalid_argument]). Safe to
     call with no job in flight only — i.e. not from inside [f]. *)
 
+val parallel_for_dynamic :
+  ?pool:choice -> ?grain:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for_dynamic ~pool ~n f] runs [f 0 .. f (n-1)], each
+    exactly once, under the work-stealing scheduler. Ranges are split
+    lazily in half down to [grain] indices (default 1 — right for
+    heavy, uneven tasks like payment probes); idle executors steal the
+    oldest (largest) outstanding range from a random victim. The call
+    returns when all [n] indices have completed. If any [f i] raises,
+    the first exception (by completion order) is re-raised in the
+    caller with its backtrace after in-flight ranges have drained;
+    ranges not yet started are skipped. With [`Seq] (the default) this
+    is a plain [for] loop. Raises [Invalid_argument] for
+    [n > 2^31 - 1] (the deque range encoding's bound). *)
+
 val parallel_for : ?pool:choice -> ?chunk:int -> n:int -> (int -> unit) -> unit
-(** [parallel_for ~pool ~n f] runs [f 0 .. f (n-1)], each exactly once.
-    With [`Pool p] the indices are claimed in chunks of [chunk]
-    (default 1 — right for heavy, uneven tasks like payment probes) by
-    [size p] executors including the caller; the call returns when all
-    [n] indices have completed. If any [f i] raises, the first
-    exception (by completion order) is re-raised in the caller with
-    its backtrace after all in-flight chunks have drained; remaining
-    unclaimed chunks are skipped. With [`Seq] (the default) this is a
-    plain [for] loop. *)
+(** [parallel_for ~pool ~chunk ~n f] is
+    [parallel_for_dynamic ~pool ~grain:chunk ~n f] — the historical
+    entry point, kept so every existing call site reads unchanged;
+    [chunk] now sets the leaf grain instead of a cursor claim size. *)
+
+val parallel_for_static :
+  ?pool:choice -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** The pre-work-stealing scheduler, kept as a measurable baseline:
+    executors claim fixed [chunk]-sized ranges from one shared Atomic
+    cursor, so a single expensive index strands the rest of its chunk
+    on whichever executor claimed it (the pathology the skewed-probe
+    row in [bench --json-pr9] pins). Same exactly-once, exception and
+    [`Seq] semantics as {!parallel_for_dynamic}. Not deprecated —
+    it is the honest comparison point, not an API for new call sites. *)
+
+val submit : ?pool:choice -> (unit -> unit) array -> unit
+(** [submit ~pool tasks] runs every thunk exactly once on the
+    work-stealing scheduler ([grain] 1) and returns when all have
+    completed; exceptions propagate as in {!parallel_for_dynamic}.
+    For heterogeneous task batches that are not an index range. *)
 
 val parallel_mapi : ?pool:choice -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
 (** [parallel_mapi ~pool ~n f] is [Array.init n f], fanned out like

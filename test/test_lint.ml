@@ -473,6 +473,8 @@ let test_audited_paths () =
     (Mutstate.audited "lib/obs/metrics.ml");
   Alcotest.(check bool) "pool.ml audited" true
     (Mutstate.audited "lib/par/pool.ml");
+  Alcotest.(check bool) "deque.ml audited" true
+    (Mutstate.audited "lib/par/deque.ml");
   Alcotest.(check bool) "rest of lib/par not audited" false
     (Mutstate.audited "lib/par/chunk.ml");
   Alcotest.(check bool) "lib/core not audited" false

@@ -450,6 +450,30 @@ let test_vcg_equals_critical_value () =
       (Solution.selected out.Vcg.allocation)
   done
 
+(* Companion to [test_critical_value_accuracy_large_instance] on the
+   hoisted VCG path (PR 9): a 5000-value request inflates the shared
+   [default_v_hi] ceiling to ~2e4, so any bisection tolerance that
+   scales with the ceiling (rather than the answer) or any drift in
+   the hoisted-v_hi plumbing shows up as a payment gap here. *)
+let test_vcg_payments_value_5000 () =
+  let inst = grid_instance ~capacity:3.0 ~count:5 63 in
+  let r = Instance.request inst 0 in
+  let inst =
+    Instance.with_request inst 0
+      (Request.with_type r ~demand:r.Request.demand ~value:5000.0)
+  in
+  let out = Vcg.ufp inst in
+  let winners = Solution.selected out.Vcg.allocation in
+  Alcotest.(check bool) "the 5000-value request wins" true
+    (List.mem 0 winners);
+  let cp = Vcg.critical_payments ~rel_tol:Float_tol.fine_rel_tol inst in
+  List.iter
+    (fun w ->
+      Alcotest.(check (float Float_tol.report_slack))
+        (Printf.sprintf "VCG = hoisted critical (agent %d)" w)
+        out.Vcg.payments.(w) cp.(w))
+    winners
+
 let test_vcg_muca () =
   let a =
     Auction.create ~multiplicities:[| 1; 1 |]
@@ -547,6 +571,87 @@ let qcheck_parallel_vcg_bitwise =
       let par = Vcg.ufp ~pool:(`Pool (Lazy.force law_pool)) inst in
       array_bitwise_equal seq.Vcg.payments par.Vcg.payments)
 
+(* Warm-started brackets (PR 9). Warm and cold bisections visit
+   different midpoints, so equality is within tolerance, not bitwise:
+   each side's estimate exceeds the true critical value by at most
+   [rel_tol * max 1.0 hi], so the two differ by at most twice that
+   (doubled again below for slop). The probe claim IS deterministic,
+   though: the warm bracket [0, declared] is at least 4x tighter than
+   the cold [0, 4 * total] and skips the ceiling probe, so any
+   instance with a winner must save probes. *)
+let warm_cold_agree inst seq_cold warm probes_cold probes_warm ~has_winner
+    ~label =
+  let tol p =
+    4.0 *. Float_tol.payment_rel_tol *. Float.max 1.0 (Float.abs p)
+  in
+  Array.iteri
+    (fun i c ->
+      if Float.abs (c -. warm.(i)) > tol c then
+        QCheck.Test.fail_reportf "%s: agent %d warm %.9g vs cold %.9g" label i
+          warm.(i) c)
+    seq_cold;
+  if has_winner && probes_warm >= probes_cold then
+    QCheck.Test.fail_reportf "%s: warm used %d probes, cold %d" label
+      probes_warm probes_cold;
+  ignore inst;
+  true
+
+let qcheck_warm_equals_cold_ufp =
+  QCheck.Test.make
+    ~name:"UFP payments: warm-started equals cold within tolerance" ~count:10
+    QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:10.0 ~count:8 (seed + 60) in
+      let cold, probes_cold =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~warm:`Cold algo inst)
+      in
+      let warm, probes_warm =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~warm:`Declared algo inst)
+      in
+      let has_winner = Array.exists (fun p -> p > 0.0) cold in
+      warm_cold_agree inst cold warm probes_cold probes_warm ~has_winner
+        ~label:"declared")
+
+let qcheck_warm_hinted_equals_cold_ufp =
+  QCheck.Test.make
+    ~name:"UFP payments: forward-solve hints equal cold within tolerance"
+    ~count:10 QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:10.0 ~count:8 (seed + 60) in
+      let run = Bounded_ufp.run ~eps:0.3 inst in
+      let hints = Ufp_mechanism.acceptance_thresholds inst run in
+      let cold, probes_cold =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~warm:`Cold algo inst)
+      in
+      let warm, probes_warm =
+        probes_during (fun () ->
+            Ufp_mechanism.payments
+              ~warm:(`Hinted (fun i -> hints.(i)))
+              algo inst)
+      in
+      let has_winner = Array.exists (fun p -> p > 0.0) cold in
+      warm_cold_agree inst cold warm probes_cold probes_warm ~has_winner
+        ~label:"hinted")
+
+(* The seq/par bitwise law must also hold on the warm path: warm mode
+   changes which probes run, never which domain runs them. *)
+let qcheck_parallel_warm_bitwise_ufp =
+  QCheck.Test.make
+    ~name:"UFP payments: warm parallel bitwise equals warm sequential"
+    ~count:10 QCheck.small_int (fun seed ->
+      let inst = grid_instance ~capacity:10.0 ~count:8 (seed + 60) in
+      let seq, probes_seq =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~warm:`Declared algo inst)
+      in
+      let par, probes_par =
+        probes_during (fun () ->
+            Ufp_mechanism.payments ~warm:`Declared
+              ~pool:(`Pool (Lazy.force law_pool)) algo inst)
+      in
+      array_bitwise_equal seq par && probes_seq = probes_par)
+
 let qcheck_toy_truthful =
   QCheck.Test.make ~name:"second-price toy mechanism is truthful" ~count:100
     QCheck.(triple (float_range 0.1 10.0) (float_range 0.1 10.0)
@@ -622,6 +727,8 @@ let () =
           Alcotest.test_case "truthful spot check" `Quick test_vcg_truthful_spot_check;
           Alcotest.test_case "equals critical value" `Quick
             test_vcg_equals_critical_value;
+          Alcotest.test_case "payments at value 5000" `Quick
+            test_vcg_payments_value_5000;
           Alcotest.test_case "muca" `Quick test_vcg_muca;
         ] );
       ( "properties",
@@ -631,5 +738,8 @@ let () =
             qcheck_parallel_payments_bitwise_ufp;
             qcheck_parallel_payments_bitwise_muca;
             qcheck_parallel_vcg_bitwise;
+            qcheck_warm_equals_cold_ufp;
+            qcheck_warm_hinted_equals_cold_ufp;
+            qcheck_parallel_warm_bitwise_ufp;
           ] );
     ]

@@ -1,14 +1,17 @@
-(* Tests for Ufp_par.Pool: the fixed-size domain pool behind the
-   parallel payment engine.
+(* Tests for Ufp_par: the work-stealing domain pool behind the
+   parallel payment engine, and the Chase–Lev deque under it.
 
    Unit coverage: exactly-once index execution, parallel_mapi slot
-   placement, chunked claiming, pool reuse across jobs, worker-less
-   (size 1) pools, empty jobs, exception propagation with the pool
-   surviving, shutdown semantics, and the with_jobs/jobs_from_env
-   CLI conveniences.  The end-to-end bitwise payment laws live in
-   test_mech.ml. *)
+   placement, pool reuse across jobs, worker-less (size 1) pools,
+   empty jobs, exception propagation with the pool surviving,
+   shutdown semantics, the with_jobs/jobs_from_env CLI conveniences,
+   deque ordering (owner LIFO, thief FIFO) and a 3-domain
+   exactly-once hammer over [Pool.submit].  The end-to-end bitwise
+   payment laws live in test_mech.ml. *)
 
 module Pool = Ufp_par.Pool
+module Deque = Ufp_par.Deque
+module Metrics = Ufp_obs.Metrics
 
 (* Shared across cases: the tests exercise reuse anyway, and on a
    single-core host repeated spawn/join is the slow part. *)
@@ -152,6 +155,157 @@ let test_jobs_from_env () =
   Alcotest.(check int) "env/default honoured" expected
     (Pool.jobs_from_env ~default:7 ())
 
+(* --- the Chase–Lev deque --- *)
+
+let steal_testable =
+  let pp fmt = function
+    | Deque.Stolen v -> Format.fprintf fmt "Stolen %d" v
+    | Deque.Empty -> Format.fprintf fmt "Empty"
+    | Deque.Retry -> Format.fprintf fmt "Retry"
+  in
+  let eq a b =
+    match (a, b) with
+    | Deque.Stolen x, Deque.Stolen y -> x = y
+    | Deque.Empty, Deque.Empty | Deque.Retry, Deque.Retry -> true
+    | _ -> false
+  in
+  Alcotest.testable pp eq
+
+let test_deque_owner_lifo () =
+  let q = Deque.create () in
+  for i = 1 to 10 do
+    Deque.push q i
+  done;
+  Alcotest.(check int) "size" 10 (Deque.size q);
+  for i = 10 downto 1 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Deque.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Deque.pop q)
+
+let test_deque_steal_fifo () =
+  let q = Deque.create () in
+  for i = 1 to 10 do
+    Deque.push q i
+  done;
+  (* Steals consume the opposite (oldest) end, in push order. With no
+     concurrent consumer every steal must succeed — Retry only arises
+     from losing a race. *)
+  for i = 1 to 10 do
+    Alcotest.check steal_testable "steal order" (Deque.Stolen i) (Deque.steal q)
+  done;
+  Alcotest.check steal_testable "drained" Deque.Empty (Deque.steal q)
+
+let test_deque_empty_returns () =
+  let q : int Deque.t = Deque.create () in
+  Alcotest.(check (option int)) "pop on empty" None (Deque.pop q);
+  Alcotest.check steal_testable "steal on empty" Deque.Empty (Deque.steal q);
+  Alcotest.(check bool) "is_empty" true (Deque.is_empty q);
+  (* The last element goes to exactly one of the two ends. *)
+  Deque.push q 7;
+  Alcotest.check steal_testable "steal takes the single element"
+    (Deque.Stolen 7) (Deque.steal q);
+  Alcotest.(check (option int)) "pop then finds nothing" None (Deque.pop q);
+  Alcotest.check steal_testable "steal then finds nothing" Deque.Empty
+    (Deque.steal q)
+
+let test_deque_mixed_ends () =
+  let q = Deque.create () in
+  List.iter (Deque.push q) [ 1; 2; 3 ];
+  Alcotest.check steal_testable "oldest stolen" (Deque.Stolen 1) (Deque.steal q);
+  Alcotest.(check (option int)) "newest popped" (Some 3) (Deque.pop q);
+  Deque.push q 4;
+  Alcotest.check steal_testable "FIFO continues" (Deque.Stolen 2)
+    (Deque.steal q);
+  Alcotest.(check (option int)) "LIFO continues" (Some 4) (Deque.pop q);
+  Alcotest.(check (option int)) "drained" None (Deque.pop q)
+
+let test_deque_growth () =
+  (* Start at the minimum capacity and push two orders of magnitude
+     past it: the owner must grow transparently and preserve both
+     orders across the copies. *)
+  let q = Deque.create ~capacity:2 () in
+  for i = 0 to 299 do
+    Deque.push q i
+  done;
+  for i = 0 to 99 do
+    Alcotest.check steal_testable "front intact after growth"
+      (Deque.Stolen i) (Deque.steal q)
+  done;
+  for i = 299 downto 100 do
+    Alcotest.(check (option int)) "back intact after growth" (Some i)
+      (Deque.pop q)
+  done;
+  Alcotest.(check bool) "empty again" true (Deque.is_empty q)
+
+(* --- the work-stealing scheduler on a real pool --- *)
+
+let test_static_matches_init () =
+  (* The fixed-chunk baseline keeps the same exactly-once semantics. *)
+  let pool = `Pool (Lazy.force pool3) in
+  let n = 500 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_for_static ~pool ~chunk:7 ~n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h ->
+      if Atomic.get h <> 1 then
+        Alcotest.failf "static: index %d ran %d times" i (Atomic.get h))
+    hits
+
+let test_skewed_exactly_once () =
+  (* One index ~100x more expensive than the rest: the work-stealing
+     path must still run every index exactly once while thieves peel
+     the cheap tail off the loaded executor's deque. *)
+  let pool = `Pool (Lazy.force pool3) in
+  let n = 400 in
+  let sink = Atomic.make 0.0 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let spin rounds =
+    let acc = ref 0.0 in
+    for k = 1 to rounds do
+      acc := !acc +. sin (float_of_int k)
+    done;
+    !acc
+  in
+  Pool.parallel_for_dynamic ~pool ~grain:8 ~n (fun i ->
+      let cost = if i = 0 then 20_000 else 200 in
+      let v = spin cost in
+      Atomic.incr hits.(i);
+      (* Keep the float work observable so it cannot be dead-code
+         eliminated. *)
+      if v > 1e9 then Atomic.set sink v);
+  Array.iteri
+    (fun i h ->
+      if Atomic.get h <> 1 then
+        Alcotest.failf "skewed: index %d ran %d times" i (Atomic.get h))
+    hits
+
+(* The 3-domain QCheck hammer: every submitted thunk runs exactly
+   once, witnessed twice over — per-task Atomic slots, and the
+   domain-safe Ufp_obs counter the tasks hammer concurrently. *)
+let qcheck_submit_exactly_once =
+  QCheck.Test.make ~count:40 ~name:"submit runs every task exactly once"
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let c = Metrics.counter "test.par_submit" in
+      let before = Metrics.value c in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      let tasks =
+        Array.init n (fun i ->
+            fun () ->
+             Metrics.incr c;
+             Atomic.incr hits.(i))
+      in
+      Pool.submit ~pool:(`Pool (Lazy.force pool3)) tasks;
+      Array.iteri
+        (fun i h ->
+          if Atomic.get h <> 1 then
+            QCheck.Test.fail_reportf "task %d ran %d times" i (Atomic.get h))
+        hits;
+      if Metrics.value c - before <> n then
+        QCheck.Test.fail_reportf "counter says %d runs, wanted %d"
+          (Metrics.value c - before) n;
+      true)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "par"
@@ -169,6 +323,20 @@ let () =
           tc "exception propagates" `Quick test_exception_propagates;
           tc "sequential default" `Quick test_seq_default;
           tc "shutdown" `Quick test_shutdown_rejects_jobs;
+        ] );
+      ( "deque",
+        [
+          tc "owner pop is LIFO" `Quick test_deque_owner_lifo;
+          tc "steal is FIFO" `Quick test_deque_steal_fifo;
+          tc "empty returns" `Quick test_deque_empty_returns;
+          tc "mixed ends" `Quick test_deque_mixed_ends;
+          tc "growth preserves both orders" `Quick test_deque_growth;
+        ] );
+      ( "work-stealing",
+        [
+          tc "static baseline exactly once" `Quick test_static_matches_init;
+          tc "skewed workload exactly once" `Quick test_skewed_exactly_once;
+          QCheck_alcotest.to_alcotest qcheck_submit_exactly_once;
         ] );
       ( "conveniences",
         [
