@@ -46,9 +46,21 @@ let critical_value ?v_hi ?(rel_tol = Float_tol.payment_rel_tol)
      [0, declared] and the [wins v_hi] ceiling probe carries no
      information. The warm bracket is tighter by the factor
      [v_hi / declared] (>= 4n on uniform values), which the bisection
-     converts into probes saved. *)
+     converts into probes saved.
+
+     The bracket top is the declaration itself, NOT [min v_hi
+     declared]: the certificate lives at the declaration, and
+     monotonicity extends it upward only, so a caller-supplied [v_hi]
+     below the declaration certifies nothing. Capping there would
+     break the "wins hi" invariant silently — every probe loses, the
+     bisection converges onto [v_hi], and a winner whose critical
+     value lies in (v_hi, declared] gets undercharged, breaking
+     truthfulness. (Cold mode surfaces the same misuse loudly: the
+     ceiling probe fails and the result is [None].) The returned
+     critical value may therefore exceed a small custom [v_hi]; payment
+     callers already clamp at the declaration. *)
   let start =
-    if known_winner then Some (Float.min v_hi (model.get_value inst agent))
+    if known_winner then Some (model.get_value inst agent)
     else if wins v_hi then Some v_hi
     else None
   in

@@ -54,10 +54,15 @@ val critical_value :
 
     [known_winner] (default [false]) asserts the caller has already
     observed the agent winning at its declaration in [inst]; the
-    ceiling probe is skipped and the bracket starts at
-    [0, min v_hi declared]. Passing [true] for an agent that does not
-    win at its declaration breaks the bisection invariant — only hand
-    it a winner. [lo_hint] seeds the bracket's other end from a guess
+    ceiling probe is skipped and the bracket starts at [0, declared] —
+    the declaration, {e not} [min v_hi declared], because winning at
+    the declaration certifies winning only at values above it, so a
+    [v_hi] below the declaration certifies nothing and capping there
+    would silently converge onto [v_hi] and undercharge. The result
+    may therefore exceed a custom [v_hi]; {!payments} clamps at the
+    declaration. Passing [true] for an agent that does not win at its
+    declaration breaks the bisection invariant — only hand it a
+    winner. [lo_hint] seeds the bracket's other end from a guess
     (e.g. a forward-solve acceptance threshold): one validating probe
     decides which side of the bracket it tightens, so an arbitrarily
     bad hint costs one probe and never hurts correctness. *)
@@ -70,7 +75,11 @@ val payments :
     exceeds its declaration (possible only through bisection
     tolerance) is charged its declaration. [warm] (default
     [`Declared]) seeds each winner's bracket — see {!warm}; the
-    winner array computed here is what certifies [`Declared].
+    winner array computed here is what certifies [`Declared]. [v_hi]
+    is the probe ceiling for [`Cold] bisections (compute it once for
+    batch calls); under the warm modes each winner's bracket top is
+    its own declaration, so a [v_hi] below a declaration is ignored
+    rather than allowed to undercut the critical value.
 
     [pool] fans the per-winner bisections out across domains
     ([`Seq], the default, keeps everything on the calling domain).

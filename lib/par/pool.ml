@@ -27,7 +27,30 @@
    pusher's [sleepers] read which then sees the parker's increment —
    so the pusher broadcasts, and it broadcasts under the lock the
    parker has held since before deciding to wait, so the signal cannot
-   fire in the gap before the wait begins. *)
+   fire in the gap before the wait begins.
+
+   Quiescence (no cross-job steals): completion of the last index is
+   not enough for [run] to return. A worker that passed the top-of-loop
+   completion check can still be mid-[steal_round] when the counter
+   hits [n]; if the caller returned then and seeded the next job, that
+   stale sweep could steal a fresh range and run it under the OLD job's
+   closure and completion counter (the deques are pool-level and ranges
+   carry no job identity) — wrong closure, and the new job blocks
+   forever on indices it never gets credited for. So each job counts
+   its executors: a worker registers in [j_active] under the pool lock
+   (in [worker_loop], before it can touch a deque) and deregisters
+   after leaving [ws_loop]; [run] waits for completion AND
+   [j_active = 0] before returning. Once both hold, no domain other
+   than the caller can touch the deques until the next submission
+   bumps the epoch.
+
+   One job at a time: the deque indexed [size - 1] is owned by "the
+   submitting caller", so two overlapping [run]s (two domains, or a
+   task closure re-entering the pool) would both do owner-side
+   push/pop on one Chase–Lev deque — a single-owner contract
+   violation that loses or duplicates ranges. [run] therefore holds an
+   [in_run] flag for the duration of a job and raises
+   [Invalid_argument] on concurrent or nested submission. *)
 
 module Metrics = Ufp_obs.Metrics
 
@@ -48,6 +71,7 @@ type job = {
   j_static : bool;  (* true = legacy fixed-chunk cursor scheduling *)
   j_next : int Atomic.t;  (* static mode only: next unclaimed index *)
   j_completed : int Atomic.t;  (* indices finished or skipped *)
+  j_active : int Atomic.t;  (* workers inside execute_job (quiescence) *)
   j_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
@@ -57,6 +81,7 @@ type t = {
   deques : int Deque.t array;  (* deques.(e): executor e's own deque *)
   rng : int array;  (* xorshift state, slot e * rng_stride, owner-only *)
   sleepers : int Atomic.t;  (* thieves parked on work_ready mid-job *)
+  in_run : bool Atomic.t;  (* a job is in flight; submission is exclusive *)
   lock : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -68,9 +93,12 @@ type t = {
 let size pool = pool.size
 
 (* Ranges travel through the deques as single immediates:
-   [lo lsl 31 lor hi]. 31 bits bound [n] at 2^31 - 1 indices while
-   keeping the encoding allocation-free on 63-bit ints. *)
-let range_bits = 31
+   [lo lsl range_bits lor hi]. The width is derived from the platform
+   word so the packed pair always fits a native int — 31 bits per
+   bound on 63-bit ints (n up to 2^31 - 1), 15 on 31-bit ints — and
+   the [run] guard on [max_n] rejects anything wider, loudly, instead
+   of overflowing the shift. *)
+let range_bits = (Sys.int_size - 1) / 2
 let max_n = (1 lsl range_bits) - 1
 let enc lo hi = (lo lsl range_bits) lor hi
 let dec r = (r lsr range_bits, r land max_n)
@@ -248,10 +276,23 @@ let rec worker_loop pool me seen_epoch =
   done;
   let stopped = pool.stopped in
   let epoch = pool.epoch in
-  let job = pool.current in
+  let job = if stopped then None else pool.current in
+  (* Register as an executor BEFORE releasing the lock: [run] must not
+     observe completion + quiescence while this worker is about to
+     enter [ws_loop], or its stale sweep could race the next job's
+     seeding (see the header comment). *)
+  (match job with Some j -> Atomic.incr j.j_active | None -> ());
   Mutex.unlock pool.lock;
   if not stopped then begin
-    (match job with Some j -> execute_job pool j me | None -> ());
+    (match job with
+    | Some j ->
+      execute_job pool j me;
+      Mutex.lock pool.lock;
+      Atomic.decr j.j_active;
+      if Atomic.get j.j_active = 0 && Atomic.get j.j_completed >= j.j_n then
+        Condition.broadcast pool.work_done;
+      Mutex.unlock pool.lock
+    | None -> ());
     worker_loop pool me epoch
   end
 
@@ -270,6 +311,7 @@ let create ?domains () =
       deques = Array.init size (fun _ -> Deque.create ());
       rng = Array.init (size * rng_stride) (fun i -> (i + 1) * 0x9E3779B9);
       sleepers = Atomic.make 0;
+      in_run = Atomic.make false;
       lock = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -298,10 +340,18 @@ let shutdown pool =
   Array.iter Domain.join workers
 
 (* Submit one job and participate (as executor [size - 1]) until every
-   index completed. *)
+   index completed AND every worker that joined the job has left the
+   scheduler (quiescence — see the header comment). *)
 let run pool ~static ~grain ~n f =
   if n > 0 then begin
-    if n > max_n then invalid_arg "Ufp_par.Pool: n exceeds the 2^31-1 range bound";
+    if n > max_n then
+      invalid_arg
+        (Printf.sprintf "Ufp_par.Pool: n exceeds the %d-index range bound"
+           max_n);
+    if not (Atomic.compare_and_set pool.in_run false true) then
+      invalid_arg
+        "Ufp_par.Pool: concurrent or nested job submission on one pool";
+    Fun.protect ~finally:(fun () -> Atomic.set pool.in_run false) @@ fun () ->
     Metrics.incr m_jobs;
     let job =
       {
@@ -311,6 +361,7 @@ let run pool ~static ~grain ~n f =
         j_static = static;
         j_next = Atomic.make 0;
         j_completed = Atomic.make 0;
+        j_active = Atomic.make 0;
         j_exn = Atomic.make None;
       }
     in
@@ -333,7 +384,7 @@ let run pool ~static ~grain ~n f =
       ws_loop pool job me 0
     end;
     Mutex.lock pool.lock;
-    while Atomic.get job.j_completed < n do
+    while Atomic.get job.j_completed < n || Atomic.get job.j_active > 0 do
       Condition.wait pool.work_done pool.lock
     done;
     pool.current <- None;

@@ -40,7 +40,17 @@
 type t
 (** A running pool. Owns [size - 1] worker domains (the caller is the
     remaining executor); reusable across any number of jobs until
-    {!shutdown}. *)
+    {!shutdown}.
+
+    {b One job at a time}: a pool executes a single job per
+    submission, and the submitting call owns the caller-side deque for
+    its duration — submitting from two domains concurrently, or
+    re-entering the pool from inside a task closure ([f] calling
+    [parallel_for] on the same pool), raises [Invalid_argument]
+    instead of corrupting the scheduler. Submissions from different
+    domains at different times are fine (each [run] fully quiesces the
+    pool — workers out of the scheduler, deques empty — before
+    returning). Nested regions should pass [`Seq] for the inner one. *)
 
 type choice = [ `Seq | `Pool of t ]
 (** How to execute a parallel region: [`Seq] runs it inline on the
@@ -71,9 +81,13 @@ val parallel_for_dynamic :
     returns when all [n] indices have completed. If any [f i] raises,
     the first exception (by completion order) is re-raised in the
     caller with its backtrace after in-flight ranges have drained;
-    ranges not yet started are skipped. With [`Seq] (the default) this
-    is a plain [for] loop. Raises [Invalid_argument] for
-    [n > 2^31 - 1] (the deque range encoding's bound). *)
+    ranges not yet started are skipped. The call returns only once the
+    pool is quiescent again — no worker still inside the scheduler —
+    so back-to-back jobs can never steal from each other. With [`Seq]
+    (the default) this is a plain [for] loop. Raises
+    [Invalid_argument] for [n] beyond the deque range encoding's bound
+    ([2^31 - 1] on 64-bit platforms, [2^15 - 1] on 32-bit) and on
+    concurrent or nested submission to the same pool. *)
 
 val parallel_for : ?pool:choice -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~pool ~chunk ~n f] is

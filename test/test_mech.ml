@@ -62,6 +62,26 @@ let test_toy_critical_value () =
   | Some c -> check_float "losers critical is the max" 7.0 c
   | None -> Alcotest.fail "agent 2 could win at v_hi")
 
+let test_toy_known_winner_small_v_hi () =
+  (* Regression: with [known_winner:true] the warm bracket must start
+     at the declaration, not [min v_hi declared]. A custom [v_hi]
+     below the winner's declaration certifies nothing (monotonicity
+     extends the declaration certificate upward only); the old cap
+     made every probe lose, so the bisection silently converged onto
+     ~v_hi and undercharged a winner whose critical value lies in
+     (v_hi, declared]. Here the critical value is 5 and v_hi = 2. *)
+  let vs = [| 3.0; 7.0; 5.0 |] in
+  (match
+     Single_param.critical_value ~v_hi:2.0 ~known_winner:true toy_model vs
+       ~agent:1
+   with
+  | Some c -> check_float "critical value ignores the low ceiling" 5.0 c
+  | None -> Alcotest.fail "known winner must have a critical value");
+  (* Same protection one level up: warm payments with a low ceiling
+     still charge the true critical value. *)
+  let pay = Single_param.payments ~v_hi:2.0 ~warm:`Declared toy_model vs in
+  check_float "warm payment ignores the low ceiling" 5.0 pay.(1)
+
 let test_toy_payments () =
   let vs = [| 3.0; 7.0; 5.0 |] in
   let pay = Single_param.payments toy_model vs in
@@ -686,6 +706,8 @@ let () =
       ( "single-param",
         [
           Alcotest.test_case "critical value" `Quick test_toy_critical_value;
+          Alcotest.test_case "known winner below custom v_hi" `Quick
+            test_toy_known_winner_small_v_hi;
           Alcotest.test_case "payments" `Quick test_toy_payments;
           Alcotest.test_case "utility" `Quick test_toy_utility;
           Alcotest.test_case "spot check" `Quick test_toy_spot_check;

@@ -71,6 +71,46 @@ let test_reuse_across_jobs () =
       got
   done
 
+let test_back_to_back_jobs () =
+  (* Regression for the cross-job steal race: run() must quiesce every
+     worker before returning, or a thief still sweeping deques from
+     job k can steal job k+1's freshly seeded range and execute it
+     under job k's closure — corrupting job k+1 (some index runs the
+     wrong f) and hanging its caller (the stolen indices never count
+     toward job k+1's completion). Many tiny jobs back to back is the
+     widest window; the failure modes are a wrong hit count below or
+     this test never finishing. *)
+  let pool = `Pool (Lazy.force pool3) in
+  for round = 1 to 300 do
+    let n = 1 + (round mod 7) in
+    let hits = Array.init n (fun _ -> Atomic.make 0) in
+    Pool.parallel_for_dynamic ~pool ~grain:1 ~n (fun i -> Atomic.incr hits.(i));
+    Array.iteri
+      (fun i h ->
+        if Atomic.get h <> 1 then
+          Alcotest.failf "round %d: index %d ran %d times" round i
+            (Atomic.get h))
+      hits
+  done
+
+let test_nested_submission_rejected () =
+  (* The caller-side deque has one owner per job, so re-entering the
+     pool from inside a task closure must fail loudly instead of
+     corrupting the scheduler. The inner Invalid_argument propagates
+     through the usual first-exception channel, and the pool survives. *)
+  let p = Pool.create ~domains:2 () in
+  let pool = `Pool p in
+  Alcotest.check_raises "nested submission rejected"
+    (Invalid_argument
+       "Ufp_par.Pool: concurrent or nested job submission on one pool")
+    (fun () ->
+      Pool.parallel_for ~pool ~n:4 (fun _ ->
+          Pool.parallel_for ~pool ~n:2 ignore));
+  Alcotest.(check (array int))
+    "pool usable after rejection" (Array.init 5 succ)
+    (Pool.parallel_mapi ~pool ~n:5 succ);
+  Pool.shutdown p
+
 let test_worker_less_pool () =
   (* domains = 1: no workers are spawned, the caller drains the job. *)
   let p = Pool.create ~domains:1 () in
@@ -318,6 +358,8 @@ let () =
           tc "mapi floats bitwise" `Quick test_mapi_floats_bitwise;
           tc "each index exactly once" `Quick test_for_exactly_once;
           tc "reuse across jobs" `Quick test_reuse_across_jobs;
+          tc "back-to-back jobs quiesce" `Quick test_back_to_back_jobs;
+          tc "nested submission rejected" `Quick test_nested_submission_rejected;
           tc "worker-less pool" `Quick test_worker_less_pool;
           tc "empty job" `Quick test_empty_job;
           tc "exception propagates" `Quick test_exception_propagates;
