@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-json bench-diff examples doc clean trace-demo par-demo profile-demo rmat-demo
+.PHONY: all build test lint bench bench-quick bench-json bench-diff bench-trajectory examples doc clean trace-demo par-demo profile-demo rmat-demo
 
 all: build
 
@@ -59,11 +59,15 @@ bench-csv:
 #   BENCH_PR9.json — work-stealing vs fixed-chunk modelled makespan
 #                    (host-independent cost units) + warm-start
 #                    payment probe counts
+#   BENCH_PR10.json — delta-stepping (2-domain pool) vs sequential
+#                    Dijkstra on RMAT + packed-vs-wide adjacency
+#                    latency and footprint rows
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_PR5.json
 	dune exec bench/main.exe -- --json-pr6 BENCH_PR6.json
 	dune exec bench/main.exe -- --json-pr8 BENCH_PR8.json
 	dune exec bench/main.exe -- --json-pr9 BENCH_PR9.json
+	dune exec bench/main.exe -- --json-pr10 BENCH_PR10.json
 
 # Perf-trajectory regression gate (see docs/OBSERVABILITY.md): rerun
 # the PR 8/PR 9 rows and diff against the committed trajectories.
@@ -75,6 +79,15 @@ bench-diff:
 	dune exec bin/bench_diff.exe -- BENCH_PR8.json /tmp/ufp-bench-pr8.json --threshold 2.0
 	dune exec bench/main.exe -- --json-pr9 /tmp/ufp-bench-pr9.json
 	dune exec bin/bench_diff.exe -- BENCH_PR9.json /tmp/ufp-bench-pr9.json --threshold 0.1
+	dune exec bench/main.exe -- --json-pr10 /tmp/ufp-bench-pr10.json
+	dune exec bin/bench_diff.exe -- BENCH_PR10.json /tmp/ufp-bench-pr10.json --threshold 2.0
+
+# Cross-PR performance history: join every committed BENCH_PR*.json
+# by row id into one markdown table (docs/BENCH_TRAJECTORY.md), one
+# column per PR in PR order.  Regenerate after committing a new
+# artifact.
+bench-trajectory:
+	dune exec bin/bench_diff.exe -- --trajectory docs/BENCH_TRAJECTORY.md BENCH_PR*.json
 
 # Million-edge end-to-end demo: a scale-18 RMAT instance (~2.6M edges)
 # generated, solved with pooled selector rebuilds, and audited.

@@ -30,6 +30,7 @@ val threshold_pd :
   ?eps:float ->
   ?selector:Selector.kind ->
   ?pool:Ufp_par.Pool.choice ->
+  ?sssp:Selector.sssp ->
   Ufp_instance.Instance.t ->
   Ufp_instance.Solution.t
 (** BKV-style primal-dual: duals start at [1/c_e] and grow by
@@ -39,7 +40,9 @@ val threshold_pd :
     normalised instance with [B >= 1]; [eps] defaults to [0.1].
     [selector] picks the {!Selector} engine (default [`Incremental];
     both engines make identical decisions); [pool] (default [`Seq])
-    fans stale-tree rebuilds out with bitwise-identical decisions. *)
+    fans stale-tree rebuilds out with bitwise-identical decisions;
+    [sssp] (default [`Dijkstra]) picks the tree kernel, also
+    decision-neutral. *)
 
 val randomized_rounding :
   ?eps:float -> seed:int -> Ufp_instance.Instance.t ->

@@ -70,6 +70,7 @@ val execute :
   ?max_iterations:int ->
   ?selector:Selector.kind ->
   ?pool:Ufp_par.Pool.choice ->
+  ?sssp:Selector.sssp ->
   config ->
   Ufp_instance.Instance.t ->
   run

@@ -89,7 +89,7 @@ let heap_pop ws =
     Some (k, v)
   end
 
-let shortest_tree_snapshot_into ws g ~snapshot ~src ~dist ~parent_edge =
+let shortest_tree_snapshot_into ?view ws g ~snapshot ~src ~dist ~parent_edge =
   let n = Graph.n_vertices g in
   if ws.ws_n <> n then
     invalid_arg "Dijkstra.shortest_tree_into: workspace built for another graph";
@@ -99,15 +99,16 @@ let shortest_tree_snapshot_into ws g ~snapshot ~src ~dist ~parent_edge =
     invalid_arg "Dijkstra.shortest_tree_into: output arrays must have length n";
   if Weight_snapshot.length snapshot <> Graph.n_edges g then
     invalid_arg "Dijkstra.shortest_tree_into: snapshot built for another graph";
+  let view = match view with Some v -> v | None -> Graph.csr_view g in
+  if Array.length view.Graph.Csr.view_rows <> n + 1 then
+    invalid_arg "Dijkstra.shortest_tree_into: view built for another graph";
   Array.fill dist 0 n infinity;
   Array.fill parent_edge 0 n (-1);
   Array.fill ws.ws_settled 0 n false;
   ws.ws_size <- 0;
   Ufp_obs.Metrics.incr m_runs;
-  let csr = Graph.csr g in
-  let row_start = csr.Graph.Csr.row_start
-  and nbr = csr.Graph.Csr.nbr
-  and eid = csr.Graph.Csr.eid in
+  let row_start = view.Graph.Csr.view_rows
+  and cells = view.Graph.Csr.view_cells in
   let settled = ws.ws_settled in
   dist.(src) <- 0.0;
   heap_push ws 0.0 src;
@@ -118,20 +119,21 @@ let shortest_tree_snapshot_into ws g ~snapshot ~src ~dist ~parent_edge =
       if not settled.(u) then begin
         settled.(u) <- true;
         Ufp_obs.Metrics.incr m_settled;
-        (* The relaxation inner loop: flat-array reads only — no
-           closure call, no list cell, no validity branch (the
-           snapshot was validated at build time). Packed indices are
-           in range by CSR construction. *)
+        (* The relaxation inner loop: flat reads through the layout
+           accessors only — no closure call, no list cell, no validity
+           branch (the snapshot was validated at build time). Packed
+           indices are in range by CSR construction. *)
         let hi = row_start.(u + 1) in
         for k = row_start.(u) to hi - 1 do
-          let v = Array.unsafe_get nbr k in
+          let v = Graph.Csr.Cells.unsafe_fst cells k in
           if not (Array.unsafe_get settled v) then begin
             Ufp_obs.Metrics.incr m_relaxations;
-            let w = Weight_snapshot.unsafe_get snapshot (Array.unsafe_get eid k) in
+            let e = Graph.Csr.Cells.unsafe_snd cells k in
+            let w = Weight_snapshot.unsafe_get snapshot e in
             let d' = d +. w in
             if d' < Array.unsafe_get dist v then begin
               Array.unsafe_set dist v d';
-              Array.unsafe_set parent_edge v (Array.unsafe_get eid k);
+              Array.unsafe_set parent_edge v e;
               heap_push ws d' v
             end
           end
@@ -179,8 +181,9 @@ let reachable g ~src ~dst =
   if src = dst then true
   else begin
     let n = Graph.n_vertices g in
-    let csr = Graph.csr g in
-    let row_start = csr.Graph.Csr.row_start and nbr = csr.Graph.Csr.nbr in
+    let view = Graph.csr_view g in
+    let row_start = view.Graph.Csr.view_rows
+    and cells = view.Graph.Csr.view_cells in
     let seen = Array.make n false in
     (* Array-backed FIFO: each vertex enters at most once. *)
     let queue = Array.make n 0 in
@@ -195,7 +198,7 @@ let reachable g ~src ~dst =
       let hi = row_start.(u + 1) in
       let k = ref row_start.(u) in
       while (not !found) && !k < hi do
-        let v = nbr.(!k) in
+        let v = Graph.Csr.Cells.fst cells !k in
         if not seen.(v) then begin
           seen.(v) <- true;
           if v = dst then found := true

@@ -3,16 +3,19 @@ module Float_tol = Ufp_prelude.Float_tol
 type result = { value : float; flow : float array }
 
 (* Residual network: arcs in pairs, arc [a] and its reverse [a lxor 1].
-   Adjacency is CSR-style flat arrays (mirroring Graph.Csr): vertex
-   [u]'s outgoing arc indices occupy [adj.(adj_start.(u) ..
-   adj_start.(u+1) - 1)], in arc-insertion order, so the BFS/DFS hot
-   loops below traverse packed int arrays instead of cons chains. *)
+   Adjacency is CSR-style flat slots (mirroring Graph.Csr): vertex
+   [u]'s outgoing arcs occupy slots [adj_start.(u) ..
+   adj_start.(u+1) - 1], in arc-insertion order, each slot carrying
+   the (arc index, head vertex) pair through the shared
+   Graph.Csr.Cells accessor layer — packed to 8-byte cells when the
+   arc and vertex counts fit 31 bits, plain int arrays otherwise —
+   so the BFS/DFS hot loops traverse flat slots instead of cons
+   chains, under either layout. *)
 type residual = {
   n : int;
-  arc_to : int array;
   mutable cap : float array;
   adj_start : int array;  (* length n + 1 *)
-  adj : int array;  (* packed arc indices leaving each vertex *)
+  adj : Graph.Csr.Cells.t;  (* (arc, head) per slot leaving each vertex *)
   (* Original-edge bookkeeping: for arc [a], [orig.(a)] is the edge id
      it was built from, or -1 for auxiliary (super source/sink) arcs. *)
   orig : int array;
@@ -31,7 +34,6 @@ let build g ~extra_vertices ~extra_arcs =
   let n = Graph.n_vertices g + extra_vertices in
   let m = Graph.n_edges g in
   let n_arcs = (2 * m) + (2 * List.length extra_arcs) in
-  let arc_to = Array.make (max n_arcs 1) 0 in
   let cap = Array.make (max n_arcs 1) 0.0 in
   let orig = Array.make (max n_arcs 1) (-1) in
   (* Two passes, like Graph.build_csr: count per-vertex out-degrees,
@@ -54,24 +56,33 @@ let build g ~extra_vertices ~extra_arcs =
   for u = 1 to n do
     adj_start.(u) <- adj_start.(u) + adj_start.(u - 1)
   done;
-  let adj = Array.make (max adj_start.(n) 1) 0 in
+  let n_slots = max adj_start.(n) 1 in
+  let adj_arc = Array.make n_slots 0 in
+  let adj_head = Array.make n_slots 0 in
   let cursor = Array.make (max n 1) 0 in
   Array.blit adj_start 0 cursor 0 n;
   let next = ref 0 in
   each_pair (fun u v cap_uv cap_vu edge_id ->
       let a = !next in
       next := !next + 2;
-      arc_to.(a) <- v;
       cap.(a) <- cap_uv;
       orig.(a) <- edge_id;
-      adj.(cursor.(u)) <- a;
+      adj_arc.(cursor.(u)) <- a;
+      adj_head.(cursor.(u)) <- v;
       cursor.(u) <- cursor.(u) + 1;
-      arc_to.(a + 1) <- u;
       cap.(a + 1) <- cap_vu;
       orig.(a + 1) <- edge_id;
-      adj.(cursor.(v)) <- a + 1;
+      adj_arc.(cursor.(v)) <- a + 1;
+      adj_head.(cursor.(v)) <- u;
       cursor.(v) <- cursor.(v) + 1);
-  { n; arc_to; cap; adj_start; adj; orig }
+  (* Same layout rule as Graph.csr_view: packed (arc, head) cells when
+     both halves fit 31 bits, the wide int arrays otherwise. *)
+  let adj =
+    if Graph.Csr.Packed.fits ~n ~m:n_arcs then
+      Graph.Csr.Cells.pack adj_arc adj_head
+    else Graph.Csr.Cells.wide adj_arc adj_head
+  in
+  { n; cap; adj_start; adj; orig }
 
 let bfs_levels r ~src ~dst =
   let levels = Array.make r.n (-1) in
@@ -85,8 +96,8 @@ let bfs_levels r ~src ~dst =
     let u = queue.(!head) in
     incr head;
     for k = r.adj_start.(u) to r.adj_start.(u + 1) - 1 do
-      let a = r.adj.(k) in
-      let v = r.arc_to.(a) in
+      let a = Graph.Csr.Cells.unsafe_fst r.adj k in
+      let v = Graph.Csr.Cells.unsafe_snd r.adj k in
       if r.cap.(a) > eps && levels.(v) < 0 then begin
         levels.(v) <- levels.(u) + 1;
         queue.(!tail) <- v;
@@ -104,8 +115,8 @@ let rec dfs r levels cursors ~dst u pushed =
     let k = cursors.(u) in
     if k >= r.adj_start.(u + 1) then 0.0
     else begin
-      let a = r.adj.(k) in
-      let v = r.arc_to.(a) in
+      let a = Graph.Csr.Cells.unsafe_fst r.adj k in
+      let v = Graph.Csr.Cells.unsafe_snd r.adj k in
       let sent =
         if r.cap.(a) > eps && levels.(v) = levels.(u) + 1 then
           dfs r levels cursors ~dst v (Float.min pushed r.cap.(a))

@@ -441,6 +441,13 @@ let with_pool ?domains f =
   Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f (`Pool p))
 
 let with_jobs jobs f =
+  (* A negative count is always a caller mistake (a typo'd flag, an
+     arithmetic slip) — fail loudly at the entry point, naming the
+     flag, instead of silently degrading to `Seq deep in a solve. *)
+  if jobs < 0 then
+    invalid_arg
+      (Printf.sprintf "--jobs: expected a count >= 0, got %d (0 = recommended \
+                       domain count)" jobs);
   let domains = if jobs = 0 then Domain.recommended_domain_count () else jobs in
   if domains <= 1 then f `Seq else with_pool ~domains f
 
@@ -450,4 +457,8 @@ let jobs_from_env ?(default = 1) () =
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 0 -> j
-    | _ -> default)
+    | Some j ->
+      invalid_arg
+        (Printf.sprintf "UFP_JOBS: expected a count >= 0, got %d (0 = \
+                         recommended domain count)" j)
+    | None -> default)

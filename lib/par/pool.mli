@@ -121,13 +121,17 @@ val with_pool : ?domains:int -> (choice -> 'a) -> 'a
     shuts it down afterwards, also on exception. *)
 
 val with_jobs : int -> (choice -> 'a) -> 'a
-(** [with_jobs jobs f]: the CLI-facing convenience. [jobs = 1] (or
-    negative) runs [f `Seq] with no pool at all; [jobs = 0] means
+(** [with_jobs jobs f]: the CLI-facing convenience. [jobs = 1] runs
+    [f `Seq] with no pool at all; [jobs = 0] means
     [Domain.recommended_domain_count] (which may still be 1 → [`Seq]);
-    [jobs >= 2] wraps {!with_pool} at that size. *)
+    [jobs >= 2] wraps {!with_pool} at that size. A negative count
+    raises [Invalid_argument] naming the [--jobs] flag — it is always
+    a caller mistake and must not silently degrade to sequential. *)
 
 val jobs_from_env : ?default:int -> unit -> int
 (** Read the [UFP_JOBS] environment variable (same semantics as the
     [ufp payments --jobs] flag: [0] = recommended domain count).
-    Returns [default] (itself defaulting to [1]) when unset or
-    unparsable. *)
+    Returns [default] (itself defaulting to [1]) when unset or not an
+    integer at all; a {e parsed but negative} value raises
+    [Invalid_argument] naming [UFP_JOBS] rather than being silently
+    replaced. *)

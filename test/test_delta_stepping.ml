@@ -1,0 +1,238 @@
+(* Delta-stepping kernel suite: the delta ≡ dijkstra byte-equality law
+   across jobs counts and CSR layouts, the packed builder's 31-bit
+   guard, and the bucket schedule's edge cases (zero-weight light
+   edges, all-heavy graphs, unreachable vertices). *)
+
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Delta = Ufp_graph.Delta_stepping
+module Weight_snapshot = Ufp_graph.Weight_snapshot
+module Gen = Ufp_graph.Generators
+module Rng = Ufp_prelude.Rng
+module Pool = Ufp_par.Pool
+
+let trees_equal (d1, p1) (d2, p2) =
+  (* Byte equality: distances must agree bit for bit (Float.compare
+     treats equal floats as equal without tolerating ulps), parents
+     exactly. *)
+  Array.length d1 = Array.length d2
+  && Array.length p1 = Array.length p2
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if Float.compare x d2.(i) <> 0 then ok := false) d1;
+      !ok)
+  && p1 = p2
+
+let dijkstra_tree g snapshot ~src ~view =
+  let n = Graph.n_vertices g in
+  let ws = Dijkstra.create_workspace g in
+  let dist = Array.make n nan and parent_edge = Array.make n min_int in
+  Dijkstra.shortest_tree_snapshot_into ?view ws g ~snapshot ~src ~dist
+    ~parent_edge;
+  (dist, parent_edge)
+
+let delta_tree ?pool ?delta g snapshot ~src ~view =
+  let n = Graph.n_vertices g in
+  let ws = Delta.create_workspace g in
+  let dist = Array.make n nan and parent_edge = Array.make n min_int in
+  Delta.shortest_tree_snapshot_into ?pool ?delta ?view ws g ~snapshot ~src
+    ~dist ~parent_edge;
+  (dist, parent_edge)
+
+(* Both layouts for one graph, so the law runs the kernels over packed
+   and wide cells regardless of which one csr_view cached. *)
+let both_views g =
+  let c = Graph.csr g in
+  let wide = Graph.Csr.wide_view c in
+  let packed = Graph.Csr.packed_view (Graph.Csr.Packed.of_csr c) in
+  [ ("wide", wide); ("packed", packed) ]
+
+let random_instance seed =
+  let rng = Rng.create seed in
+  let directed = seed mod 2 = 0 in
+  let n = 8 + (seed mod 17) in
+  let g =
+    Gen.erdos_renyi rng ~n ~edge_prob:0.25 ~directed ~capacity_lo:1.0
+      ~capacity_hi:5.0
+  in
+  let m = Graph.n_edges g in
+  let w =
+    Array.init (max 1 m) (fun _ ->
+        (* A weight mix that stresses the bucket schedule: zeros
+           (light-phase re-insertion), duplicates (float ties for the
+           parent tie-break), a heavy tail, and the odd infinity
+           (absent edge). *)
+        match Rng.int rng 10 with
+        | 0 -> 0.0
+        | 1 | 2 -> 1.0
+        | 3 -> infinity
+        | 4 -> Rng.float_in rng 50.0 100.0
+        | _ -> Rng.float_in rng 0.1 3.0)
+  in
+  (g, w)
+
+let qcheck_delta_equals_dijkstra =
+  QCheck.Test.make
+    ~name:"delta-stepping tree is byte-identical to dijkstra (jobs x layout)"
+    ~count:60
+    QCheck.(pair small_int (int_bound 7))
+    (fun (seed, src0) ->
+      let g, w = random_instance seed in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let snapshot = Weight_snapshot.build g ~weight:(fun e -> w.(e)) in
+        let src = src0 mod Graph.n_vertices g in
+        let ok = ref true in
+        List.iter
+          (fun (_, view) ->
+            let reference = dijkstra_tree g snapshot ~src ~view:(Some view) in
+            List.iter
+              (fun jobs ->
+                let got =
+                  Pool.with_jobs jobs (fun pool ->
+                      delta_tree ~pool g snapshot ~src ~view:(Some view))
+                in
+                if not (trees_equal reference got) then ok := false)
+              [ 1; 2; 3 ])
+          (both_views g);
+        !ok
+      end)
+
+let qcheck_explicit_delta_is_only_a_hint =
+  QCheck.Test.make
+    ~name:"explicit delta never changes the tree" ~count:40 QCheck.small_int
+    (fun seed ->
+      let g, w = random_instance seed in
+      if Graph.n_edges g = 0 then true
+      else begin
+        let snapshot = Weight_snapshot.build g ~weight:(fun e -> w.(e)) in
+        let reference = dijkstra_tree g snapshot ~src:0 ~view:None in
+        List.for_all
+          (fun d ->
+            trees_equal reference
+              (delta_tree ~delta:d g snapshot ~src:0 ~view:None))
+          [ 0.05; 0.5; 2.0; 1000.0 ]
+      end)
+
+(* --- unit: packed builder guard --- *)
+
+let test_pack_rejects_oversized () =
+  Alcotest.check_raises "value above 2^31-1 is rejected"
+    (Invalid_argument "Graph.Csr.Cells.pack: value out of 32-bit range at slot 1")
+    (fun () ->
+      ignore (Graph.Csr.Cells.pack [| 0; Graph.Csr.Cells.max_packed + 1 |] [| 0; 0 |]))
+
+let test_pack_rejects_negative () =
+  Alcotest.check_raises "negative value is rejected"
+    (Invalid_argument "Graph.Csr.Cells.pack: value out of 32-bit range at slot 0")
+    (fun () -> ignore (Graph.Csr.Cells.pack [| -1 |] [| 0 |]))
+
+let test_packed_fits_bound () =
+  Alcotest.(check bool) "max_packed fits" true
+    (Graph.Csr.Packed.fits ~n:Graph.Csr.Cells.max_packed
+       ~m:Graph.Csr.Cells.max_packed);
+  Alcotest.(check bool) "max_packed + 1 does not" false
+    (Graph.Csr.Packed.fits ~n:(Graph.Csr.Cells.max_packed + 1) ~m:1)
+
+let test_pack_roundtrip_boundary () =
+  let a = [| 0; Graph.Csr.Cells.max_packed; 7 |] in
+  let b = [| Graph.Csr.Cells.max_packed; 0; 123456789 |] in
+  let c = Graph.Csr.Cells.pack a b in
+  Alcotest.(check bool) "packed layout" true (Graph.Csr.Cells.is_packed c);
+  for k = 0 to 2 do
+    Alcotest.(check int) "fst" a.(k) (Graph.Csr.Cells.fst c k);
+    Alcotest.(check int) "snd" b.(k) (Graph.Csr.Cells.snd c k)
+  done
+
+(* --- unit: bucket edge cases --- *)
+
+let line_graph weights =
+  let n = Array.length weights + 1 in
+  let g = Graph.create ~directed:true ~n in
+  Array.iteri (fun i _ -> ignore (Graph.add_edge g ~u:i ~v:(i + 1) ~capacity:1.0)) weights;
+  (g, Weight_snapshot.build g ~weight:(fun e -> weights.(e)))
+
+let check_tree msg g snapshot ~src =
+  let reference = dijkstra_tree g snapshot ~src ~view:None in
+  let got = delta_tree g snapshot ~src ~view:None in
+  Alcotest.(check bool) msg true (trees_equal reference got)
+
+let test_zero_weight_light_edges () =
+  (* Zero-weight edges re-insert into the current bucket: the inner
+     light loop must drain the refilling slot, not spin or drop it. *)
+  let g, snapshot = line_graph [| 0.0; 0.0; 1.0; 0.0 |] in
+  check_tree "zero-weight chain" g snapshot ~src:0;
+  let dist, _ = delta_tree g snapshot ~src:0 ~view:None in
+  Alcotest.(check (float 0.0)) "dist through zeros" 1.0 dist.(4)
+
+let test_all_heavy_edges () =
+  (* delta below every weight: light phases are all empty, every edge
+     goes through the heavy phase. *)
+  let g, snapshot = line_graph [| 3.0; 5.0; 4.0 |] in
+  let reference = dijkstra_tree g snapshot ~src:0 ~view:None in
+  let got = delta_tree ~delta:0.01 g snapshot ~src:0 ~view:None in
+  Alcotest.(check bool) "all-heavy tree" true (trees_equal reference got)
+
+let test_unreachable_vertices () =
+  let g = Graph.create ~directed:true ~n:5 in
+  ignore (Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0);
+  ignore (Graph.add_edge g ~u:3 ~v:4 ~capacity:1.0);
+  let snapshot = Weight_snapshot.build g ~weight:(fun _ -> 1.0) in
+  check_tree "unreachable component" g snapshot ~src:0;
+  let dist, parent = delta_tree g snapshot ~src:0 ~view:None in
+  Alcotest.(check bool) "2 unreachable" true (Float.equal dist.(2) infinity);
+  Alcotest.(check bool) "4 unreachable" true (Float.equal dist.(4) infinity);
+  Alcotest.(check int) "no parent at 4" (-1) parent.(4)
+
+let test_infinite_weights_behave_as_absent () =
+  let g, snapshot = line_graph [| 1.0; infinity; 1.0 |] in
+  check_tree "infinite edge cuts the line" g snapshot ~src:0;
+  let dist, _ = delta_tree g snapshot ~src:0 ~view:None in
+  Alcotest.(check bool) "beyond the cut" true (Float.equal dist.(2) infinity)
+
+let test_single_vertex () =
+  let g = Graph.create ~directed:false ~n:1 in
+  let snapshot = Weight_snapshot.build g ~weight:(fun _ -> 1.0) in
+  let dist, parent = delta_tree g snapshot ~src:0 ~view:None in
+  Alcotest.(check (float 0.0)) "src dist" 0.0 dist.(0);
+  Alcotest.(check int) "src parent" (-1) parent.(0)
+
+let test_bad_delta_rejected () =
+  let g, snapshot = line_graph [| 1.0 |] in
+  let attempt d () = ignore (delta_tree ~delta:d g snapshot ~src:0 ~view:None) in
+  List.iter
+    (fun d ->
+      Alcotest.check_raises "bad delta"
+        (Invalid_argument "Delta_stepping: delta must be positive and finite")
+        (attempt d))
+    [ 0.0; -1.0; infinity; nan ]
+
+let () =
+  Alcotest.run "delta_stepping"
+    [
+      ( "law",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_delta_equals_dijkstra; qcheck_explicit_delta_is_only_a_hint ]
+      );
+      ( "packed",
+        [
+          Alcotest.test_case "pack rejects oversized" `Quick
+            test_pack_rejects_oversized;
+          Alcotest.test_case "pack rejects negative" `Quick
+            test_pack_rejects_negative;
+          Alcotest.test_case "fits bound" `Quick test_packed_fits_bound;
+          Alcotest.test_case "pack boundary roundtrip" `Quick
+            test_pack_roundtrip_boundary;
+        ] );
+      ( "buckets",
+        [
+          Alcotest.test_case "zero-weight light edges" `Quick
+            test_zero_weight_light_edges;
+          Alcotest.test_case "all-heavy edges" `Quick test_all_heavy_edges;
+          Alcotest.test_case "unreachable vertices" `Quick
+            test_unreachable_vertices;
+          Alcotest.test_case "infinite weights absent" `Quick
+            test_infinite_weights_behave_as_absent;
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "bad delta rejected" `Quick test_bad_delta_rejected;
+        ] );
+    ]

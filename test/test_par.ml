@@ -181,6 +181,38 @@ let test_with_jobs () =
       | `Seq -> expected_domains <= 1
       | `Pool p -> Pool.size p = expected_domains))
 
+let test_with_jobs_negative () =
+  (* A negative count must raise at the entry point, naming the flag —
+     never silently degrade to `Seq. *)
+  Alcotest.check_raises "jobs -2 rejected"
+    (Invalid_argument
+       "--jobs: expected a count >= 0, got -2 (0 = recommended domain count)")
+    (fun () -> Pool.with_jobs (-2) (fun _ -> ()));
+  Alcotest.check_raises "jobs -1 rejected"
+    (Invalid_argument
+       "--jobs: expected a count >= 0, got -1 (0 = recommended domain count)")
+    (fun () -> Pool.with_jobs (-1) (fun _ -> ()))
+
+let test_jobs_from_env_negative () =
+  let prev = Sys.getenv_opt "UFP_JOBS" in
+  let restore () =
+    (* putenv cannot unset; an empty string is not an integer, so the
+       default path stays in force for any later reader. *)
+    Unix.putenv "UFP_JOBS" (Option.value prev ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "UFP_JOBS" "-2";
+      Alcotest.check_raises "negative UFP_JOBS rejected"
+        (Invalid_argument
+           "UFP_JOBS: expected a count >= 0, got -2 (0 = recommended domain \
+            count)")
+        (fun () -> ignore (Pool.jobs_from_env ()));
+      (* Garbage that does not parse as an int still falls back to the
+         default — only a parsed negative is an error. *)
+      Unix.putenv "UFP_JOBS" "three";
+      Alcotest.(check int) "unparsable falls back" 5
+        (Pool.jobs_from_env ~default:5 ()))
+
 let test_jobs_from_env () =
   (* The suite may itself run under UFP_JOBS (CI exports it), so test
      against whatever the environment actually says. *)
@@ -384,6 +416,9 @@ let () =
         [
           tc "with_pool cleans up" `Quick test_with_pool_cleans_up;
           tc "with_jobs" `Quick test_with_jobs;
+          tc "with_jobs rejects negatives" `Quick test_with_jobs_negative;
           tc "jobs_from_env" `Quick test_jobs_from_env;
+          tc "jobs_from_env rejects negatives" `Quick
+            test_jobs_from_env_negative;
         ] );
     ]
