@@ -1,0 +1,38 @@
+module Graph = Ufp_graph.Graph
+module Dijkstra = Ufp_graph.Dijkstra
+module Delta = Ufp_graph.Delta_stepping
+module Weight_snapshot = Ufp_graph.Weight_snapshot
+
+let () =
+  (* delta = min positive weight = 0.72164698243141179.
+     Edge 0->1 has weight 536.1837079465389 = fl(743 * delta):
+     int_of_float (w /. delta) = 742, but bucket 742's filter
+     rejects it (d < hi is false), so vertex 1 is dropped. *)
+  let delta = 0.72164698243141179 in
+  let w01 = 536.1837079465389 in
+  let n = 4 in
+  let g = Graph.create ~directed:true ~n in
+  let e01 = Graph.add_edge g ~u:0 ~v:1 ~capacity:1.0 in
+  let e02 = Graph.add_edge g ~u:0 ~v:2 ~capacity:1.0 in
+  let e13 = Graph.add_edge g ~u:1 ~v:3 ~capacity:1.0 in
+  let weight e =
+    if e = e01 then w01 else if e = e02 then delta else if e = e13 then 1.0
+    else assert false
+  in
+  let snapshot = Weight_snapshot.build g ~weight in
+  let dist_d = Array.make n nan and par_d = Array.make n (-2) in
+  let wsd = Dijkstra.create_workspace g in
+  Dijkstra.shortest_tree_snapshot_into wsd g ~snapshot ~src:0 ~dist:dist_d ~parent_edge:par_d;
+  let dist_s = Array.make n nan and par_s = Array.make n (-2) in
+  let wss = Delta.create_workspace g in
+  Delta.shortest_tree_snapshot_into wss g ~snapshot ~src:0 ~dist:dist_s ~parent_edge:par_s;
+  let bad = ref false in
+  for i = 0 to n - 1 do
+    let m = Float.compare dist_d.(i) dist_s.(i) <> 0 || par_d.(i) <> par_s.(i) in
+    if m then bad := true;
+    Printf.printf "v%d dijkstra=%.17g (p=%d)  delta=%.17g (p=%d)%s\n" i
+      dist_d.(i) par_d.(i) dist_s.(i) par_s.(i)
+      (if m then "   <-- MISMATCH" else "")
+  done;
+  if !bad then print_endline "RESULT: delta-stepping tree DIFFERS from Dijkstra"
+  else print_endline "RESULT: identical"
